@@ -1,0 +1,135 @@
+//! `tia-as` — the command-line assembler of the toolchain (Figure 1).
+//!
+//! ```text
+//! tia-as [--params params.json] [--disassemble] [--check] <input> [-o <output>]
+//! ```
+//!
+//! Assembles triggered-instruction assembly to the padded 128-bit
+//! instruction images the host writes into a PE's instruction memory
+//! (§2.3), one lowercase hex image per line. With `--disassemble` the
+//! input is such an image file and the output is assembly; with
+//! `--check` the input is only validated.
+
+use std::fs;
+use std::process::ExitCode;
+
+use tia_asm::{assemble, disassemble};
+use tia_isa::{Params, Program};
+
+struct Options {
+    params: Params,
+    input: String,
+    output: Option<String>,
+    disassemble: bool,
+    check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut params = Params::default();
+    let mut input = None;
+    let mut output = None;
+    let mut dis = false;
+    let mut check = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--params" => {
+                let path = args.next().ok_or("--params needs a file")?;
+                let text =
+                    fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                params = serde_json::from_str(&text)
+                    .map_err(|e| format!("invalid parameter file {path}: {e}"))?;
+                params.validate().map_err(|e| format!("{path}: {e}"))?;
+            }
+            "-o" | "--output" => output = Some(args.next().ok_or("-o needs a file")?),
+            "--disassemble" | "-d" => dis = true,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tia-as [--params params.json] [--disassemble] [--check] \
+                            <input> [-o <output>]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    return Err("multiple input files given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Options {
+        params,
+        input: input.ok_or("no input file given")?,
+        output,
+        disassemble: dis,
+        check,
+    })
+}
+
+fn images_to_text(program: &Program, params: &Params) -> Result<String, String> {
+    let images = program.to_images(params).map_err(|e| e.to_string())?;
+    Ok(images
+        .iter()
+        .map(|image| format!("{image:032x}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n")
+}
+
+fn text_to_program(text: &str, params: &Params) -> Result<Program, String> {
+    let mut images = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let image = u128::from_str_radix(line, 16)
+            .map_err(|e| format!("line {}: malformed image: {e}", i + 1))?;
+        images.push(image);
+    }
+    Program::from_images(&images, params).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let text =
+        fs::read_to_string(&opts.input).map_err(|e| format!("cannot read {}: {e}", opts.input))?;
+
+    let rendered = if opts.disassemble {
+        let program = text_to_program(&text, &opts.params)?;
+        disassemble(&program, &opts.params)
+    } else {
+        let program = assemble(&text, &opts.params).map_err(|e| e.to_string())?;
+        if opts.check {
+            eprintln!(
+                "{}: {} instruction(s), {} bits each ({} padded)",
+                opts.input,
+                program.len(),
+                opts.params.layout().total_bits(),
+                opts.params.layout().padded_bits()
+            );
+            return Ok(());
+        }
+        images_to_text(&program, &opts.params)?
+    };
+
+    match &opts.output {
+        Some(path) => fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tia-as: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

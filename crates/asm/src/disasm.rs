@@ -1,0 +1,145 @@
+//! Disassembler: [`Program`] → assembly text that reassembles to the
+//! same program.
+
+use std::fmt::Write as _;
+
+use tia_isa::{DstOperand, Instruction, Params, Program, SrcOperand};
+
+/// Renders a program as assembly accepted by
+/// [`assemble`](crate::assemble).
+///
+/// Invalid instruction slots are skipped (they carry no information).
+///
+/// # Examples
+///
+/// ```
+/// use tia_asm::{assemble, disassemble};
+/// use tia_isa::Params;
+///
+/// let params = Params::default();
+/// let src = "when %p == XXXX0000 with %i0.0, %i3.0:\n    ult %p7, %i3, %i0; set %p = ZZZZ0001;";
+/// let program = assemble(src, &params)?;
+/// let text = disassemble(&program, &params);
+/// assert_eq!(assemble(&text, &params)?, program);
+/// # Ok::<(), tia_asm::AsmError>(())
+/// ```
+pub fn disassemble(program: &Program, params: &Params) -> String {
+    let mut out = String::new();
+    for instruction in program.instructions() {
+        if !instruction.valid {
+            continue;
+        }
+        disassemble_instruction(&mut out, instruction, params);
+    }
+    out
+}
+
+fn disassemble_instruction(out: &mut String, i: &Instruction, params: &Params) {
+    let n = params.num_preds;
+    let _ = write!(out, "when %p == {}", i.trigger.predicates.to_assembly(n));
+    if !i.trigger.queue_checks.is_empty() {
+        let _ = write!(out, " with ");
+        for (k, c) in i.trigger.queue_checks.iter().enumerate() {
+            if k > 0 {
+                let _ = write!(out, ", ");
+            }
+            let bang = if c.negate { "!" } else { "" };
+            let _ = write!(out, "%i{}.{}{}", c.queue, bang, c.tag);
+        }
+    }
+    let _ = writeln!(out, ":");
+    let _ = write!(out, "    {}", i.op);
+
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+            let _ = write!(out, " ");
+        } else {
+            let _ = write!(out, ", ");
+        }
+    };
+
+    match i.dst {
+        DstOperand::None => {}
+        DstOperand::Reg(r) => {
+            sep(out);
+            let _ = write!(out, "%r{r}");
+        }
+        DstOperand::Output(q) => {
+            sep(out);
+            let _ = write!(out, "%o{}.{}", q, i.out_tag);
+        }
+        DstOperand::Pred(p) => {
+            sep(out);
+            let _ = write!(out, "%p{p}");
+        }
+    }
+    for src in i.srcs.iter().take(i.op.num_srcs()) {
+        sep(out);
+        match src {
+            SrcOperand::None => {
+                let _ = write!(out, "0");
+            }
+            SrcOperand::Reg(r) => {
+                let _ = write!(out, "%r{r}");
+            }
+            SrcOperand::Input(q) => {
+                let _ = write!(out, "%i{q}");
+            }
+            SrcOperand::Imm => {
+                let _ = write!(out, "{}", i.imm);
+            }
+        }
+    }
+    let _ = write!(out, ";");
+    if !i.pred_update.is_none() {
+        let _ = write!(
+            out,
+            " set %p = {};",
+            i.pred_update.to_assembly(params.num_preds)
+        );
+    }
+    if !i.dequeues.is_empty() {
+        let _ = write!(out, " deq ");
+        for (k, q) in i.dequeues.iter().enumerate() {
+            if k > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(out, "%i{q}");
+        }
+        let _ = write!(out, ";");
+    }
+    let _ = writeln!(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::assemble;
+
+    #[test]
+    fn roundtrips_a_varied_program() {
+        let p = Params::default();
+        let src = "
+            when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; set %p = ZZZZ0001;
+            when %p == XXXXXXX1 with %i1.!2: mov %o2.1, %i1; deq %i1;
+            when %p == XXXXXX10: add %r3, %r3, 4095;
+            when %p == 1XXXXXXX: halt;
+            when %p == XXXXXXXX: nop; set %p = 1ZZZZZZZ;
+        ";
+        let program = assemble(src, &p).unwrap();
+        let text = disassemble(&program, &p);
+        let back = assemble(&text, &p).unwrap();
+        assert_eq!(back, program);
+    }
+
+    #[test]
+    fn invalid_slots_are_skipped() {
+        let p = Params::default();
+        let mut program = assemble("when %p == XXXXXXXX: halt;", &p).unwrap();
+        program.push(tia_isa::Instruction::invalid());
+        let text = disassemble(&program, &p);
+        assert_eq!(text.matches("when").count(), 1);
+    }
+}

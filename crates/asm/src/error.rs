@@ -1,0 +1,71 @@
+//! Assembler error type with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+use tia_isa::IsaError;
+
+/// A position in the assembly source (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while assembling triggered-instruction assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Where in the source the error was detected.
+    pub pos: SourcePos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(pos: SourcePos, message: impl Into<String>) -> Self {
+        AsmError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn from_isa(pos: SourcePos, err: IsaError) -> Self {
+        AsmError {
+            pos,
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = AsmError::new(SourcePos { line: 3, column: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AsmError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! Tokenizer for triggered-instruction assembly.
+
+use std::fmt;
+
+use crate::error::{AsmError, SourcePos};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`when`, `ult`, `p7`, `XXXX0001`, ...).
+    Word(String),
+    /// An integer literal (decimal, `0x` hexadecimal, optionally
+    /// negative), already reduced to a 32-bit two's-complement word.
+    /// The raw text is preserved so digit-only predicate patterns
+    /// (e.g. `0001`) keep their width.
+    Int {
+        /// The literal's 32-bit two's-complement value.
+        value: u32,
+        /// The literal text as written.
+        raw: String,
+    },
+    /// A single punctuation character (`%`, `:`, `;`, `,`, `.`, `=`,
+    /// `!`).
+    Punct(char),
+    /// The `==` operator.
+    EqEq,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "`{w}`"),
+            TokenKind::Int { raw, .. } => write!(f, "`{raw}`"),
+            TokenKind::Punct(c) => write!(f, "`{c}`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token content.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: SourcePos,
+}
+
+/// Tokenizes assembly source. `#` starts a comment running to the end
+/// of the line.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on malformed integer literals or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    for (line_idx, line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut col = 0;
+        while col < chars.len() {
+            let c = chars[col];
+            let pos = SourcePos {
+                line: line_no,
+                column: col + 1,
+            };
+            if c == '#' {
+                break; // comment to end of line
+            }
+            if c.is_whitespace() {
+                col += 1;
+                continue;
+            }
+            if c == '=' && chars.get(col + 1) == Some(&'=') {
+                tokens.push(Token {
+                    kind: TokenKind::EqEq,
+                    pos,
+                });
+                col += 2;
+                continue;
+            }
+            if matches!(c, '%' | ':' | ';' | ',' | '.' | '=' | '!') {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    pos,
+                });
+                col += 1;
+                continue;
+            }
+            if c.is_ascii_digit()
+                || (c == '-' && chars.get(col + 1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                let start = col;
+                if c == '-' {
+                    col += 1;
+                }
+                while col < chars.len() && (chars[col].is_ascii_alphanumeric() || chars[col] == '_')
+                {
+                    col += 1;
+                }
+                let text: String = chars[start..col].iter().collect();
+                match parse_int(&text) {
+                    Some(value) => tokens.push(Token {
+                        kind: TokenKind::Int { value, raw: text },
+                        pos,
+                    }),
+                    // A digit-leading run of pattern characters (e.g.
+                    // `0000XXXX`, `1ZZZ`) is a predicate pattern word.
+                    None if text.chars().all(|c| matches!(c, '0' | '1' | 'X' | 'Z')) => tokens
+                        .push(Token {
+                            kind: TokenKind::Word(text),
+                            pos,
+                        }),
+                    None => return Err(AsmError::new(pos, format!("malformed integer `{text}`"))),
+                }
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = col;
+                while col < chars.len() && (chars[col].is_ascii_alphanumeric() || chars[col] == '_')
+                {
+                    col += 1;
+                }
+                let text: String = chars[start..col].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Word(text),
+                    pos,
+                });
+                continue;
+            }
+            return Err(AsmError::new(pos, format!("unexpected character `{c}`")));
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses a decimal or `0x` hexadecimal literal, with `-` for
+/// two's-complement negatives and `_` separators. The hex prefix is
+/// lowercase-only: an uppercase `0X...` run is a predicate *pattern*
+/// (`X` is the don't-care character), not a literal.
+fn parse_int(text: &str) -> Option<u32> {
+    let (negative, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let cleaned = body.replace('_', "");
+    let magnitude = if let Some(hex) = cleaned.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        cleaned.parse::<u64>().ok()?
+    };
+    if negative {
+        if magnitude > 1 << 31 {
+            return None;
+        }
+        Some((magnitude as i64).wrapping_neg() as i32 as u32)
+    } else {
+        if magnitude > u32::MAX as u64 {
+            return None;
+        }
+        Some(magnitude as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    fn int_tok(value: u32, raw: &str) -> TokenKind {
+        TokenKind::Int {
+            value,
+            raw: raw.to_string(),
+        }
+    }
+
+    #[test]
+    fn tokenizes_the_paper_example() {
+        let toks = kinds("when %p == XXXX0000 with %i0.0, %i3.0:");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Word("when".into()),
+                TokenKind::Punct('%'),
+                TokenKind::Word("p".into()),
+                TokenKind::EqEq,
+                TokenKind::Word("XXXX0000".into()),
+                TokenKind::Word("with".into()),
+                TokenKind::Punct('%'),
+                TokenKind::Word("i0".into()),
+                TokenKind::Punct('.'),
+                int_tok(0, "0"),
+                TokenKind::Punct(','),
+                TokenKind::Punct('%'),
+                TokenKind::Word("i3".into()),
+                TokenKind::Punct('.'),
+                int_tok(0, "0"),
+                TokenKind::Punct(':'),
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_in_all_bases() {
+        assert_eq!(
+            kinds("10 0x1f -1 4_000"),
+            vec![
+                int_tok(10, "10"),
+                int_tok(31, "0x1f"),
+                int_tok(u32::MAX, "-1"),
+                int_tok(4000, "4_000"),
+            ]
+        );
+    }
+
+    #[test]
+    fn digit_leading_patterns_lex_as_words() {
+        assert_eq!(
+            kinds("0000XXXX 1ZZZ"),
+            vec![
+                TokenKind::Word("0000XXXX".into()),
+                TokenKind::Word("1ZZZ".into()),
+            ]
+        );
+        // `0X...` is a pattern, never an (uppercase-prefixed) hex
+        // literal — the pattern alphabet owns uppercase X.
+        assert_eq!(kinds("0X111100"), vec![TokenKind::Word("0X111100".into())]);
+        // All-digit strings remain integers; the raw text keeps the width.
+        assert_eq!(kinds("0001"), vec![int_tok(1, "0001")]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("add # this is a comment\nsub"),
+            vec![TokenKind::Word("add".into()), TokenKind::Word("sub".into())]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("  when\n%p").unwrap();
+        assert_eq!(toks[0].pos, SourcePos { line: 1, column: 3 });
+        assert_eq!(toks[1].pos, SourcePos { line: 2, column: 1 });
+    }
+
+    #[test]
+    fn bad_characters_are_errors() {
+        let err = tokenize("add @").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.pos.column, 5);
+    }
+
+    #[test]
+    fn overflowing_literal_is_an_error() {
+        assert!(tokenize("4294967296").is_err());
+        assert!(tokenize("-2147483649").is_err());
+        assert_eq!(
+            kinds("-2147483648"),
+            vec![int_tok(0x8000_0000, "-2147483648")]
+        );
+        assert_eq!(kinds("4294967295"), vec![int_tok(u32::MAX, "4294967295")]);
+    }
+}

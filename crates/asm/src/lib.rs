@@ -1,0 +1,42 @@
+//! # `tia-asm` — assembler for the triggered-instruction ISA
+//!
+//! The assembler/disassembler of the triggered-PE reproduction, in the
+//! role of the Python assembler in the paper's toolchain (Figure 1).
+//! It accepts the paper's §2.2 assembly syntax and produces validated
+//! [`tia_isa::Program`]s, enforcing the same invariants the original
+//! assembler guarantees (most notably that a trigger-encoded predicate
+//! update never conflicts with a datapath predicate destination).
+//!
+//! # Examples
+//!
+//! The paper's merge-sort worker snippet assembles directly:
+//!
+//! ```
+//! use tia_asm::{assemble, disassemble};
+//! use tia_isa::{Op, Params};
+//!
+//! let params = Params::default();
+//! let program = assemble(
+//!     "when %p == XXXX0000 with %i0.0, %i3.0:\n\
+//!      ult %p7, %i3, %i0; set %p = ZZZZ0001;",
+//!     &params,
+//! )?;
+//! assert_eq!(program.instructions()[0].op, Op::Ult);
+//!
+//! // Disassembly is a faithful inverse.
+//! let text = disassemble(&program, &params);
+//! assert_eq!(assemble(&text, &params)?, program);
+//! # Ok::<(), tia_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod disasm;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use disasm::disassemble;
+pub use error::{AsmError, SourcePos};
+pub use parser::assemble;

@@ -1,0 +1,562 @@
+//! Parser: token stream → validated [`Program`].
+
+use tia_isa::{
+    DstOperand, InputId, Instruction, Op, OutputId, Params, PredId, PredPattern, PredUpdate,
+    Program, QueueCheck, RegId, SrcOperand, Tag, Trigger,
+};
+
+use crate::error::{AsmError, SourcePos};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Assembles triggered-instruction assembly into a validated
+/// [`Program`].
+///
+/// The accepted syntax follows the paper's §2.2 example:
+///
+/// ```text
+/// when %p == XXXX0000 with %i0.0, %i3.0:
+///     ult %p7, %i3, %i0; set %p = ZZZZ0001;
+/// ```
+///
+/// * `when %p == PATTERN` — required predicate pattern, one character
+///   per predicate, most-significant first: `1` on-set, `0` off-set,
+///   `X` don't-care. Shorter patterns are left-padded with `X`.
+/// * `with %iN.T, %iM.!T` — input-queue tag checks; `.!T` checks for
+///   the *absence* of tag `T` (the `NotTags` field).
+/// * After the `:` comes the operation with destination first
+///   (`%rN`, `%oN.T`, or `%pN`), then sources (`%rN`, `%iN`, or an
+///   integer immediate).
+/// * `set %p = ZPATTERN` — trigger-encoded predicate update: `1` force
+///   high, `0` force low, `Z` leave unchanged.
+/// * `deq %iN, %iM` — input queues dequeued by the instruction.
+/// * `#` starts a comment.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with source position) for syntax errors and
+/// for instructions that fail ISA validation.
+///
+/// # Examples
+///
+/// ```
+/// use tia_asm::assemble;
+/// use tia_isa::Params;
+///
+/// let params = Params::default();
+/// let program = assemble(
+///     "when %p == XXXXXXXX with %i0.0: mov %o0.0, %i0; deq %i0;",
+///     &params,
+/// )?;
+/// assert_eq!(program.len(), 1);
+/// # Ok::<(), tia_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str, params: &Params) -> Result<Program, AsmError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        tokens,
+        index: 0,
+        params,
+    };
+    let mut program = Program::empty();
+    while !parser.at_end() {
+        program.push(parser.instruction()?);
+    }
+    program
+        .validate(params)
+        .map_err(|e| AsmError::new(SourcePos { line: 1, column: 1 }, e.to_string()))?;
+    Ok(program)
+}
+
+struct Parser<'p> {
+    tokens: Vec<Token>,
+    index: usize,
+    params: &'p Params,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.index >= self.tokens.len()
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.tokens
+            .get(self.index)
+            .or_else(|| self.tokens.last())
+            .map_or(SourcePos { line: 1, column: 1 }, |t| t.pos)
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.index).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Result<Token, AsmError> {
+        let token = self
+            .tokens
+            .get(self.index)
+            .cloned()
+            .ok_or_else(|| AsmError::new(self.pos(), "unexpected end of input"))?;
+        self.index += 1;
+        Ok(token)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), AsmError> {
+        let t = self.next()?;
+        if t.kind == TokenKind::Punct(c) {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                t.pos,
+                format!("expected `{c}`, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), AsmError> {
+        let t = self.next()?;
+        if matches!(&t.kind, TokenKind::Word(w) if w == word) {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                t.pos,
+                format!("expected `{word}`, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&TokenKind::Punct(c)) {
+            self.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Word(w)) if w == word)
+    }
+
+    /// Parses a `%xN`-style reference, returning the kind letter and
+    /// index (e.g. `%i3` → `('i', 3)`); `%p` alone returns `('p', usize::MAX)`.
+    fn reference(&mut self) -> Result<(char, usize, SourcePos), AsmError> {
+        self.expect_punct('%')?;
+        let t = self.next()?;
+        let TokenKind::Word(w) = &t.kind else {
+            return Err(AsmError::new(
+                t.pos,
+                format!("expected operand name, found {}", t.kind),
+            ));
+        };
+        let mut chars = w.chars();
+        let kind = chars.next().expect("words are non-empty");
+        let rest: String = chars.collect();
+        if !matches!(kind, 'r' | 'i' | 'o' | 'p') {
+            return Err(AsmError::new(
+                t.pos,
+                format!("unknown operand class `%{w}` (expected %r, %i, %o, or %p)"),
+            ));
+        }
+        if rest.is_empty() {
+            return Ok((kind, usize::MAX, t.pos));
+        }
+        let index: usize = rest
+            .parse()
+            .map_err(|_| AsmError::new(t.pos, format!("malformed operand index `%{w}`")))?;
+        Ok((kind, index, t.pos))
+    }
+
+    /// Parses the text of a predicate pattern (`PATTERN` after `==`,
+    /// chars `0`/`1`/`X`), most-significant predicate first.
+    fn pattern(&mut self) -> Result<PredPattern, AsmError> {
+        let (text, pos) = self.pattern_text()?;
+        let n = self.params.num_preds;
+        if text.len() > n {
+            return Err(AsmError::new(
+                pos,
+                format!("pattern `{text}` is wider than the {n} predicates"),
+            ));
+        }
+        let mut on = 0u32;
+        let mut off = 0u32;
+        for (i, c) in text.chars().rev().enumerate() {
+            match c {
+                '1' => on |= 1 << i,
+                '0' => off |= 1 << i,
+                'X' => {}
+                other => {
+                    return Err(AsmError::new(
+                        pos,
+                        format!("pattern character `{other}` (expected 0, 1, or X)"),
+                    ))
+                }
+            }
+        }
+        PredPattern::new(on, off).map_err(|e| AsmError::from_isa(pos, e))
+    }
+
+    /// Parses the text of a predicate update (`ZPATTERN` after `=`,
+    /// chars `0`/`1`/`Z`).
+    fn update(&mut self) -> Result<PredUpdate, AsmError> {
+        let (text, pos) = self.pattern_text()?;
+        let n = self.params.num_preds;
+        if text.len() > n {
+            return Err(AsmError::new(
+                pos,
+                format!("update `{text}` is wider than the {n} predicates"),
+            ));
+        }
+        let mut set = 0u32;
+        let mut clear = 0u32;
+        for (i, c) in text.chars().rev().enumerate() {
+            match c {
+                '1' => set |= 1 << i,
+                '0' => clear |= 1 << i,
+                'Z' => {}
+                other => {
+                    return Err(AsmError::new(
+                        pos,
+                        format!("update character `{other}` (expected 0, 1, or Z)"),
+                    ))
+                }
+            }
+        }
+        PredUpdate::new(set, clear).map_err(|e| AsmError::from_isa(pos, e))
+    }
+
+    fn pattern_text(&mut self) -> Result<(String, SourcePos), AsmError> {
+        let t = self.next()?;
+        match &t.kind {
+            TokenKind::Word(w) => Ok((w.clone(), t.pos)),
+            // All-digit patterns lex as integers; the raw text keeps
+            // the written width (`0001` is four characters).
+            TokenKind::Int { raw, .. } if raw.chars().all(|c| matches!(c, '0' | '1')) => {
+                Ok((raw.clone(), t.pos))
+            }
+            other => Err(AsmError::new(
+                t.pos,
+                format!("expected pattern, found {other}"),
+            )),
+        }
+    }
+
+    fn tag(&mut self) -> Result<Tag, AsmError> {
+        let t = self.next()?;
+        let TokenKind::Int { value, .. } = t.kind else {
+            return Err(AsmError::new(
+                t.pos,
+                format!("expected tag value, found {}", t.kind),
+            ));
+        };
+        Tag::new(value, self.params).map_err(|e| AsmError::from_isa(t.pos, e))
+    }
+
+    fn instruction(&mut self) -> Result<Instruction, AsmError> {
+        let start = self.pos();
+        self.expect_keyword("when")?;
+        let (kind, idx, rpos) = self.reference()?;
+        if kind != 'p' || idx != usize::MAX {
+            return Err(AsmError::new(rpos, "trigger must begin `when %p == ...`"));
+        }
+        let t = self.next()?;
+        if t.kind != TokenKind::EqEq {
+            return Err(AsmError::new(
+                t.pos,
+                format!("expected `==`, found {}", t.kind),
+            ));
+        }
+        let predicates = self.pattern()?;
+
+        let mut queue_checks = Vec::new();
+        if self.peek_keyword("with") {
+            self.index += 1;
+            loop {
+                let (kind, idx, rpos) = self.reference()?;
+                if kind != 'i' {
+                    return Err(AsmError::new(
+                        rpos,
+                        "queue checks apply to input queues (%i)",
+                    ));
+                }
+                let queue =
+                    InputId::new(idx, self.params).map_err(|e| AsmError::from_isa(rpos, e))?;
+                self.expect_punct('.')?;
+                let negate = self.eat_punct('!');
+                let tag = self.tag()?;
+                queue_checks.push(QueueCheck { queue, tag, negate });
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(':')?;
+
+        // The datapath operation.
+        let t = self.next()?;
+        let TokenKind::Word(mnemonic) = &t.kind else {
+            return Err(AsmError::new(
+                t.pos,
+                format!("expected operation, found {}", t.kind),
+            ));
+        };
+        let op: Op = mnemonic
+            .parse()
+            .map_err(|e: tia_isa::ParseOpError| AsmError::new(t.pos, e.to_string()))?;
+
+        let mut dst = DstOperand::None;
+        let mut out_tag = Tag::ZERO;
+        if op.has_result() {
+            let (kind, idx, rpos) = self.reference()?;
+            dst =
+                match kind {
+                    'r' => DstOperand::Reg(
+                        RegId::new(idx, self.params).map_err(|e| AsmError::from_isa(rpos, e))?,
+                    ),
+                    'o' => {
+                        let q = OutputId::new(idx, self.params)
+                            .map_err(|e| AsmError::from_isa(rpos, e))?;
+                        if self.eat_punct('.') {
+                            out_tag = self.tag()?;
+                        }
+                        DstOperand::Output(q)
+                    }
+                    'p' => DstOperand::Pred(
+                        PredId::new(idx, self.params).map_err(|e| AsmError::from_isa(rpos, e))?,
+                    ),
+                    _ => return Err(AsmError::new(
+                        rpos,
+                        "destination must be a register (%r), output queue (%o), or predicate (%p)",
+                    )),
+                };
+        }
+
+        let mut srcs = [SrcOperand::None; tia_isa::NUM_SRCS];
+        let mut imm: Option<u32> = None;
+        #[allow(clippy::needless_range_loop)] // slot also selects the separator
+        for slot in 0..op.num_srcs() {
+            if op.has_result() || slot > 0 {
+                self.expect_punct(',')?;
+            }
+            match self.peek() {
+                Some(TokenKind::Int { value, .. }) => {
+                    let value = *value;
+                    let ipos = self.pos();
+                    self.index += 1;
+                    if let Some(existing) = imm {
+                        if existing != value {
+                            return Err(AsmError::new(
+                                ipos,
+                                "an instruction has a single immediate field; two different \
+                                 immediate values were given",
+                            ));
+                        }
+                    }
+                    imm = Some(value);
+                    srcs[slot] = SrcOperand::Imm;
+                }
+                _ => {
+                    let (kind, idx, rpos) = self.reference()?;
+                    srcs[slot] =
+                        match kind {
+                            'r' => SrcOperand::Reg(
+                                RegId::new(idx, self.params)
+                                    .map_err(|e| AsmError::from_isa(rpos, e))?,
+                            ),
+                            'i' => SrcOperand::Input(
+                                InputId::new(idx, self.params)
+                                    .map_err(|e| AsmError::from_isa(rpos, e))?,
+                            ),
+                            _ => return Err(AsmError::new(
+                                rpos,
+                                "sources must be registers (%r), input queues (%i), or immediates",
+                            )),
+                        };
+                }
+            }
+        }
+
+        // Trailing clauses: `set %p = ...` and `deq %i...`.
+        let mut pred_update = PredUpdate::NONE;
+        let mut dequeues: Vec<InputId> = Vec::new();
+        while self.eat_punct(';') {
+            if self.peek_keyword("set") {
+                self.index += 1;
+                let (kind, idx, rpos) = self.reference()?;
+                if kind != 'p' || idx != usize::MAX {
+                    return Err(AsmError::new(
+                        rpos,
+                        "predicate updates are written `set %p = ...`",
+                    ));
+                }
+                self.expect_punct('=')?;
+                pred_update = self.update()?;
+            } else if self.peek_keyword("deq") {
+                self.index += 1;
+                loop {
+                    let (kind, idx, rpos) = self.reference()?;
+                    if kind != 'i' {
+                        return Err(AsmError::new(
+                            rpos,
+                            "only input queues (%i) can be dequeued",
+                        ));
+                    }
+                    dequeues.push(
+                        InputId::new(idx, self.params).map_err(|e| AsmError::from_isa(rpos, e))?,
+                    );
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+            } else {
+                break; // terminator `;`
+            }
+        }
+
+        let instruction = Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates,
+                queue_checks,
+            },
+            op,
+            srcs,
+            dst,
+            out_tag,
+            dequeues,
+            pred_update,
+            imm: imm.unwrap_or(0),
+        };
+        instruction
+            .validate(self.params)
+            .map_err(|e| AsmError::from_isa(start, e))?;
+        Ok(instruction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::DstOperand;
+
+    fn params() -> Params {
+        Params::default()
+    }
+
+    #[test]
+    fn parses_the_paper_merge_example() {
+        let p = params();
+        let src =
+            "when %p == XXXX0000 with %i0.0, %i3.0:\n    ult %p7, %i3, %i0; set %p = ZZZZ0001;";
+        let program = assemble(src, &p).unwrap();
+        assert_eq!(program.len(), 1);
+        let i = &program.instructions()[0];
+        assert_eq!(i.op, Op::Ult);
+        assert_eq!(i.trigger.predicates.off_set(), 0x0f);
+        assert_eq!(i.trigger.predicates.on_set(), 0);
+        assert_eq!(i.trigger.queue_checks.len(), 2);
+        assert_eq!(i.dst, DstOperand::Pred(PredId::new(7, &p).unwrap()));
+        assert_eq!(i.srcs[0], SrcOperand::Input(InputId::new(3, &p).unwrap()));
+        assert_eq!(i.pred_update.set_mask(), 0b0001);
+        assert_eq!(i.pred_update.clear_mask(), 0b1110);
+    }
+
+    #[test]
+    fn parses_immediates_and_output_tags() {
+        let p = params();
+        let program = assemble(
+            "when %p == XXXXXXX1: add %o2.1, %r3, -5; set %p = ZZZZZZZ0;",
+            &p,
+        )
+        .unwrap();
+        let i = &program.instructions()[0];
+        assert_eq!(i.dst.output_queue().unwrap().index(), 2);
+        assert_eq!(i.out_tag.value(), 1);
+        assert_eq!(i.srcs[1], SrcOperand::Imm);
+        assert_eq!(i.imm, (-5i32) as u32);
+    }
+
+    #[test]
+    fn parses_negated_checks_and_dequeues() {
+        let p = params();
+        let program = assemble(
+            "when %p == XXXXXXXX with %i1.!2: mov %r0, %i1; deq %i1;",
+            &p,
+        )
+        .unwrap();
+        let i = &program.instructions()[0];
+        assert!(i.trigger.queue_checks[0].negate);
+        assert_eq!(i.trigger.queue_checks[0].tag.value(), 2);
+        assert_eq!(i.dequeues, vec![InputId::new(1, &p).unwrap()]);
+    }
+
+    #[test]
+    fn short_patterns_are_left_padded_with_dont_cares() {
+        let p = params();
+        let program = assemble("when %p == 01: nop;", &p).unwrap();
+        let i = &program.instructions()[0];
+        assert_eq!(i.trigger.predicates.on_set(), 0b01);
+        assert_eq!(i.trigger.predicates.off_set(), 0b10);
+        assert_eq!(i.trigger.predicates.read_set(), 0b11);
+    }
+
+    #[test]
+    fn multiple_instructions_in_priority_order() {
+        let p = params();
+        let src = "
+            when %p == XXXXXXX1: halt;
+            when %p == XXXXXXX0 with %i0.0: mov %o0.0, %i0; deq %i0;
+        ";
+        let program = assemble(src, &p).unwrap();
+        assert_eq!(program.len(), 2);
+        assert_eq!(program.instructions()[0].op, Op::Halt);
+        assert_eq!(program.instructions()[1].op, Op::Mov);
+    }
+
+    #[test]
+    fn two_distinct_immediates_are_rejected() {
+        let p = params();
+        let err = assemble("when %p == XXXXXXXX: add %r0, 1, 2;", &p).unwrap_err();
+        assert!(err.message.contains("single immediate"), "{err}");
+        // Equal immediates share the field.
+        assemble("when %p == XXXXXXXX: add %r0, 3, 3;", &p).unwrap();
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_positioned() {
+        let p = params();
+        let err = assemble("when %p == XXXXXXXX: fdiv %r0, %r1, %r2;", &p).unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains("fdiv"));
+    }
+
+    #[test]
+    fn pattern_width_is_checked() {
+        let p = params();
+        let err = assemble("when %p == XXXXXXXXX: nop;", &p).unwrap_err();
+        assert!(err.message.contains("wider"), "{err}");
+    }
+
+    #[test]
+    fn isa_validation_errors_surface_with_position() {
+        let p = params();
+        // Dequeue of a queue that is neither read nor checked.
+        let err = assemble("when %p == XXXXXXXX: nop; deq %i2;", &p).unwrap_err();
+        assert!(err.message.contains("neither read nor checked"), "{err}");
+    }
+
+    #[test]
+    fn digit_only_update_patterns_parse() {
+        let p = params();
+        let program = assemble("when %p == XXXXXXXX: nop; set %p = 00000001;", &p).unwrap();
+        let i = &program.instructions()[0];
+        assert_eq!(i.pred_update.set_mask(), 1);
+        assert_eq!(i.pred_update.clear_mask(), 0xfe);
+    }
+
+    #[test]
+    fn too_many_instructions_for_the_pe_is_an_error() {
+        let p = params();
+        let src = "when %p == XXXXXXXX: nop;\n".repeat(17);
+        let err = assemble(&src, &p).unwrap_err();
+        assert!(err.message.contains("exceed"), "{err}");
+    }
+}

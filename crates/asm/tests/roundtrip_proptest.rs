@@ -1,0 +1,167 @@
+//! Property test: the disassembler is a right inverse of the
+//! assembler over structurally valid programs.
+
+use proptest::prelude::*;
+
+use tia_asm::{assemble, disassemble};
+use tia_isa::{
+    DstOperand, InputId, Instruction, Op, OutputId, Params, PredId, PredPattern, PredUpdate,
+    Program, QueueCheck, RegId, SrcOperand, Tag, Trigger, ALL_OPS,
+};
+
+/// The raw entropy a random instruction is repaired from: predicate
+/// on/off/set/clear words, destination kind/index, source kind/index
+/// pairs, out tag, immediate, and queue-check triples.
+type RawInstruction = (
+    u32,
+    u32,
+    u32,
+    u32,
+    u8,
+    usize,
+    [(u8, usize); 2],
+    u32,
+    u32,
+    Vec<(usize, u32, bool)>,
+);
+
+fn repair_instruction(params: &Params, op: Op, raw: RawInstruction) -> Instruction {
+    let (on, off, set, clear, dst_kind, dst_idx, srcs_raw, out_tag, imm, checks_raw) = raw;
+    let pmask = params.pred_mask();
+    let on = on & pmask;
+    let off = off & pmask & !on;
+    let predicates = PredPattern::new(on, off).expect("disjoint");
+
+    let arity = op.num_srcs();
+    let mut srcs = [SrcOperand::None; 2];
+    for (slot, (kind, idx)) in srcs_raw.iter().enumerate().take(arity) {
+        srcs[slot] = match kind % 3 {
+            0 => SrcOperand::Reg(RegId::new(idx % params.num_regs, params).unwrap()),
+            1 => SrcOperand::Input(InputId::new(idx % params.num_input_queues, params).unwrap()),
+            _ => SrcOperand::Imm,
+        };
+    }
+    let has_imm = srcs.iter().any(|s| matches!(s, SrcOperand::Imm));
+
+    let dst = if !op.has_result() {
+        DstOperand::None
+    } else {
+        match dst_kind % 3 {
+            0 => DstOperand::Reg(RegId::new(dst_idx % params.num_regs, params).unwrap()),
+            1 => DstOperand::Output(
+                OutputId::new(dst_idx % params.num_output_queues, params).unwrap(),
+            ),
+            _ => DstOperand::Pred(PredId::new(dst_idx % params.num_preds, params).unwrap()),
+        }
+    };
+    let mut set = set & pmask;
+    let mut clear = clear & pmask & !set;
+    if let DstOperand::Pred(p) = dst {
+        set &= !(1 << p.index());
+        clear &= !(1 << p.index());
+    }
+    let pred_update = PredUpdate::new(set, clear).expect("disjoint");
+
+    let mut queue_checks: Vec<QueueCheck> = Vec::new();
+    for (q, tag, negate) in checks_raw.into_iter().take(params.max_check) {
+        let queue = InputId::new(q % params.num_input_queues, params).unwrap();
+        if queue_checks.iter().any(|c| c.queue == queue) {
+            continue;
+        }
+        queue_checks.push(QueueCheck {
+            queue,
+            tag: Tag::new(tag % params.num_tags(), params).unwrap(),
+            negate,
+        });
+    }
+
+    // Dequeues only from read-or-checked queues, within MaxDeq.
+    let mut dequeues = Vec::new();
+    for q in srcs
+        .iter()
+        .filter_map(|s| s.input_queue())
+        .chain(queue_checks.iter().map(|c| c.queue))
+    {
+        if dequeues.len() < params.max_deq && !dequeues.contains(&q) {
+            dequeues.push(q);
+        }
+    }
+
+    // Canonical form: the out tag only exists in the text syntax when
+    // the destination is an output queue.
+    let out_tag = if matches!(dst, DstOperand::Output(_)) {
+        Tag::new(out_tag % params.num_tags(), params).unwrap()
+    } else {
+        Tag::ZERO
+    };
+    Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates,
+            queue_checks,
+        },
+        op,
+        srcs,
+        dst,
+        out_tag,
+        dequeues,
+        pred_update,
+        imm: if has_imm { imm } else { 0 },
+    }
+}
+
+fn arb_instruction(params: Params) -> impl Strategy<Value = Instruction> {
+    let ops: Vec<Op> = ALL_OPS
+        .iter()
+        .copied()
+        .filter(|o| !o.is_scratchpad())
+        .collect();
+    (
+        prop::sample::select(ops),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<usize>(),
+            any::<[(u8, usize); 2]>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec((any::<usize>(), any::<u32>(), any::<bool>()), 0..3),
+        ),
+    )
+        .prop_map(move |(op, raw)| repair_instruction(&params, op, raw))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn disassemble_then_assemble_is_identity(
+        instructions in prop::collection::vec(arb_instruction(Params::default()), 1..16)
+    ) {
+        let params = Params::default();
+        let program = Program::new(instructions);
+        prop_assume!(program.validate(&params).is_ok());
+        let text = disassemble(&program, &params);
+        let back = assemble(&text, &params)
+            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        prop_assert_eq!(back, program);
+    }
+
+    #[test]
+    fn binary_and_text_paths_agree(
+        instructions in prop::collection::vec(arb_instruction(Params::default()), 1..16)
+    ) {
+        let params = Params::default();
+        let program = Program::new(instructions);
+        prop_assume!(program.validate(&params).is_ok());
+        // text path
+        let text_program = assemble(&disassemble(&program, &params), &params).expect("text");
+        // binary path
+        let binary_program =
+            Program::from_images(&program.to_images(&params).expect("encode"), &params)
+                .expect("decode");
+        prop_assert_eq!(text_program, binary_program);
+    }
+}

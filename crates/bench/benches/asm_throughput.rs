@@ -1,0 +1,31 @@
+//! Criterion bench: assembler and binary encoder throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_asm::{assemble, disassemble};
+use tia_isa::{encoding, Params};
+
+const SOURCE: &str = "\
+    when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; set %p = ZZZZ0001;
+    when %p == XXXXXXX1 with %i1.!2: mov %o2.1, %i1; deq %i1;
+    when %p == XXXXXX10: add %r3, %r3, 4095;
+    when %p == 1XXXXXXX: halt;
+    when %p == XXXXXXXX: nop; set %p = 1ZZZZZZZ;";
+
+fn bench_asm(c: &mut Criterion) {
+    let params = Params::default();
+    c.bench_function("assemble", |b| {
+        b.iter(|| assemble(SOURCE, &params).expect("assembles"))
+    });
+    let program = assemble(SOURCE, &params).expect("assembles");
+    c.bench_function("disassemble", |b| b.iter(|| disassemble(&program, &params)));
+    c.bench_function("encode_program", |b| {
+        b.iter(|| program.to_images(&params).expect("encodes"))
+    });
+    let images = program.to_images(&params).expect("encodes");
+    c.bench_function("decode_image", |b| {
+        b.iter(|| encoding::decode(images[0], &params).expect("decodes"))
+    });
+}
+
+criterion_group!(benches, bench_asm);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: full design-space exploration and Pareto
+//! extraction with a synthetic activity model (the real `bst`-backed
+//! sweep is the fig6/7/8 binaries' job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_core::UarchConfig;
+use tia_energy::dse::{explore, CpiMeasurement};
+use tia_energy::pareto::pareto_frontier;
+
+fn bench_dse(c: &mut Criterion) {
+    let mut cpi = |config: &UarchConfig| CpiMeasurement {
+        cpi: 1.0 + 0.25 * (config.pipeline.depth() as f64 - 1.0),
+        issue_rate: 0.8,
+    };
+    c.bench_function("explore_design_space", |b| b.iter(|| explore(&mut cpi)));
+    let points = explore(&mut cpi);
+    c.bench_function("pareto_frontier", |b| b.iter(|| pareto_frontier(&points)));
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

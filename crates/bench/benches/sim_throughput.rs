@@ -1,0 +1,31 @@
+//! Criterion bench: functional-simulator throughput per workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_isa::Params;
+use tia_sim::FuncPe;
+use tia_workloads::{Scale, WorkloadKind};
+
+fn bench_workloads(c: &mut Criterion) {
+    let params = Params::default();
+    let mut group = c.benchmark_group("func_sim");
+    for kind in [
+        WorkloadKind::Gcd,
+        WorkloadKind::DotProduct,
+        WorkloadKind::Bst,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+                let mut built = kind
+                    .build(&params, Scale::Test, &mut factory)
+                    .expect("build");
+                built.run_to_completion().expect("run");
+                built.system.cycle()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: cycle-level model throughput across pipeline
+//! depths, quantifying the simulation cost of the microarchitectural
+//! detail relative to the functional model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_isa::Params;
+use tia_workloads::{Scale, WorkloadKind};
+
+fn bench_uarch(c: &mut Criterion) {
+    let params = Params::default();
+    let mut group = c.benchmark_group("uarch_sim");
+    for config in [
+        UarchConfig::base(Pipeline::TDX),
+        UarchConfig::base(Pipeline::T_D_X1_X2),
+        UarchConfig::with_pq(Pipeline::T_D_X1_X2),
+    ] {
+        group.bench_function(config.to_string(), |b| {
+            b.iter(|| {
+                let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+                let mut built = WorkloadKind::Gcd
+                    .build(&params, Scale::Test, &mut factory)
+                    .expect("build");
+                built.run_to_completion().expect("run");
+                built.system.cycle()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uarch);
+criterion_main!(benches);

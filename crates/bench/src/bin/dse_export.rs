@@ -1,0 +1,49 @@
+//! Exports the full design-space exploration as JSON for external
+//! plotting (the Figure 6/7/8 scatter data).
+//!
+//! ```text
+//! cargo run --release -p tia-bench --bin dse_export [--test-scale] [-o points.json]
+//! ```
+
+use std::fs;
+
+use tia_bench::{scale_from_args, suite_activity_source};
+use tia_energy::dse::{explore, CachedCpi};
+use tia_energy::pareto::pareto_frontier;
+
+fn main() {
+    let scale = scale_from_args();
+    let output = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "-o" || a == "--output")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let mut source = CachedCpi::new(suite_activity_source(scale));
+    let points = explore(&mut source);
+    let frontier = pareto_frontier(&points);
+
+    #[derive(serde::Serialize)]
+    struct Export<'a> {
+        points: &'a [tia_energy::DesignPoint],
+        pareto_frontier: &'a [tia_energy::DesignPoint],
+    }
+    let json = serde_json::to_string_pretty(&Export {
+        points: &points,
+        pareto_frontier: &frontier,
+    })
+    .expect("design points serialize");
+
+    match output {
+        Some(path) => {
+            fs::write(&path, &json).expect("write output file");
+            eprintln!(
+                "wrote {} design points ({} Pareto-optimal) to {path}",
+                points.len(),
+                frontier.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+}

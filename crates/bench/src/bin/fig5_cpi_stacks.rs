@@ -1,0 +1,66 @@
+//! Regenerates **Figure 5**: CPI stacks of the seven pipelined
+//! microarchitectures (plus single-cycle TDX) with the predicate
+//! prediction (+P) and effective queue status (+Q) optimizations
+//! selectively enabled, averaged over the ten workloads.
+
+use tia_bench::{run_uarch_workload, scale_from_args, Table};
+use tia_core::{CpiStack, Pipeline, UarchConfig};
+use tia_workloads::ALL_WORKLOADS;
+
+fn average_stack(config: UarchConfig, scale: tia_workloads::Scale) -> CpiStack {
+    let stacks: Vec<CpiStack> = ALL_WORKLOADS
+        .iter()
+        .map(|&kind| run_uarch_workload(kind, config, scale).counters.cpi_stack())
+        .collect();
+    CpiStack::average(&stacks)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut t = Table::new(&[
+        "microarchitecture",
+        "CPI",
+        "retired",
+        "quashed",
+        "pred. haz.",
+        "data haz.",
+        "forbidden",
+        "no trig.",
+    ]);
+    println!("Figure 5: CPI stacks (average over the ten workloads).\n");
+    for pipeline in Pipeline::ALL {
+        let variants: &[UarchConfig] = if pipeline == Pipeline::TDX {
+            &[UarchConfig::base(Pipeline::TDX)]
+        } else {
+            &[
+                UarchConfig::base(pipeline),
+                UarchConfig::with_p(pipeline),
+                UarchConfig::with_pq(pipeline),
+            ]
+        };
+        for config in variants {
+            let s = average_stack(*config, scale);
+            t.row_owned(vec![
+                config.to_string(),
+                format!("{:.3}", s.total()),
+                format!("{:.3}", s.retired),
+                format!("{:.3}", s.quashed),
+                format!("{:.3}", s.predicate_hazard),
+                format!("{:.3}", s.data_hazard),
+                format!("{:.3}", s.forbidden),
+                format!("{:.3}", s.not_triggered),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+
+    // The paper's headline: the two optimizations together reduce the
+    // 4-stage pipeline's CPI by 35%.
+    let base = average_stack(UarchConfig::base(Pipeline::T_D_X1_X2), scale).total();
+    let pq = average_stack(UarchConfig::with_pq(Pipeline::T_D_X1_X2), scale).total();
+    println!(
+        "T|D|X1|X2 CPI: base {base:.3} -> +P+Q {pq:.3} ({:.0}% reduction; paper: 35%)",
+        100.0 * (1.0 - pq / base)
+    );
+}

@@ -1,0 +1,18 @@
+//! # `tia-bench` — the experiment harness
+//!
+//! One binary per table and figure of the paper (see `src/bin/`),
+//! built on the measurement and formatting helpers in this library.
+//! `DESIGN.md` at the repository root maps every paper result to its
+//! regenerating binary; `EXPERIMENTS.md` records paper-reported versus
+//! measured values.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod measure;
+pub mod table;
+
+pub use measure::{
+    bst_activity_source, run_uarch_workload, scale_from_args, suite_activity_source, MeasuredRun,
+};
+pub use table::Table;

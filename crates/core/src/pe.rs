@@ -1,0 +1,919 @@
+//! The cycle-level pipelined triggered PE.
+//!
+//! This model executes the same architectural semantics as
+//! [`tia_sim::FuncPe`] but cycle-by-cycle through one of the eight
+//! §5.4 pipelines, with the paper's hazard rules:
+//!
+//! * **Predicate hazards** (§5.1): without +P, the scheduler stalls
+//!   any instruction whose trigger reads — or whose writes touch — a
+//!   predicate bit with an in-flight datapath write.
+//! * **Predicate prediction** (+P, §5.2): a two-bit saturating
+//!   predictor per predicate supplies a speculative value the cycle a
+//!   predicate-writing instruction issues; younger instructions issue
+//!   speculatively. No nesting: while unconfirmed, instructions that
+//!   dequeue inputs or write predicates are *forbidden*. Mispredicts
+//!   flush all speculative instructions and roll the predicate state
+//!   back.
+//! * **Queue hazards** (§5.3): without +Q, a queue with an in-flight
+//!   dequeue is conservatively empty and a queue with an in-flight
+//!   enqueue is conservatively full (the MIT RAW discipline). With +Q,
+//!   the scheduler uses `occupancy − in-flight dequeues` /
+//!   `occupancy + in-flight enqueues` and peeks tag checks past
+//!   in-flight dequeues (the "head and neck").
+//! * **Data hazards**: full operand forwarding; only split-ALU
+//!   (X1|X2) pipelines stall, one bubble for a back-to-back dependent.
+//!
+//! Dequeues execute in the decode stage (§5.4 moved them out of the
+//! trigger stage); results commit at the end of the final execute
+//! stage and are visible to the scheduler the following cycle.
+
+use tia_fabric::{ProcessingElement, TaggedQueue, Token};
+use tia_isa::{
+    alu, DstOperand, Instruction, IsaError, Op, Params, PredId, PredState, Program, SrcOperand,
+    Word, NUM_SRCS,
+};
+
+use crate::config::UarchConfig;
+use crate::counters::{CycleClass, UarchCounters};
+use crate::predictor::PredicatePredictor;
+
+/// An instruction in flight between issue and commit.
+#[derive(Debug, Clone)]
+struct InFlight {
+    slot: usize,
+    issue_cycle: u64,
+    /// Number of unconfirmed speculations outstanding when this
+    /// instruction issued (0 = architecturally certain). The paper's
+    /// non-nested unit only ever produces 0 or 1; the §6 nesting
+    /// extension goes deeper.
+    spec_level: usize,
+    d_done: bool,
+    /// The speculation this instruction started was confirmed early
+    /// (combinationally, in its final execute cycle), so its commit
+    /// must not re-apply the predicate write.
+    spec_resolved_early: bool,
+    /// Input-queue operand values captured in the decode stage.
+    queue_operands: [Option<Word>; NUM_SRCS],
+}
+
+/// One outstanding prediction. The paper's §5.2 unit allows a single
+/// entry ("no nesting"); with the §6 extension these stack, resolving
+/// oldest-first as their writers commit.
+#[derive(Debug, Clone)]
+struct Speculation {
+    bit: PredId,
+    predicted: bool,
+    saved: PredState,
+}
+
+/// Why instruction issue was withheld for one slot this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotStatus {
+    Eligible,
+    BlockedPred,
+    BlockedForbidden,
+    BlockedData,
+    BlockedQueueConservative,
+    NotReady,
+}
+
+/// A cycle-level triggered PE running one of the 32 microarchitecture
+/// variants.
+///
+/// # Examples
+///
+/// The single-cycle `TDX` configuration matches the functional model
+/// cycle-for-cycle:
+///
+/// ```
+/// use tia_asm::assemble;
+/// use tia_core::{Pipeline, UarchConfig, UarchPe};
+/// use tia_isa::Params;
+///
+/// let params = Params::default();
+/// let program = assemble(
+///     "when %p == XXXXXXX0: add %r0, %r0, 7; set %p = ZZZZZZZ1;\n\
+///      when %p == XXXXXXX1: halt;",
+///     &params,
+/// ).expect("assembles");
+/// let mut pe = UarchPe::new(&params, UarchConfig::base(Pipeline::TDX), program)?;
+/// while !pe.halted() {
+///     pe.step_cycle();
+/// }
+/// assert_eq!(pe.reg(0), 7);
+/// assert_eq!(pe.counters().retired, 2);
+/// assert_eq!(pe.counters().cycles, 2);
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct UarchPe {
+    params: Params,
+    config: UarchConfig,
+    program: Program,
+    regs: Vec<Word>,
+    preds: PredState,
+    scratchpad: Vec<Word>,
+    inputs: Vec<TaggedQueue>,
+    outputs: Vec<TaggedQueue>,
+    halted: bool,
+    halt_pending: bool,
+    in_flight: Vec<InFlight>,
+    spec_stack: Vec<Speculation>,
+    predictor: PredicatePredictor,
+    counters: UarchCounters,
+    now: u64,
+    trace: Option<Vec<u16>>,
+}
+
+impl UarchPe {
+    /// Creates a PE with the given microarchitecture and program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when `params` or `program` fail
+    /// validation.
+    pub fn new(params: &Params, config: UarchConfig, program: Program) -> Result<Self, IsaError> {
+        params.validate()?;
+        program.validate(params)?;
+        Ok(UarchPe {
+            regs: vec![0; params.num_regs],
+            preds: PredState::new(),
+            scratchpad: vec![0; params.scratchpad_words],
+            inputs: (0..params.num_input_queues)
+                .map(|_| TaggedQueue::new(params.queue_capacity))
+                .collect(),
+            outputs: (0..params.num_output_queues)
+                .map(|_| {
+                    // Reject-buffer padding: one reserve slot per
+                    // pipeline stage guarantees space for in-flight
+                    // enqueues (§5.3).
+                    let reserve = if config.padded_output_queues {
+                        config.pipeline.depth()
+                    } else {
+                        0
+                    };
+                    TaggedQueue::new(params.queue_capacity + reserve)
+                })
+                .collect(),
+            halted: false,
+            halt_pending: false,
+            in_flight: Vec::with_capacity(4),
+            spec_stack: Vec::new(),
+            predictor: PredicatePredictor::with_kind(params.num_preds, config.predictor),
+            counters: UarchCounters::new(),
+            now: 0,
+            trace: None,
+            params: params.clone(),
+            config,
+            program,
+        })
+    }
+
+    /// The microarchitecture configuration.
+    pub fn config(&self) -> &UarchConfig {
+        &self.config
+    }
+
+    /// The parameter assignment.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Reads a data register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn reg(&self, index: usize) -> Word {
+        self.regs[index]
+    }
+
+    /// The architectural (possibly speculative) predicate state.
+    pub fn predicates(&self) -> PredState {
+        self.preds
+    }
+
+    /// Accumulated performance counters.
+    pub fn counters(&self) -> &UarchCounters {
+        &self.counters
+    }
+
+    /// Whether a `halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Enables (or disables) recording of the slot index of every
+    /// retired instruction, for equivalence debugging and tests.
+    pub fn record_trace(&mut self, enable: bool) {
+        self.trace = if enable { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded retirement trace (empty unless enabled).
+    pub fn trace(&self) -> &[u16] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Shared view of an input queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn input_queue(&self, index: usize) -> &TaggedQueue {
+        &self.inputs[index]
+    }
+
+    /// Shared view of an output queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn output_queue(&self, index: usize) -> &TaggedQueue {
+        &self.outputs[index]
+    }
+
+    fn instruction(&self, slot: usize) -> &Instruction {
+        &self.program.instructions()[slot]
+    }
+
+    /// Advances the PE one cycle.
+    pub fn step_cycle(&mut self) {
+        if self.halted {
+            return;
+        }
+        self.now += 1;
+        self.counters.cycles += 1;
+        // The trigger stage evaluates against start-of-cycle state:
+        // decode-stage dequeues happening *this* cycle are still "in
+        // flight" from the scheduler's perspective — exactly what
+        // makes the §5.3 accounting (or the conservative fallback)
+        // necessary — and execute results land at the *end* of the
+        // cycle, visible to the scheduler (and the fabric) from the
+        // next. Phases therefore run trigger → decode → commit.
+        let class = self.trigger_phase();
+        self.decode_phase();
+        self.commit_phase();
+        match class {
+            CycleClass::Issued => {}
+            CycleClass::PredicateHazard => self.counters.pred_hazard_cycles += 1,
+            CycleClass::Forbidden => self.counters.forbidden_cycles += 1,
+            CycleClass::DataHazard => self.counters.data_hazard_cycles += 1,
+            CycleClass::NotTriggered => self.counters.not_triggered_cycles += 1,
+        }
+    }
+
+    /// Commits the instruction (if any) completing its final execute
+    /// stage this cycle, resolving speculation. Runs at the end of the
+    /// cycle, so the scheduler first observes the results next cycle.
+    fn commit_phase(&mut self) {
+        let x_end = self.config.pipeline.x_end_offset();
+        let Some(head) = self.in_flight.first() else {
+            return;
+        };
+        if head.issue_cycle + x_end != self.now {
+            return;
+        }
+        let flight = self.in_flight.remove(0);
+        debug_assert_eq!(flight.spec_level, 0, "speculative head must resolve first");
+        let instruction = self.instruction(flight.slot).clone();
+
+        // Operand values: registers read with full forwarding are
+        // equivalent to reading the committed register file here,
+        // because every older producer has already committed.
+        let mut operands = [0u32; NUM_SRCS];
+        for (i, src) in instruction
+            .srcs
+            .iter()
+            .take(instruction.op.num_srcs())
+            .enumerate()
+        {
+            operands[i] = match src {
+                SrcOperand::None => 0,
+                SrcOperand::Reg(r) => self.regs[r.index()],
+                SrcOperand::Imm => instruction.imm & self.params.word_mask(),
+                SrcOperand::Input(_) => {
+                    flight.queue_operands[i].expect("decode captured the queue operand")
+                }
+            };
+        }
+        let (a, b) = (operands[0], operands[1]);
+        let mask = self.params.word_mask();
+        let result = match instruction.op {
+            Op::Lsw => {
+                self.counters.scratchpad_accesses += 1;
+                self.scratchpad.get(a as usize).copied().unwrap_or(0)
+            }
+            Op::Ssw => {
+                self.counters.scratchpad_accesses += 1;
+                if let Some(w) = self.scratchpad.get_mut(a as usize) {
+                    *w = b & mask;
+                }
+                0
+            }
+            Op::Halt => {
+                self.halted = true;
+                self.halt_pending = false;
+                0
+            }
+            op => alu::evaluate(op, a, b) & mask,
+        };
+        if instruction.op.is_multiply() {
+            self.counters.multiplies += 1;
+        }
+
+        match instruction.dst {
+            DstOperand::None => {}
+            DstOperand::Reg(r) => self.regs[r.index()] = result,
+            DstOperand::Output(q) => {
+                let accepted =
+                    self.outputs[q.index()].push(Token::new(instruction.out_tag, result & mask));
+                debug_assert!(accepted, "queue accounting guarantees space");
+                self.counters.enqueues += 1;
+            }
+            DstOperand::Pred(p) => {
+                let value = result & 1 == 1;
+                self.counters.predicate_writes += 1;
+                if flight.spec_resolved_early {
+                    // Confirmed combinationally during the execute
+                    // cycle (§5.2 "confirmed in the current cycle");
+                    // the predicted value is already architectural and
+                    // younger updates may have built on it.
+                } else if self.config.predicate_prediction && !self.spec_stack.is_empty() {
+                    // Writers resolve their speculations oldest-first.
+                    let spec = self.spec_stack.remove(0);
+                    debug_assert_eq!(spec.bit, p, "writers resolve in order");
+                    self.counters.predictions += 1;
+                    self.predictor.train(p, value);
+                    if value == spec.predicted {
+                        // Confirmed: the speculative state is the
+                        // truth; everything issued under it moves one
+                        // level closer to certainty.
+                        self.counters.correct_predictions += 1;
+                        for f in &mut self.in_flight {
+                            f.spec_level = f.spec_level.saturating_sub(1);
+                        }
+                    } else {
+                        // Mispredict: roll back and flush everything
+                        // younger (all of it speculative), including
+                        // any nested speculations built on this one.
+                        self.preds = spec.saved;
+                        self.preds.set(p, value);
+                        let quashed = self.in_flight.len();
+                        debug_assert!(
+                            self.in_flight.iter().all(|f| f.spec_level > 0),
+                            "everything younger than the writer is speculative"
+                        );
+                        self.in_flight.clear();
+                        self.spec_stack.clear();
+                        self.counters.quashed += quashed as u64;
+                        self.halt_pending = false;
+                    }
+                } else {
+                    self.preds.set(p, value);
+                }
+            }
+        }
+        self.counters.retired += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(flight.slot as u16);
+        }
+    }
+
+    /// The §5.2 same-cycle confirmation path: the speculative unit
+    /// compares the predicate writer's result against the prediction
+    /// combinationally in the writer's final execute cycle, so a
+    /// correct prediction lifts the speculation restrictions for this
+    /// very cycle's trigger resolution ("predictions are made only if
+    /// the system is not already speculating, or if the current
+    /// speculation has been confirmed in the current cycle"). This is
+    /// part of why speculation costs trigger-stage timing (§5.4).
+    /// Mispredicts still flush at the end of the cycle.
+    fn try_early_confirmation(&mut self) {
+        let Some(spec) = self.spec_stack.first().cloned() else {
+            return;
+        };
+        let x_end = self.config.pipeline.x_end_offset();
+        let Some(idx) = self
+            .in_flight
+            .iter()
+            .position(|f| self.instruction(f.slot).writes_predicate())
+        else {
+            return;
+        };
+        if self.in_flight[idx].issue_cycle + x_end != self.now {
+            return;
+        }
+        let instruction = self.instruction(self.in_flight[idx].slot).clone();
+        if instruction.op.is_scratchpad() {
+            // A scratchpad access cannot resolve early in this model.
+            return;
+        }
+        // Compute the result exactly as D+X will later this cycle:
+        // registers are fully committed, and the queue heads are what
+        // decode will capture (all older dequeues have landed).
+        let mut operands = [0u32; NUM_SRCS];
+        for (i, src) in instruction
+            .srcs
+            .iter()
+            .take(instruction.op.num_srcs())
+            .enumerate()
+        {
+            operands[i] = match src {
+                SrcOperand::None => 0,
+                SrcOperand::Reg(r) => self.regs[r.index()],
+                SrcOperand::Imm => instruction.imm & self.params.word_mask(),
+                SrcOperand::Input(q) => match self.in_flight[idx].queue_operands[i] {
+                    Some(v) => v,
+                    None => {
+                        self.inputs[q.index()]
+                            .peek()
+                            .expect("trigger accounting guarantees a token")
+                            .data
+                    }
+                },
+            };
+        }
+        let result =
+            alu::evaluate(instruction.op, operands[0], operands[1]) & self.params.word_mask();
+        if (result & 1 == 1) == spec.predicted {
+            self.counters.predictions += 1;
+            self.counters.correct_predictions += 1;
+            self.predictor.train(spec.bit, spec.predicted);
+            for f in &mut self.in_flight {
+                f.spec_level = f.spec_level.saturating_sub(1);
+            }
+            self.in_flight[idx].spec_resolved_early = true;
+            self.spec_stack.remove(0);
+        }
+    }
+
+    /// Executes decode work (queue-operand capture and dequeues) for
+    /// the instruction reaching its decode stage this cycle.
+    fn decode_phase(&mut self) {
+        let d_off = self.config.pipeline.d_offset();
+        for idx in 0..self.in_flight.len() {
+            if self.in_flight[idx].d_done || self.in_flight[idx].issue_cycle + d_off != self.now {
+                continue;
+            }
+            let slot = self.in_flight[idx].slot;
+            let instruction = self.instruction(slot).clone();
+            self.run_decode(idx, &instruction);
+        }
+    }
+
+    fn run_decode(&mut self, idx: usize, instruction: &Instruction) {
+        // Capture queue operands (peek) before this instruction's own
+        // dequeues pop them.
+        let mut captured = [None; NUM_SRCS];
+        for (i, src) in instruction
+            .srcs
+            .iter()
+            .take(instruction.op.num_srcs())
+            .enumerate()
+        {
+            if let SrcOperand::Input(q) = src {
+                let token = self.inputs[q.index()]
+                    .peek()
+                    .expect("trigger accounting guarantees a token");
+                captured[i] = Some(token.data);
+            }
+        }
+        // Dequeues take effect here in D (§5.4). Speculative
+        // instructions never have dequeues (forbidden, §5.2).
+        for q in &instruction.dequeues {
+            debug_assert_eq!(
+                self.in_flight[idx].spec_level, 0,
+                "speculative dequeues are forbidden"
+            );
+            let popped = self.inputs[q.index()].pop();
+            debug_assert!(popped.is_some());
+            self.counters.dequeues += 1;
+        }
+        self.in_flight[idx].queue_operands = captured;
+        self.in_flight[idx].d_done = true;
+    }
+
+    /// In-flight dequeues not yet executed, per input queue.
+    fn pending_dequeues(&self, queue: usize) -> usize {
+        self.in_flight
+            .iter()
+            .filter(|f| !f.d_done)
+            .map(|f| {
+                self.instruction(f.slot)
+                    .dequeues
+                    .iter()
+                    .filter(|q| q.index() == queue)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// In-flight enqueues not yet committed, per output queue.
+    fn pending_enqueues(&self, queue: usize) -> usize {
+        self.in_flight
+            .iter()
+            .filter(|f| {
+                self.instruction(f.slot)
+                    .enqueues()
+                    .is_some_and(|q| q.index() == queue)
+            })
+            .count()
+    }
+
+    /// Predicate bits with in-flight datapath writes.
+    fn pending_predicates(&self) -> u32 {
+        self.in_flight
+            .iter()
+            .filter_map(|f| self.instruction(f.slot).dst.predicate())
+            .fold(0, |acc, p| acc | (1 << p.index()))
+    }
+
+    /// Evaluates the §5.3 queue-side trigger conditions for one
+    /// instruction: input availability, tag checks, dequeue
+    /// availability, output capacity. Returns `(conservative,
+    /// effective)` eligibility — the scheduler uses the first without
+    /// +Q and the second with it; comparing them classifies
+    /// conservative stalls.
+    fn queue_conditions(&self, instruction: &Instruction) -> (bool, bool) {
+        let mut conservative = true;
+        let mut effective = true;
+
+        // A queue read (operand or dequeue) needs an available token.
+        let mut needs: Vec<usize> = instruction
+            .input_operands()
+            .map(|q| q.index())
+            .chain(instruction.dequeues.iter().map(|q| q.index()))
+            .collect();
+        needs.sort_unstable();
+        needs.dedup();
+        for q in needs {
+            let occupancy = self.inputs[q].occupancy();
+            let pending = self.pending_dequeues(q);
+            if pending > 0 {
+                conservative = false; // pending dequeue ⇒ treat empty
+            } else if occupancy == 0 {
+                conservative = false;
+            }
+            if occupancy <= pending {
+                effective = false;
+            }
+        }
+
+        // Tag checks peek past in-flight dequeues with +Q ("the head
+        // and neck").
+        for check in &instruction.trigger.queue_checks {
+            let q = check.queue.index();
+            let pending = self.pending_dequeues(q);
+            // Conservative view: only a pending-free head counts.
+            match self.inputs[q].peek() {
+                Some(head) if pending == 0 => {
+                    let equal = head.tag == check.tag;
+                    if equal == check.negate {
+                        conservative = false;
+                    }
+                }
+                _ => conservative = false,
+            }
+            match self.inputs[q].peek_at(pending) {
+                Some(tok) => {
+                    let equal = tok.tag == check.tag;
+                    if equal == check.negate {
+                        effective = false;
+                    }
+                }
+                None => effective = false,
+            }
+        }
+
+        // Output capacity.
+        if let Some(q) = instruction.enqueues() {
+            let q = q.index();
+            let occupancy = self.outputs[q].occupancy();
+            let pending = self.pending_enqueues(q);
+            if self.config.padded_output_queues {
+                // The reserve slots absorb every in-flight enqueue, so
+                // the scheduler checks only the visible capacity and
+                // ignores in-flight enqueues entirely: admitting at
+                // occupancy <= visible-1 with <= depth in flight can
+                // never exceed visible-1+depth < physical capacity.
+                let _ = pending;
+                let visible = self.outputs[q].capacity() - self.config.pipeline.depth();
+                if occupancy >= visible {
+                    conservative = false;
+                    effective = false;
+                }
+            } else {
+                if pending > 0 || occupancy >= self.outputs[q].capacity() {
+                    conservative = false; // pending enqueue ⇒ treat full
+                }
+                if occupancy + pending >= self.outputs[q].capacity() {
+                    effective = false;
+                }
+            }
+        }
+
+        (conservative, effective)
+    }
+
+    /// Whether the register interlock blocks this instruction from
+    /// issuing now. Only split-ALU pipelines ever stall: a producer
+    /// issued last cycle has not finished X2, so its result cannot be
+    /// forwarded to a consumer entering X1 this cycle.
+    fn register_interlock(&self, instruction: &Instruction) -> bool {
+        if !self.config.pipeline.split_x {
+            return false;
+        }
+        self.in_flight.iter().any(|f| {
+            f.issue_cycle + 1 == self.now
+                && self
+                    .instruction(f.slot)
+                    .register_write()
+                    .is_some_and(|w| instruction.register_reads().any(|r| r == w))
+        })
+    }
+
+    /// Evaluates one instruction slot's issue status.
+    fn slot_status(&self, slot: usize) -> SlotStatus {
+        let instruction = self.instruction(slot);
+        if !instruction.valid {
+            return SlotStatus::NotReady;
+        }
+
+        let pending_preds = self.pending_predicates();
+        let pattern = instruction.trigger.predicates;
+        let touched = pattern.read_set() | instruction.predicate_write_set();
+
+        // Predicate readiness.
+        let pred_blocked = if self.config.predicate_prediction {
+            // The speculative unit always supplies a value; hazards
+            // become forbidden-instruction restrictions instead.
+            false
+        } else {
+            touched & pending_preds != 0
+        };
+        // Would the pattern match, for every possible resolution of
+        // the pending bits?
+        let stable_on = pattern.on_set() & !pending_preds;
+        let stable_off = pattern.off_set() & !pending_preds;
+        let stable_match =
+            (self.preds.bits() & stable_on) == stable_on && (self.preds.bits() & stable_off) == 0;
+        let full_match = pattern.matches(self.preds);
+
+        let (queue_conservative, queue_effective) = self.queue_conditions(instruction);
+        let queue_ok = if self.config.effective_queue_status {
+            queue_effective
+        } else {
+            queue_conservative
+        };
+        let data_blocked = self.register_interlock(instruction);
+        // §5.2 restrictions while speculating: pre-retirement side
+        // effects (dequeues) always; further predicate writers only
+        // when the speculation stack is at its depth limit (the paper
+        // has depth 1 — no nesting; §6 relaxes it).
+        let spec_active = !self.spec_stack.is_empty();
+        let forbidden = (spec_active && instruction.has_dequeue())
+            || (self.config.predicate_prediction
+                && instruction.writes_predicate()
+                && self.spec_stack.len() >= self.config.speculation_depth.max(1) as usize);
+
+        if pred_blocked {
+            // Count it as a predicate hazard only if the rest of the
+            // trigger could plausibly fire once the bits resolve.
+            return if stable_match && queue_effective && !data_blocked {
+                SlotStatus::BlockedPred
+            } else {
+                SlotStatus::NotReady
+            };
+        }
+        if !full_match {
+            return SlotStatus::NotReady;
+        }
+        if forbidden && queue_effective && !data_blocked {
+            return SlotStatus::BlockedForbidden;
+        }
+        if forbidden {
+            return SlotStatus::NotReady;
+        }
+        if !queue_ok {
+            return if queue_effective {
+                // Only the conservative accounting blocks it.
+                SlotStatus::BlockedQueueConservative
+            } else {
+                SlotStatus::NotReady
+            };
+        }
+        if data_blocked {
+            return SlotStatus::BlockedData;
+        }
+        SlotStatus::Eligible
+    }
+
+    /// The trigger stage: evaluate all triggers, issue at most one
+    /// instruction, and classify the cycle.
+    fn trigger_phase(&mut self) -> CycleClass {
+        if self.halt_pending {
+            return CycleClass::NotTriggered;
+        }
+        if self.config.predicate_prediction {
+            self.try_early_confirmation();
+        }
+        let mut statuses = Vec::with_capacity(self.program.len());
+        for slot in 0..self.program.len() {
+            let status = self.slot_status(slot);
+            if status == SlotStatus::Eligible {
+                self.issue(slot);
+                return CycleClass::Issued;
+            }
+            statuses.push(status);
+        }
+        if statuses.contains(&SlotStatus::BlockedPred) {
+            CycleClass::PredicateHazard
+        } else if statuses.contains(&SlotStatus::BlockedForbidden) {
+            CycleClass::Forbidden
+        } else if statuses.contains(&SlotStatus::BlockedData) {
+            CycleClass::DataHazard
+        } else {
+            CycleClass::NotTriggered
+        }
+    }
+
+    fn issue(&mut self, slot: usize) {
+        let instruction = self.instruction(slot).clone();
+        let spec_level = self.spec_stack.len();
+
+        // The trigger-encoded predicate update applies atomically with
+        // issue (the "PC + 4" analog, §2.2). Under speculation it
+        // lands in the speculative state and is rolled back on flush.
+        self.preds = instruction.pred_update.apply(self.preds);
+
+        // Start a new speculation when a predicate writer issues with
+        // +P enabled (never nested: writers are forbidden while one is
+        // outstanding).
+        if self.config.predicate_prediction {
+            if let DstOperand::Pred(bit) = instruction.dst {
+                debug_assert!(
+                    self.spec_stack.len() < self.config.speculation_depth.max(1) as usize,
+                    "the nesting limit gates writer issue"
+                );
+                let predicted = self.predictor.predict(bit);
+                let saved = self.preds;
+                self.preds.set(bit, predicted);
+                self.spec_stack.push(Speculation {
+                    bit,
+                    predicted,
+                    saved,
+                });
+            }
+        }
+
+        if instruction.op == Op::Halt {
+            self.halt_pending = true;
+        }
+
+        self.in_flight.push(InFlight {
+            slot,
+            issue_cycle: self.now,
+            spec_level,
+            d_done: false,
+            spec_resolved_early: false,
+            queue_operands: [None; NUM_SRCS],
+        });
+
+        // Merged trigger/decode stages do decode work in the issue
+        // cycle.
+        if self.config.pipeline.d_offset() == 0 {
+            let idx = self.in_flight.len() - 1;
+            self.run_decode(idx, &instruction);
+        }
+    }
+}
+
+impl ProcessingElement for UarchPe {
+    fn step(&mut self) {
+        self.step_cycle();
+    }
+
+    fn input_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+        &mut self.inputs[index]
+    }
+
+    fn output_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+        &mut self.outputs[index]
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Pipeline;
+    use tia_asm::assemble;
+
+    fn pe(config: UarchConfig, source: &str) -> UarchPe {
+        let params = Params::default();
+        let program = assemble(source, &params).expect("test program assembles");
+        UarchPe::new(&params, config, program).expect("valid program")
+    }
+
+    #[test]
+    fn stepping_a_halted_pe_is_a_no_op() {
+        let mut pe = pe(
+            UarchConfig::base(Pipeline::T_DX),
+            "when %p == XXXXXXXX: halt;",
+        );
+        while !pe.halted() {
+            pe.step_cycle();
+        }
+        let cycles = pe.counters().cycles;
+        for _ in 0..5 {
+            pe.step_cycle();
+        }
+        assert_eq!(pe.counters().cycles, cycles);
+        assert_eq!(pe.counters().retired, 1);
+    }
+
+    #[test]
+    fn cycle_attribution_identity_holds_on_every_pipeline() {
+        // Total cycles must equal issued work plus classified stalls.
+        let source = "\
+            when %p == XXXXX0X0: ult %p1, %r0, 9; set %p = ZZZZZZZ1;
+            when %p == XXXXXX11: add %r0, %r0, 1; set %p = ZZZZZ1Z0;
+            when %p == XXXXX1XX: add %r1, %r1, %r0; set %p = ZZZZZ0ZZ;
+            when %p == XXXXXX01: halt;";
+        for config in UarchConfig::all() {
+            let mut p = pe(config, source);
+            while !p.halted() {
+                p.step_cycle();
+            }
+            let c = p.counters();
+            assert_eq!(
+                c.cycles,
+                c.retired
+                    + c.quashed
+                    + c.pred_hazard_cycles
+                    + c.data_hazard_cycles
+                    + c.forbidden_cycles
+                    + c.not_triggered_cycles,
+                "{config}: attribution leak"
+            );
+            assert_eq!(p.reg(1), 45, "{config}: sum 1..=9");
+        }
+    }
+
+    #[test]
+    fn a_flushed_speculative_halt_is_not_fatal() {
+        // The predictor warms to "taken" on the loop predicate; at the
+        // loop exit the mispredicted iteration — which may include a
+        // speculatively issued halt on some pipelines — must flush and
+        // the PE must still halt exactly once, at the right time.
+        let source = "\
+            when %p == XXXXX0X0: ult %p1, %r0, 4; set %p = ZZZZZZZ1;
+            when %p == XXXXXX11: add %r0, %r0, 1; set %p = ZZZZZ1Z0;
+            when %p == XXXXX1XX: nop; set %p = ZZZZZ0ZZ;
+            when %p == XXXXXX01: halt;";
+        for pipeline in [Pipeline::T_DX, Pipeline::T_D_X1_X2] {
+            let mut p = pe(UarchConfig::with_pq(pipeline), source);
+            for _ in 0..200 {
+                if p.halted() {
+                    break;
+                }
+                p.step_cycle();
+            }
+            assert!(p.halted(), "{pipeline}");
+            assert_eq!(p.reg(0), 4, "{pipeline}: rollback must undo the extra add");
+            assert!(p.counters().quashed > 0, "{pipeline}: the exit mispredicts");
+        }
+    }
+
+    #[test]
+    fn accessors_expose_configuration_and_state() {
+        let config = UarchConfig::with_pq(Pipeline::TD_X);
+        let p = pe(config, "when %p == XXXXXXXX: halt;");
+        assert_eq!(*p.config(), config);
+        assert_eq!(p.params().num_regs, 8);
+        assert_eq!(p.reg(0), 0);
+        assert_eq!(p.predicates().bits(), 0);
+        assert_eq!(p.input_queue(0).occupancy(), 0);
+        assert_eq!(p.output_queue(0).occupancy(), 0);
+        assert!(p.trace().is_empty());
+    }
+
+    #[test]
+    fn trace_records_retirement_order() {
+        let mut p = pe(
+            UarchConfig::base(Pipeline::T_D_X),
+            "when %p == XXXXXXX0: mov %r0, 1; set %p = ZZZZZZZ1;\n\
+             when %p == XXXXXXX1: halt;",
+        );
+        p.record_trace(true);
+        while !p.halted() {
+            p.step_cycle();
+        }
+        assert_eq!(p.trace(), &[0, 1]);
+        p.record_trace(false);
+        assert!(p.trace().is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! The speculative predicate unit's prediction state (§5.2).
+//!
+//! "The speculative version contains a two-bit saturating predictor
+//! for each predicate." Because workloads "generally assign a unique
+//! predicate for each different datapath predicate write", this bank
+//! acts as "a per-branch predictor without the traditional overhead of
+//! indexing a bank of predictors via the instruction pointer".
+
+use tia_isa::PredId;
+
+use crate::config::PredictorKind;
+
+/// A bank of two-bit saturating counters, one per predicate register.
+///
+/// Counters start weakly-not-taken (1); values ≥ 2 predict `true`.
+///
+/// # Examples
+///
+/// ```
+/// use tia_core::PredicatePredictor;
+/// use tia_isa::{Params, PredId};
+///
+/// let params = Params::default();
+/// let p0 = PredId::new(0, &params)?;
+/// let mut predictor = PredicatePredictor::new(params.num_preds);
+/// assert!(!predictor.predict(p0));
+/// predictor.train(p0, true);
+/// predictor.train(p0, true);
+/// assert!(predictor.predict(p0));
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicatePredictor {
+    kind: PredictorKind,
+    counters: Vec<u8>,
+}
+
+impl PredicatePredictor {
+    /// Creates the paper's two-bit predictor bank for `num_preds`
+    /// predicates.
+    pub fn new(num_preds: usize) -> Self {
+        PredicatePredictor::with_kind(num_preds, PredictorKind::TwoBit)
+    }
+
+    /// Creates a predictor bank of the given design (the ablation
+    /// variants of [`PredictorKind`]).
+    pub fn with_kind(num_preds: usize, kind: PredictorKind) -> Self {
+        PredicatePredictor {
+            kind,
+            counters: vec![1; num_preds],
+        }
+    }
+
+    /// The predicted next value written to predicate `id`.
+    pub fn predict(&self, id: PredId) -> bool {
+        match self.kind {
+            PredictorKind::TwoBit => self.counters[id.index()] >= 2,
+            PredictorKind::OneBit => self.counters[id.index()] >= 1,
+            PredictorKind::AlwaysTaken => true,
+            PredictorKind::AlwaysNotTaken => false,
+        }
+    }
+
+    /// Trains the counter with the resolved outcome.
+    pub fn train(&mut self, id: PredId, outcome: bool) {
+        let c = &mut self.counters[id.index()];
+        match self.kind {
+            PredictorKind::TwoBit => {
+                if outcome {
+                    *c = (*c + 1).min(3);
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+            }
+            PredictorKind::OneBit => *c = outcome as u8,
+            PredictorKind::AlwaysTaken | PredictorKind::AlwaysNotTaken => {}
+        }
+    }
+
+    /// The raw counter value for predicate `id` (0–3), for
+    /// introspection and tests.
+    pub fn counter(&self, id: PredId) -> u8 {
+        self.counters[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::Params;
+
+    fn p(i: usize) -> PredId {
+        PredId::new(i, &Params::default()).unwrap()
+    }
+
+    #[test]
+    fn one_bit_predictor_tracks_last_outcome() {
+        let mut b = PredicatePredictor::with_kind(8, PredictorKind::OneBit);
+        b.train(p(0), true);
+        assert!(b.predict(p(0)));
+        b.train(p(0), false);
+        assert!(!b.predict(p(0)));
+    }
+
+    #[test]
+    fn static_predictors_never_train() {
+        let mut t = PredicatePredictor::with_kind(8, PredictorKind::AlwaysTaken);
+        let mut n = PredicatePredictor::with_kind(8, PredictorKind::AlwaysNotTaken);
+        for _ in 0..4 {
+            t.train(p(1), false);
+            n.train(p(1), true);
+        }
+        assert!(t.predict(p(1)));
+        assert!(!n.predict(p(1)));
+    }
+
+    #[test]
+    fn counters_saturate_at_both_ends() {
+        let mut b = PredicatePredictor::new(8);
+        for _ in 0..10 {
+            b.train(p(0), true);
+        }
+        assert_eq!(b.counter(p(0)), 3);
+        for _ in 0..10 {
+            b.train(p(0), false);
+        }
+        assert_eq!(b.counter(p(0)), 0);
+    }
+
+    #[test]
+    fn hysteresis_tolerates_one_off_outcome() {
+        let mut b = PredicatePredictor::new(8);
+        b.train(p(1), true);
+        b.train(p(1), true); // counter = 3
+        b.train(p(1), false); // counter = 2: still predicts taken
+        assert!(b.predict(p(1)));
+        b.train(p(1), false);
+        assert!(!b.predict(p(1)));
+    }
+
+    #[test]
+    fn predictors_are_per_predicate() {
+        let mut b = PredicatePredictor::new(8);
+        b.train(p(2), true);
+        b.train(p(2), true);
+        assert!(b.predict(p(2)));
+        assert!(!b.predict(p(3)));
+    }
+}

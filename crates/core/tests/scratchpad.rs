@@ -1,0 +1,150 @@
+//! Scratchpad (lsw/ssw) coverage: the PE-local memory is functional in
+//! the prototype even though the paper's power analysis omits it
+//! (§4). Every microarchitecture must execute scratchpad programs
+//! architecturally identically to the functional model.
+
+use tia_asm::assemble;
+use tia_core::{UarchConfig, UarchPe};
+use tia_fabric::{ProcessingElement, Token};
+use tia_isa::{Params, Program};
+use tia_sim::FuncPe;
+use tia_workloads::phases::{goto, when};
+
+/// A byte-histogram kernel: counts each incoming value into
+/// scratchpad[value], then dumps the first `bins` counters to %o0 on
+/// the end-of-stream tag.
+fn histogram_source(params: &Params, bins: u32) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 3] = [2, 3, 4];
+    let w = |v: u32, extra: &[(usize, bool)]| when(n, &PH, v, extra);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# histogram over {bins} scratchpad bins
+         when %p == {p0} with %i0.1: nop; deq %i0; set %p = {g3};
+         when %p == {p0} with %i0.0: lsw %r1, %i0; set %p = {g1};
+         when %p == {p1}: add %r1, %r1, 1; set %p = {g2};
+         when %p == {p2} with %i0.0: ssw %i0, %r1; deq %i0; set %p = {g0};
+         when %p == {p3}: lsw %r1, %r2; set %p = {g4};
+         when %p == {p4}: mov %o0.0, %r1; set %p = {g5};
+         when %p == {p5}: add %r2, %r2, 1; set %p = {g6};
+         when %p == {p6}: ult %p1, %r2, {bins}; set %p = {g7};
+         when %p == {more}: nop; set %p = {g3};
+         when %p == {done}: halt;",
+        p0 = w(0, &[]),
+        g3 = g(3),
+        g1 = g(1),
+        p1 = w(1, &[]),
+        g2 = g(2),
+        p2 = w(2, &[]),
+        g0 = g(0),
+        p3 = w(3, &[]),
+        g4 = g(4),
+        p4 = w(4, &[]),
+        g5 = g(5),
+        p5 = w(5, &[]),
+        g6 = g(6),
+        p6 = w(6, &[]),
+        g7 = g(7),
+        more = w(7, &[(1, true)]),
+        done = w(7, &[(1, false)]),
+    )
+}
+
+fn params_with_scratchpad() -> Params {
+    let mut params = Params::default();
+    params.scratchpad_words = 16;
+    params.queue_capacity = 16;
+    params
+}
+
+fn feed(pe: &mut impl ProcessingElement, values: &[u32], params: &Params) {
+    for &v in values {
+        assert!(pe.input_queue_mut(0).push(Token::data(v)));
+    }
+    let eos = tia_isa::Tag::new(1, params).unwrap();
+    assert!(pe.input_queue_mut(0).push(Token::new(eos, 0)));
+}
+
+fn drain(pe: &mut impl ProcessingElement) -> Vec<u32> {
+    let mut out = Vec::new();
+    while let Some(t) = pe.output_queue_mut(0).pop() {
+        out.push(t.data);
+    }
+    out
+}
+
+fn golden_histogram(values: &[u32], bins: usize) -> Vec<u32> {
+    let mut h = vec![0u32; bins];
+    for &v in values {
+        h[v as usize % bins] += 1;
+    }
+    h
+}
+
+#[test]
+fn histogram_matches_golden_on_the_functional_model() {
+    let params = params_with_scratchpad();
+    let program = assemble(&histogram_source(&params, 16), &params).unwrap();
+    let values = [3u32, 3, 7, 0, 15, 3, 7];
+    let mut pe = FuncPe::new(&params, program).unwrap();
+    feed(&mut pe, &values, &params);
+    let mut out = Vec::new();
+    for _ in 0..2_000 {
+        if pe.halted() {
+            break;
+        }
+        pe.step_cycle();
+        out.extend(drain(&mut pe));
+    }
+    assert!(pe.halted());
+    out.extend(drain(&mut pe));
+    assert_eq!(out, golden_histogram(&values, 16));
+    assert!(pe.counters().scratchpad_accesses > 0);
+}
+
+#[test]
+fn histogram_is_identical_on_all_microarchitectures() {
+    let params = params_with_scratchpad();
+    let source = histogram_source(&params, 16);
+    let values = [1u32, 5, 5, 9, 1, 1, 12, 0, 15, 5];
+    let golden = golden_histogram(&values, 16);
+
+    for config in UarchConfig::all() {
+        let program: Program = assemble(&source, &params).unwrap();
+        let mut pe = UarchPe::new(&params, config, program).unwrap();
+        feed(&mut pe, &values, &params);
+        let mut out = Vec::new();
+        for _ in 0..10_000 {
+            if pe.halted() {
+                break;
+            }
+            pe.step_cycle();
+            out.extend(drain(&mut pe));
+        }
+        assert!(pe.halted(), "{config} did not halt");
+        out.extend(drain(&mut pe));
+        assert_eq!(out, golden, "{config} produced a wrong histogram");
+        assert!(pe.counters().scratchpad_accesses > 0, "{config}");
+    }
+}
+
+#[test]
+fn store_then_load_forwarding_through_the_scratchpad_is_ordered() {
+    // ssw then lsw of the same address back to back, across pipelines:
+    // both execute at commit, in order, so no value is ever stale.
+    let mut params = Params::default();
+    params.scratchpad_words = 4;
+    let source = "\
+        when %p == XXXX00XX: mov %r1, 77;    set %p = ZZZZ01ZZ;
+        when %p == XXXX01XX: ssw 2, %r1;     set %p = ZZZZ10ZZ;
+        when %p == XXXX10XX: lsw %r0, 2;     set %p = ZZZZ11ZZ;
+        when %p == XXXX11XX: halt;";
+    for config in UarchConfig::all() {
+        let program = assemble(source, &params).unwrap();
+        let mut pe = UarchPe::new(&params, config, program).unwrap();
+        while !pe.halted() {
+            pe.step_cycle();
+        }
+        assert_eq!(pe.reg(0), 77, "{config}: stale scratchpad read");
+    }
+}

@@ -1,0 +1,169 @@
+//! Critical-path model: FO4 depth of every pipeline configuration.
+//!
+//! The conceptual stage delays are calibrated to the paper's §5.4
+//! anchors:
+//!
+//! * T|D|X1|X2 without speculation closes with a 53.6 FO4 trigger
+//!   stage critical path (1184 MHz at SVT nominal);
+//! * enabling predicate speculation lengthens it to 64.3 FO4;
+//! * "the trigger stage largely sets the pipeline balance for any
+//!   pipeline breakdown of this ISA, placing the balanced pipeline
+//!   delay in the 50–60 FO4 range";
+//! * retiming is permitted only "within the multi-stage ALU and
+//!   multiplier functional units", so the X1/X2 boundary floats but
+//!   T and D work cannot migrate;
+//! * effective queue status "had no impact on timing closure".
+
+use crate::tech::{fo4_delay_ps, VtClass};
+use tia_core::UarchConfig;
+
+/// Trigger-stage combinational depth in FO4 (§5.4 anchor: 53.6 minus
+/// three register overheads).
+const T_FO4: f64 = 50.0;
+/// Additional trigger depth with the speculative predicate unit
+/// (64.3 − 53.6).
+const T_SPEC_EXTRA_FO4: f64 = 10.7;
+/// Decode (operand fetch + forwarding + dequeue) depth.
+const D_FO4: f64 = 16.0;
+/// Full single-cycle ALU depth.
+const X_FO4: f64 = 34.0;
+/// Pipeline-register (setup + clk-to-q) overhead per boundary.
+const REG_FO4: f64 = 1.2;
+
+/// Critical path of a microarchitecture in FO4 inverter delays.
+///
+/// # Examples
+///
+/// ```
+/// use tia_core::{Pipeline, UarchConfig};
+/// use tia_energy::critical_path::critical_path_fo4;
+///
+/// // The paper's §5.4 anchors.
+/// let base = critical_path_fo4(&UarchConfig::base(Pipeline::T_D_X1_X2));
+/// assert!((base - 53.6).abs() < 1e-9);
+/// let with_p = critical_path_fo4(&UarchConfig::with_p(Pipeline::T_D_X1_X2));
+/// assert!((with_p - 64.3).abs() < 1e-9);
+/// ```
+pub fn critical_path_fo4(config: &UarchConfig) -> f64 {
+    let p = config.pipeline;
+    let t = if config.predicate_prediction {
+        T_FO4 + T_SPEC_EXTRA_FO4
+    } else {
+        T_FO4
+    };
+    let cuts = (p.depth() - 1) as f64;
+
+    // Work assignment per stage. The X1/X2 cut balances freely within
+    // the ALU; the T/D and D/X cuts are fixed by the microarchitecture.
+    let max_stage = match (p.split_td, p.split_dx, p.split_x) {
+        // TDX: everything in one cycle.
+        (false, false, false) => t + D_FO4 + X_FO4,
+        // TD|X.
+        (false, true, false) => (t + D_FO4).max(X_FO4),
+        // T|DX.
+        (true, false, false) => t.max(D_FO4 + X_FO4),
+        // TDX1|X2: retiming pushes the whole ALU into X2 at best, so
+        // the T+D stage still dominates (the paper's TDX1|X2 closes at
+        // essentially the TD|X rate).
+        (false, false, true) => balanced_split(t + D_FO4, X_FO4),
+        // TD|X1|X2.
+        (false, true, true) => (t + D_FO4).max(X_FO4 / 2.0),
+        // T|DX1|X2: the ALU cut balances D+X1 against X2.
+        (true, false, true) => t.max(balanced_split(D_FO4, X_FO4)),
+        // T|D|X.
+        (true, true, false) => t.max(D_FO4).max(X_FO4),
+        // T|D|X1|X2: the 53.6 / 64.3 FO4 anchor.
+        (true, true, true) => t.max(D_FO4).max(X_FO4 / 2.0),
+    };
+    max_stage + cuts * REG_FO4
+}
+
+/// Optimal two-stage split where `fixed` work must stay in stage one
+/// and `movable` work may be divided freely between the stages.
+fn balanced_split(fixed: f64, movable: f64) -> f64 {
+    // Stage 1 = fixed + x, stage 2 = movable − x, 0 ≤ x ≤ movable.
+    if fixed >= movable {
+        fixed
+    } else {
+        (fixed + movable) / 2.0
+    }
+}
+
+/// Maximum feasible clock frequency in MHz at an operating point.
+///
+/// # Examples
+///
+/// ```
+/// use tia_core::{Pipeline, UarchConfig};
+/// use tia_energy::critical_path::max_frequency_mhz;
+/// use tia_energy::tech::VtClass;
+///
+/// let config = UarchConfig::base(Pipeline::T_D_X1_X2);
+/// let f = max_frequency_mhz(&config, 1.0, VtClass::Standard);
+/// assert!((f - 1184.0).abs() < 15.0);
+/// ```
+pub fn max_frequency_mhz(config: &UarchConfig, vdd: f64, vt: VtClass) -> f64 {
+    let period_ps = critical_path_fo4(config) * fo4_delay_ps(vdd, vt);
+    1e6 / period_ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_core::Pipeline;
+
+    #[test]
+    fn pipelined_designs_sit_in_the_50_to_60_fo4_band() {
+        // §5.4: "the critical path of these designs, ranging from 50
+        // to 60 FO4, is in line with modern standards" — for the
+        // trigger-bound pipelines without speculation.
+        for p in [
+            Pipeline::T_DX,
+            Pipeline::T_DX1_X2,
+            Pipeline::T_D_X,
+            Pipeline::T_D_X1_X2,
+        ] {
+            let fo4 = critical_path_fo4(&UarchConfig::base(p));
+            assert!((50.0..=60.0).contains(&fo4), "{p}: {fo4}");
+        }
+    }
+
+    #[test]
+    fn single_cycle_is_much_longer_than_pipelined() {
+        let tdx = critical_path_fo4(&UarchConfig::base(Pipeline::TDX));
+        let deep = critical_path_fo4(&UarchConfig::base(Pipeline::T_D_X1_X2));
+        assert!(tdx > 1.8 * deep);
+    }
+
+    #[test]
+    fn queue_status_is_timing_free_and_speculation_is_not() {
+        for p in Pipeline::ALL {
+            let base = critical_path_fo4(&UarchConfig::base(p));
+            let q = critical_path_fo4(&UarchConfig::with_q(p));
+            let pp = critical_path_fo4(&UarchConfig::with_p(p));
+            assert_eq!(base, q, "{p}: +Q must not affect timing (§5.4)");
+            assert!(pp > base, "{p}: +P lengthens the trigger stage");
+        }
+    }
+
+    #[test]
+    fn tdx1_x2_closes_near_the_papers_1157mhz_at_lvt_nominal() {
+        let config = UarchConfig::with_q(Pipeline::TDX1_X2);
+        let f = max_frequency_mhz(&config, 1.0, VtClass::Low);
+        assert!(
+            (1050.0..1300.0).contains(&f),
+            "TDX1|X2 +Q at LVT 1.0 V closes at {f:.0} MHz (paper: 1157)"
+        );
+    }
+
+    #[test]
+    fn deeper_pipelines_never_clock_slower() {
+        for vt in VtClass::ALL {
+            let shallow = max_frequency_mhz(&UarchConfig::base(Pipeline::TDX), 1.0, vt);
+            let two = max_frequency_mhz(&UarchConfig::base(Pipeline::T_DX), 1.0, vt);
+            let four = max_frequency_mhz(&UarchConfig::base(Pipeline::T_D_X1_X2), 1.0, vt);
+            assert!(two > shallow);
+            assert!(four > shallow);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Pareto analysis of the design space: the energy-delay frontier
+//! (Figures 6–8) and power-density accounting (§5.4).
+
+use crate::dse::DesignPoint;
+
+/// Extracts the Pareto frontier minimizing (ns/instruction,
+/// pJ/instruction), sorted by increasing delay.
+///
+/// # Examples
+///
+/// ```
+/// use tia_core::{Pipeline, UarchConfig};
+/// use tia_energy::dse::{evaluate, CpiMeasurement};
+/// use tia_energy::pareto::pareto_frontier;
+/// use tia_energy::tech::VtClass;
+///
+/// let config = UarchConfig::base(Pipeline::T_DX);
+/// let points: Vec<_> = [200.0, 400.0, 600.0]
+///     .iter()
+///     .filter_map(|&f| evaluate(&config, VtClass::Standard, 1.0, f, CpiMeasurement::ideal()))
+///     .collect();
+/// let frontier = pareto_frontier(&points);
+/// assert!(!frontier.is_empty());
+/// // Delay increases and energy strictly decreases along the frontier.
+/// for w in frontier.windows(2) {
+///     assert!(w[0].ns_per_inst < w[1].ns_per_inst);
+///     assert!(w[0].pj_per_inst > w[1].pj_per_inst);
+/// }
+/// ```
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut sorted: Vec<DesignPoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.ns_per_inst
+            .partial_cmp(&b.ns_per_inst)
+            .expect("finite delay")
+            .then(
+                a.pj_per_inst
+                    .partial_cmp(&b.pj_per_inst)
+                    .expect("finite energy"),
+            )
+    });
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for p in sorted {
+        if p.pj_per_inst < best_energy {
+            // Skip duplicate delays (keep the first = lowest energy).
+            if let Some(last) = frontier.last() {
+                if (last.ns_per_inst - p.ns_per_inst).abs() < 1e-12 {
+                    continue;
+                }
+            }
+            best_energy = p.pj_per_inst;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// The overall energy and delay span of a point set, as the paper's
+/// headline "71x in energy ... and 225x in delay" (§1).
+pub fn span(points: &[DesignPoint]) -> (f64, f64) {
+    let mut emin = f64::INFINITY;
+    let mut emax = 0.0f64;
+    let mut dmin = f64::INFINITY;
+    let mut dmax = 0.0f64;
+    for p in points {
+        emin = emin.min(p.pj_per_inst);
+        emax = emax.max(p.pj_per_inst);
+        dmin = dmin.min(p.ns_per_inst);
+        dmax = dmax.max(p.ns_per_inst);
+    }
+    (emax / emin, dmax / dmin)
+}
+
+/// The hypervolume-style frontier-improvement metric used to quantify
+/// the §5.4 claim that the optimizations improve "the optimal design
+/// frontier by 20-25% in both energy and delay": for each point on the
+/// `reference` frontier, the relative reduction in energy available on
+/// the `improved` frontier at no worse delay. Returns the mean
+/// improvement over the overlapping delay range.
+pub fn frontier_energy_improvement(reference: &[DesignPoint], improved: &[DesignPoint]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for r in reference {
+        // Best energy on the improved frontier at delay ≤ r's delay.
+        let best = improved
+            .iter()
+            .filter(|p| p.ns_per_inst <= r.ns_per_inst)
+            .map(|p| p.pj_per_inst)
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            total += 1.0 - best / r.pj_per_inst;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// CPU and GPU power-density context at 65 nm (§5.4, citing CPUDB and
+/// Chen): mean CPU ≈ 500 mW/mm² (max 1000, min 50); max GPU ≈
+/// 300 mW/mm².
+pub mod density_context {
+    /// Mean 65 nm CPU power density, mW/mm².
+    pub const CPU_MEAN: f64 = 500.0;
+    /// Maximum 65 nm CPU power density, mW/mm².
+    pub const CPU_MAX: f64 = 1000.0;
+    /// Minimum 65 nm CPU power density, mW/mm².
+    pub const CPU_MIN: f64 = 50.0;
+    /// Maximum 65 nm GPU power density, mW/mm².
+    pub const GPU_MAX: f64 = 300.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::{evaluate, explore, CpiMeasurement};
+    use crate::tech::VtClass;
+    use tia_core::{Pipeline, UarchConfig};
+
+    fn sample_points() -> Vec<DesignPoint> {
+        let mut source = |c: &UarchConfig| CpiMeasurement {
+            cpi: 1.0 + 0.2 * (c.pipeline.depth() as f64 - 1.0),
+            issue_rate: 0.8,
+        };
+        explore(&mut source)
+    }
+
+    #[test]
+    fn frontier_is_monotone_and_dominating() {
+        let points = sample_points();
+        let frontier = pareto_frontier(&points);
+        assert!(frontier.len() > 3);
+        for w in frontier.windows(2) {
+            assert!(w[0].ns_per_inst < w[1].ns_per_inst);
+            assert!(w[0].pj_per_inst > w[1].pj_per_inst);
+        }
+        // No point in the population dominates a frontier point.
+        for f in &frontier {
+            for p in &points {
+                assert!(
+                    !(p.ns_per_inst < f.ns_per_inst && p.pj_per_inst < f.pj_per_inst),
+                    "frontier point dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn span_is_wide() {
+        let (e_span, d_span) = span(&sample_points());
+        assert!(e_span > 10.0);
+        assert!(d_span > 50.0);
+    }
+
+    #[test]
+    fn improvement_metric_detects_a_shifted_frontier() {
+        let config = UarchConfig::base(Pipeline::T_DX);
+        let slow: Vec<DesignPoint> = [200.0, 400.0]
+            .iter()
+            .filter_map(|&f| {
+                evaluate(
+                    &config,
+                    VtClass::Standard,
+                    1.0,
+                    f,
+                    CpiMeasurement {
+                        cpi: 2.0,
+                        issue_rate: 0.5,
+                    },
+                )
+            })
+            .collect();
+        let fast: Vec<DesignPoint> = [200.0, 400.0]
+            .iter()
+            .filter_map(|&f| evaluate(&config, VtClass::Standard, 1.0, f, CpiMeasurement::ideal()))
+            .collect();
+        let improvement =
+            frontier_energy_improvement(&pareto_frontier(&slow), &pareto_frontier(&fast));
+        assert!(improvement > 0.2, "got {improvement}");
+        let none = frontier_energy_improvement(&pareto_frontier(&slow), &pareto_frontier(&slow));
+        assert!(none.abs() < 1e-9);
+    }
+
+    #[test]
+    fn pe_density_stays_below_cpu_and_gpu_context() {
+        // §5.4: "All of the PEs on the Pareto frontier fall below
+        // these CPU and GPU densities."
+        let frontier = pareto_frontier(&sample_points());
+        for p in &frontier {
+            assert!(
+                p.power_density() < density_context::GPU_MAX,
+                "{} mW/mm² exceeds the GPU ceiling",
+                p.power_density()
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The 65 nm CMOS technology model: gate delay and leakage across
+//! supply voltage and threshold-voltage flavor.
+//!
+//! This is the analytical stand-in for the paper's standard-cell
+//! characterization (§3: TSMC 65 nm GP cells characterized at 0.4–1.0 V
+//! in standard, low and high VT libraries). Delay follows the
+//! alpha-power law above threshold and an exponential subthreshold
+//! regime below, anchored so an SVT fan-out-of-4 inverter delay at
+//! nominal 1.0 V is 15.8 ps — the value implied by the paper's §5.4
+//! anchor (T|D|X1|X2 with a 53.6 FO4 trigger stage closing at
+//! 1184 MHz).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Threshold-voltage flavor of a standard-cell library (§3, §5.4:
+/// "the upper-end of the performance spectrum is dominated by low VT
+/// standard-cell designs, the middle by standard VT, and the low-power
+/// and ultra-low-power domains by high VT").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VtClass {
+    /// Low threshold: fastest, leakiest.
+    Low,
+    /// Standard threshold.
+    Standard,
+    /// High threshold: slowest, most leakage-frugal.
+    High,
+}
+
+impl VtClass {
+    /// All three flavors.
+    pub const ALL: [VtClass; 3] = [VtClass::Low, VtClass::Standard, VtClass::High];
+
+    /// The device threshold voltage in volts.
+    pub fn threshold(self) -> f64 {
+        match self {
+            VtClass::Low => 0.22,
+            VtClass::Standard => 0.32,
+            VtClass::High => 0.42,
+        }
+    }
+
+    /// Leakage-power multiplier relative to the standard-VT library
+    /// (order-of-magnitude ratios typical of 65 nm foundry corners).
+    pub fn leakage_factor(self) -> f64 {
+        match self {
+            VtClass::Low => 12.0,
+            VtClass::Standard => 1.0,
+            VtClass::High => 0.08,
+        }
+    }
+
+    /// Library name as in the paper's prose.
+    pub fn name(self) -> &'static str {
+        match self {
+            VtClass::Low => "LVT",
+            VtClass::Standard => "SVT",
+            VtClass::High => "HVT",
+        }
+    }
+
+    /// The supply voltages characterized for this library (§3): SVT at
+    /// 0.6–1.0 V in 100 mV steps; LVT/HVT at 0.4, 0.6, 0.8, 1.0 V.
+    pub fn characterized_voltages(self) -> &'static [f64] {
+        match self {
+            VtClass::Standard => &[0.6, 0.7, 0.8, 0.9, 1.0],
+            VtClass::Low | VtClass::High => &[0.4, 0.6, 0.8, 1.0],
+        }
+    }
+}
+
+impl fmt::Display for VtClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Alpha-power-law velocity-saturation exponent.
+const ALPHA: f64 = 1.4;
+
+/// Delay-model scale factor in picoseconds, calibrated so that
+/// `fo4_delay_ps(1.0, Standard)` = 15.8 ps.
+const K_DELAY_PS: f64 = 15.8 * 0.583_021_4; // 15.8 × (1−0.32)^1.4
+
+/// Boundary above threshold where the alpha-power law hands over to
+/// the subthreshold exponential.
+const NEAR_VT_MARGIN: f64 = 0.10;
+
+/// Subthreshold swing parameter (n·kT/q) in volts.
+const SUBVT_SLOPE: f64 = 0.05;
+
+/// Fan-out-of-4 inverter delay in picoseconds at the given supply
+/// voltage and library flavor.
+///
+/// Above `Vth + 0.1 V` this is the alpha-power law
+/// `k·V/(V−Vth)^α`; below, an exponential continuation with 50 mV
+/// slope models the near-/subthreshold regime the paper's §3
+/// frequency refinements probe (10 MHz granularity for subthreshold
+/// high-VT).
+///
+/// # Examples
+///
+/// ```
+/// use tia_energy::tech::{fo4_delay_ps, VtClass};
+///
+/// let nominal = fo4_delay_ps(1.0, VtClass::Standard);
+/// assert!((nominal - 15.8).abs() < 0.1);
+/// // LVT is faster, HVT slower, at nominal voltage.
+/// assert!(fo4_delay_ps(1.0, VtClass::Low) < nominal);
+/// assert!(fo4_delay_ps(1.0, VtClass::High) > nominal);
+/// ```
+pub fn fo4_delay_ps(vdd: f64, vt: VtClass) -> f64 {
+    let vth = vt.threshold();
+    let boundary = vth + NEAR_VT_MARGIN;
+    if vdd >= boundary {
+        K_DELAY_PS * vdd / (vdd - vth).powf(ALPHA)
+    } else {
+        // Exponential continuation matched at the boundary.
+        let at_boundary = K_DELAY_PS * boundary / NEAR_VT_MARGIN.powf(ALPHA);
+        at_boundary * ((boundary - vdd) / SUBVT_SLOPE).exp()
+    }
+}
+
+/// Leakage power density in mW per mm² for the given operating point.
+///
+/// Calibrated so a ~0.064 mm² SVT PE leaks ≈0.1 mW at nominal 1.0 V
+/// (a few percent of its 2.852 mW total at 500 MHz, §5.4), with
+/// exponential DIBL-style voltage dependence and the per-library
+/// ratios of [`VtClass::leakage_factor`].
+pub fn leakage_density_mw_per_mm2(vdd: f64, vt: VtClass) -> f64 {
+    const SVT_NOMINAL: f64 = 1.56; // mW/mm² at 1.0 V
+    const DIBL: f64 = 2.5; // per volt
+    SVT_NOMINAL * vt.leakage_factor() * vdd * ((vdd - 1.0) * DIBL).exp()
+}
+
+/// Dynamic-energy voltage scaling factor relative to nominal (CV²).
+pub fn dynamic_energy_scale(vdd: f64) -> f64 {
+    vdd * vdd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svt_nominal_anchor_is_15_8ps() {
+        assert!((fo4_delay_ps(1.0, VtClass::Standard) - 15.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_timing_anchor_t_d_x1_x2_closes_near_1184mhz() {
+        // 53.6 FO4 trigger stage at SVT nominal.
+        let period_ps = 53.6 * fo4_delay_ps(1.0, VtClass::Standard);
+        let mhz = 1e6 / period_ps;
+        assert!((mhz - 1184.0).abs() < 15.0, "got {mhz:.0} MHz");
+    }
+
+    #[test]
+    fn vt_ordering_holds_at_every_voltage() {
+        for v in [0.4, 0.6, 0.8, 1.0] {
+            assert!(fo4_delay_ps(v, VtClass::Low) < fo4_delay_ps(v, VtClass::Standard));
+            assert!(fo4_delay_ps(v, VtClass::Standard) < fo4_delay_ps(v, VtClass::High));
+            assert!(
+                leakage_density_mw_per_mm2(v, VtClass::Low)
+                    > leakage_density_mw_per_mm2(v, VtClass::Standard)
+            );
+            assert!(
+                leakage_density_mw_per_mm2(v, VtClass::Standard)
+                    > leakage_density_mw_per_mm2(v, VtClass::High)
+            );
+        }
+    }
+
+    #[test]
+    fn delay_is_monotone_decreasing_in_vdd() {
+        for vt in VtClass::ALL {
+            let mut prev = f64::INFINITY;
+            let mut v = 0.35;
+            while v <= 1.01 {
+                let d = fo4_delay_ps(v, vt);
+                assert!(d < prev, "{vt} at {v}: {d} !< {prev}");
+                assert!(d.is_finite() && d > 0.0);
+                prev = d;
+                v += 0.01;
+            }
+        }
+    }
+
+    #[test]
+    fn subthreshold_hvt_lands_in_the_papers_10_to_100mhz_regime() {
+        // HVT at 0.4 V: the paper refined target frequencies at 10 MHz
+        // granularity up to 100 MHz. A ~54 FO4 pipeline should close
+        // in that band.
+        let period_ns = 54.0 * fo4_delay_ps(0.4, VtClass::High) / 1000.0;
+        let mhz = 1000.0 / period_ns;
+        assert!(
+            (2.0..=100.0).contains(&mhz),
+            "subthreshold HVT closes at {mhz:.1} MHz"
+        );
+    }
+
+    #[test]
+    fn leakage_drops_superlinearly_with_voltage() {
+        let hi = leakage_density_mw_per_mm2(1.0, VtClass::Standard);
+        let lo = leakage_density_mw_per_mm2(0.6, VtClass::Standard);
+        assert!(lo < hi * 0.4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests on the VLSI model: physical sanity (positivity,
+//! monotonicity) across the whole configuration space.
+
+use proptest::prelude::*;
+
+use tia_core::{Pipeline, UarchConfig};
+use tia_energy::critical_path::{critical_path_fo4, max_frequency_mhz};
+use tia_energy::dse::{evaluate, CpiMeasurement};
+use tia_energy::tech::{fo4_delay_ps, leakage_density_mw_per_mm2, VtClass};
+
+fn arb_config() -> impl Strategy<Value = UarchConfig> {
+    (0usize..8, 0u8..4).prop_map(|(p, feat)| {
+        let pipeline = Pipeline::ALL[p];
+        match feat {
+            0 => UarchConfig::base(pipeline),
+            1 => UarchConfig::with_p(pipeline),
+            2 => UarchConfig::with_q(pipeline),
+            _ => UarchConfig::with_pq(pipeline),
+        }
+    })
+}
+
+fn arb_vt() -> impl Strategy<Value = VtClass> {
+    prop::sample::select(VtClass::ALL.to_vec())
+}
+
+fn arb_activity() -> impl Strategy<Value = CpiMeasurement> {
+    (1.0f64..5.0, 0.05f64..1.0).prop_map(|(cpi, issue_rate)| CpiMeasurement {
+        cpi,
+        issue_rate: issue_rate.min(1.0 / cpi),
+    })
+}
+
+proptest! {
+    #[test]
+    fn feasible_points_have_physical_figures(
+        config in arb_config(),
+        vt in arb_vt(),
+        vdd in 0.35f64..1.0,
+        freq in 1.0f64..1600.0,
+        activity in arb_activity(),
+    ) {
+        let fmax = max_frequency_mhz(&config, vdd, vt);
+        prop_assert!(fmax.is_finite() && fmax > 0.0);
+        match evaluate(&config, vt, vdd, freq, activity) {
+            None => prop_assert!(freq > fmax, "rejected a feasible frequency"),
+            Some(p) => {
+                prop_assert!(freq <= fmax);
+                prop_assert!(p.ns_per_inst > 0.0 && p.ns_per_inst.is_finite());
+                prop_assert!(p.pj_per_inst > 0.0 && p.pj_per_inst.is_finite());
+                prop_assert!(p.power_mw > 0.0);
+                prop_assert!(p.area_mm2 > 0.05 && p.area_mm2 < 0.12,
+                    "PE area stays near the paper's ~0.064 mm²: {}", p.area_mm2);
+                prop_assert!(p.power_density() > 0.0);
+                // Unit identity: pJ/inst = mW × ns/inst.
+                prop_assert!((p.pj_per_inst - p.power_mw * p.ns_per_inst).abs() < 1e-9);
+                // Delay identity: ns/inst = CPI / GHz.
+                prop_assert!(
+                    (p.ns_per_inst - activity.cpi * 1e3 / freq).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_per_instruction_is_monotone_in_voltage_at_fixed_frequency(
+        config in arb_config(),
+        vt in arb_vt(),
+        activity in arb_activity(),
+    ) {
+        // At a frequency both voltages can close with slack, lower
+        // voltage must never cost energy (CV² + leakage both shrink;
+        // the timing-push factor can only shrink too since fmax grows
+        // with voltage... compare at well-relaxed frequency).
+        let lo = 0.8;
+        let hi = 1.0;
+        let f = 0.4 * max_frequency_mhz(&config, lo, vt);
+        let p_lo = evaluate(&config, vt, lo, f, activity);
+        let p_hi = evaluate(&config, vt, hi, f, activity);
+        if let (Some(lo), Some(hi)) = (p_lo, p_hi) {
+            prop_assert!(
+                lo.pj_per_inst <= hi.pj_per_inst + 1e-9,
+                "lower voltage cost more energy: {} vs {}",
+                lo.pj_per_inst,
+                hi.pj_per_inst
+            );
+        }
+    }
+
+    #[test]
+    fn delay_model_is_monotone_in_voltage(
+        vt in arb_vt(),
+        v_lo in 0.35f64..0.95,
+        dv in 0.01f64..0.2,
+    ) {
+        let v_hi = (v_lo + dv).min(1.1);
+        prop_assert!(fo4_delay_ps(v_hi, vt) < fo4_delay_ps(v_lo, vt));
+    }
+
+    #[test]
+    fn leakage_is_monotone_in_voltage_and_ordered_by_vt(
+        v_lo in 0.35f64..0.95,
+        dv in 0.01f64..0.2,
+    ) {
+        let v_hi = v_lo + dv;
+        for vt in VtClass::ALL {
+            prop_assert!(
+                leakage_density_mw_per_mm2(v_hi, vt) > leakage_density_mw_per_mm2(v_lo, vt)
+            );
+        }
+        prop_assert!(
+            leakage_density_mw_per_mm2(v_lo, VtClass::Low)
+                > leakage_density_mw_per_mm2(v_lo, VtClass::Standard)
+        );
+        prop_assert!(
+            leakage_density_mw_per_mm2(v_lo, VtClass::Standard)
+                > leakage_density_mw_per_mm2(v_lo, VtClass::High)
+        );
+    }
+
+    #[test]
+    fn speculation_always_costs_timing_and_q_never_does(config in arb_config()) {
+        let base = UarchConfig::base(config.pipeline);
+        let fo4 = critical_path_fo4(&config);
+        prop_assert!(fo4 >= critical_path_fo4(&base) - 1e-12);
+        if config.predicate_prediction {
+            prop_assert!(fo4 > critical_path_fo4(&base));
+        } else {
+            prop_assert!((fo4 - critical_path_fo4(&base)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_cpi_never_reduces_energy_per_instruction(
+        config in arb_config(),
+        vt in arb_vt(),
+        issue_rate in 0.1f64..0.9,
+        cpi in 1.0f64..4.0,
+        extra in 0.1f64..2.0,
+    ) {
+        let f = 0.4 * max_frequency_mhz(&config, 0.9, vt);
+        let a1 = CpiMeasurement { cpi, issue_rate: issue_rate.min(1.0 / cpi) };
+        let worse_cpi = cpi + extra;
+        let a2 = CpiMeasurement {
+            cpi: worse_cpi,
+            issue_rate: issue_rate.min(1.0 / worse_cpi),
+        };
+        if let (Some(p1), Some(p2)) = (
+            evaluate(&config, vt, 0.9, f, a1),
+            evaluate(&config, vt, 0.9, f, a2),
+        ) {
+            prop_assert!(p2.pj_per_inst >= p1.pj_per_inst - 1e-9);
+            prop_assert!(p2.ns_per_inst > p1.ns_per_inst);
+        }
+    }
+}

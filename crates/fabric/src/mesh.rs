@@ -1,0 +1,381 @@
+//! Mesh topology helpers: the paper's PEs are "arranged in small-scale
+//! spatial arrays (maximum 4 × 4 to fit on a Zynq SoC-FPGA)" with
+//! nearest-neighbour channels.
+//!
+//! A [`MeshBuilder`] wires an R×C grid of PEs with the conventional
+//! port mapping — input/output queue 0 = north, 1 = east, 2 = south,
+//! 3 = west — so a PE's output toward a direction feeds its
+//! neighbour's input from the opposite direction. Edge ports stay
+//! free for memory ports and host streams.
+
+use tia_isa::IsaError;
+
+use crate::system::{InputRef, OutputRef, ProcessingElement, System};
+
+/// Compass directions used for mesh port numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Port 0.
+    North,
+    /// Port 1.
+    East,
+    /// Port 2.
+    South,
+    /// Port 3.
+    West,
+}
+
+impl Direction {
+    /// All directions in port order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The queue index conventionally assigned to this direction.
+    pub fn port(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+        }
+    }
+
+    /// The opposite direction (where a neighbour receives from).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Row/column offset of the neighbour in this direction.
+    pub fn offset(self) -> (isize, isize) {
+        match self {
+            Direction::North => (-1, 0),
+            Direction::East => (0, 1),
+            Direction::South => (1, 0),
+            Direction::West => (0, -1),
+        }
+    }
+}
+
+/// A grid coordinate in a mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Row, 0 at the top.
+    pub row: usize,
+    /// Column, 0 at the left.
+    pub col: usize,
+}
+
+/// Wires an R×C grid of already-added PEs into a nearest-neighbour
+/// mesh.
+///
+/// # Examples
+///
+/// Build a 2×2 mesh (the paper's multi-PE workload size):
+///
+/// ```
+/// use tia_fabric::mesh::{Coord, Direction, MeshBuilder};
+/// # use tia_fabric::{Memory, ProcessingElement, System, TaggedQueue, Token};
+/// # #[derive(Debug)]
+/// # struct P { q: Vec<TaggedQueue> }
+/// # impl P {
+/// #     fn new() -> P {
+/// #         P { q: (0..8).map(|_| TaggedQueue::new(2)).collect() }
+/// #     }
+/// # }
+/// # impl ProcessingElement for P {
+/// #     fn step(&mut self) {}
+/// #     fn input_queue_mut(&mut self, i: usize) -> &mut TaggedQueue { &mut self.q[i] }
+/// #     fn output_queue_mut(&mut self, i: usize) -> &mut TaggedQueue { &mut self.q[4 + i] }
+/// #     fn is_halted(&self) -> bool { true }
+/// # }
+/// let mut sys: System<P> = System::new(Memory::new(0));
+/// let mesh = MeshBuilder::new(2, 2)
+///     .with_pes(&mut sys, |_coord| P::new())
+///     .connect(&mut sys)?;
+/// assert_eq!(mesh.pe_index(Coord { row: 1, col: 0 }), Some(2));
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct MeshBuilder {
+    rows: usize,
+    cols: usize,
+    indices: Vec<usize>,
+}
+
+/// The wired mesh: a map from grid coordinates to PE indices.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    rows: usize,
+    cols: usize,
+    indices: Vec<usize>,
+}
+
+impl MeshBuilder {
+    /// Starts a mesh of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or a grid larger than the paper's
+    /// maximum 4×4 Zynq arrangement.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        assert!(
+            rows <= 4 && cols <= 4,
+            "the prototype arrays are at most 4x4 (paper §2.3)"
+        );
+        MeshBuilder {
+            rows,
+            cols,
+            indices: Vec::new(),
+        }
+    }
+
+    /// Adds one PE per grid cell (row-major) built by `make`.
+    pub fn with_pes<P, F>(mut self, system: &mut System<P>, mut make: F) -> Self
+    where
+        P: ProcessingElement,
+        F: FnMut(Coord) -> P,
+    {
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let pe = system.add_pe(make(Coord { row, col }));
+                self.indices.push(pe);
+            }
+        }
+        self
+    }
+
+    /// Uses existing PE indices (row-major) instead of creating PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index count does not match the grid size.
+    pub fn with_existing(mut self, indices: Vec<usize>) -> Self {
+        assert_eq!(
+            indices.len(),
+            self.rows * self.cols,
+            "need exactly rows x cols PE indices"
+        );
+        self.indices = indices;
+        self
+    }
+
+    /// Connects every interior nearest-neighbour channel pair and
+    /// returns the mesh map. Edge-facing ports are left unconnected
+    /// for memory ports and host streams.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`System::connect`] errors (e.g. a port already in
+    /// use).
+    pub fn connect<P: ProcessingElement>(self, system: &mut System<P>) -> Result<Mesh, IsaError> {
+        assert_eq!(
+            self.indices.len(),
+            self.rows * self.cols,
+            "call with_pes or with_existing first"
+        );
+        let mesh = Mesh {
+            rows: self.rows,
+            cols: self.cols,
+            indices: self.indices,
+        };
+        for row in 0..mesh.rows {
+            for col in 0..mesh.cols {
+                let from = Coord { row, col };
+                for dir in [Direction::East, Direction::South] {
+                    let Some(to) = mesh.neighbor(from, dir) else {
+                        continue;
+                    };
+                    // from --dir--> to, and back.
+                    system.connect(
+                        OutputRef::Pe {
+                            pe: mesh.indices[mesh.flat(from)],
+                            queue: dir.port(),
+                        },
+                        InputRef::Pe {
+                            pe: mesh.indices[mesh.flat(to)],
+                            queue: dir.opposite().port(),
+                        },
+                    )?;
+                    system.connect(
+                        OutputRef::Pe {
+                            pe: mesh.indices[mesh.flat(to)],
+                            queue: dir.opposite().port(),
+                        },
+                        InputRef::Pe {
+                            pe: mesh.indices[mesh.flat(from)],
+                            queue: dir.port(),
+                        },
+                    )?;
+                }
+            }
+        }
+        Ok(mesh)
+    }
+}
+
+impl Mesh {
+    fn flat(&self, c: Coord) -> usize {
+        c.row * self.cols + c.col
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The PE index at a coordinate, if in bounds.
+    pub fn pe_index(&self, c: Coord) -> Option<usize> {
+        if c.row < self.rows && c.col < self.cols {
+            Some(self.indices[self.flat(c)])
+        } else {
+            None
+        }
+    }
+
+    /// The neighbouring coordinate in a direction, if in bounds.
+    pub fn neighbor(&self, c: Coord, dir: Direction) -> Option<Coord> {
+        let (dr, dc) = dir.offset();
+        let row = c.row.checked_add_signed(dr)?;
+        let col = c.col.checked_add_signed(dc)?;
+        if row < self.rows && col < self.cols {
+            Some(Coord { row, col })
+        } else {
+            None
+        }
+    }
+
+    /// Number of bidirectional nearest-neighbour links.
+    pub fn num_links(&self) -> usize {
+        self.rows * (self.cols - 1) + (self.rows - 1) * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Memory;
+    use crate::queue::{TaggedQueue, Token};
+
+    /// A PE that forwards every input token to the opposite output
+    /// port (a wire-through router).
+    #[derive(Debug)]
+    struct Router {
+        inputs: Vec<TaggedQueue>,
+        outputs: Vec<TaggedQueue>,
+    }
+
+    impl Router {
+        fn new() -> Router {
+            Router {
+                inputs: (0..4).map(|_| TaggedQueue::new(2)).collect(),
+                outputs: (0..4).map(|_| TaggedQueue::new(2)).collect(),
+            }
+        }
+    }
+
+    impl ProcessingElement for Router {
+        fn step(&mut self) {
+            for dir in Direction::ALL {
+                let out = dir.opposite().port();
+                if !self.outputs[out].is_full() {
+                    if let Some(t) = self.inputs[dir.port()].pop() {
+                        let pushed = self.outputs[out].push(t);
+                        debug_assert!(pushed);
+                    }
+                }
+            }
+        }
+
+        fn input_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+            &mut self.inputs[index]
+        }
+
+        fn output_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+            &mut self.outputs[index]
+        }
+
+        fn is_halted(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn four_by_four_wires_24_bidirectional_links() {
+        let mut sys: System<Router> = System::new(Memory::new(0));
+        let mesh = MeshBuilder::new(4, 4)
+            .with_pes(&mut sys, |_| Router::new())
+            .connect(&mut sys)
+            .expect("wires");
+        assert_eq!(mesh.num_links(), 24);
+        assert_eq!(sys.num_pes(), 16);
+    }
+
+    #[test]
+    fn tokens_ripple_across_a_row() {
+        // Inject a token into the west edge of (0,0); routers forward
+        // west-to-east, so it must emerge from (0,2)'s east port.
+        let mut sys: System<Router> = System::new(Memory::new(0));
+        let mesh = MeshBuilder::new(1, 3)
+            .with_pes(&mut sys, |_| Router::new())
+            .connect(&mut sys)
+            .expect("wires");
+        let first = mesh.pe_index(Coord { row: 0, col: 0 }).unwrap();
+        let last = mesh.pe_index(Coord { row: 0, col: 2 }).unwrap();
+        assert!(sys
+            .pe_mut(first)
+            .input_queue_mut(Direction::West.port())
+            .push(Token::data(99)));
+        for _ in 0..12 {
+            sys.step();
+        }
+        let east = sys.pe_mut(last).output_queue_mut(Direction::East.port());
+        assert_eq!(east.pop().map(|t| t.data), Some(99));
+    }
+
+    #[test]
+    fn neighbor_math_respects_edges() {
+        let mesh = Mesh {
+            rows: 2,
+            cols: 2,
+            indices: vec![0, 1, 2, 3],
+        };
+        let origin = Coord { row: 0, col: 0 };
+        assert_eq!(mesh.neighbor(origin, Direction::North), None);
+        assert_eq!(mesh.neighbor(origin, Direction::West), None);
+        assert_eq!(
+            mesh.neighbor(origin, Direction::East),
+            Some(Coord { row: 0, col: 1 })
+        );
+        assert_eq!(
+            mesh.neighbor(origin, Direction::South),
+            Some(Coord { row: 1, col: 0 })
+        );
+        assert_eq!(mesh.pe_index(Coord { row: 2, col: 0 }), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4x4")]
+    fn oversized_meshes_are_rejected() {
+        let _ = MeshBuilder::new(5, 2);
+    }
+
+    #[test]
+    fn directions_are_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dr, dc) = d.offset();
+            let (or, oc) = d.opposite().offset();
+            assert_eq!((dr + or, dc + oc), (0, 0));
+        }
+    }
+}

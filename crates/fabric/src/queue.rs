@@ -1,0 +1,200 @@
+//! Tagged register queues — the communication primitive of the fabric.
+//!
+//! "Each trigger-controlled PE is connected to neighboring PEs by a set
+//! of incoming and outgoing tagged data queues over an interconnect
+//! fabric. Tags encode programmable semantic information that
+//! accompanies the data communicated over these queues" (§2.1).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use tia_isa::{Tag, Word};
+
+/// One tagged data word travelling through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// The semantic tag.
+    pub tag: Tag,
+    /// The data word.
+    pub data: Word,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(tag: Tag, data: Word) -> Self {
+        Token { tag, data }
+    }
+
+    /// A token carrying `data` with [`Tag::ZERO`], the conventional
+    /// plain-data tag.
+    pub fn data(data: Word) -> Self {
+        Token {
+            tag: Tag::ZERO,
+            data,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.tag, self.data)
+    }
+}
+
+/// A bounded FIFO of [`Token`]s: one register queue of the spatial
+/// fabric.
+///
+/// Beyond plain FIFO operations the queue exposes what the paper's
+/// microarchitecture needs: occupancy for effective-status accounting
+/// (§5.3) and indexed peeking at the "head" *and* "neck", since with a
+/// dequeue in flight "the first N tags on the input queue must be
+/// exposed, which for our pipelines is just the head and neck".
+///
+/// # Examples
+///
+/// ```
+/// use tia_fabric::{TaggedQueue, Token};
+///
+/// let mut q = TaggedQueue::new(2);
+/// assert!(q.push(Token::data(7)));
+/// assert!(q.push(Token::data(8)));
+/// assert!(!q.push(Token::data(9))); // full
+/// assert_eq!(q.peek_at(1).unwrap().data, 8); // the "neck"
+/// assert_eq!(q.pop().unwrap().data, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedQueue {
+    tokens: VecDeque<Token>,
+    capacity: usize,
+}
+
+impl TaggedQueue {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a zero-capacity queue can never
+    /// carry data.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        TaggedQueue {
+            tokens: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in tokens.
+    pub fn occupancy(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the queue holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.tokens.len() == self.capacity
+    }
+
+    /// The head token, if any.
+    pub fn peek(&self) -> Option<Token> {
+        self.tokens.front().copied()
+    }
+
+    /// The token at depth `n` (0 = head, 1 = neck, ...), if present.
+    pub fn peek_at(&self, n: usize) -> Option<Token> {
+        self.tokens.get(n).copied()
+    }
+
+    /// Enqueues a token; returns whether it was accepted (false when
+    /// full).
+    #[must_use = "a rejected push means the queue was full"]
+    pub fn push(&mut self, token: Token) -> bool {
+        if self.is_full() {
+            false
+        } else {
+            self.tokens.push_back(token);
+            true
+        }
+    }
+
+    /// Dequeues the head token.
+    pub fn pop(&mut self) -> Option<Token> {
+        self.tokens.pop_front()
+    }
+
+    /// Removes every token.
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+    }
+
+    /// Iterates over queued tokens from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::{Params, Tag};
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = TaggedQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push(Token::data(i)));
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop().unwrap().data, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn push_to_full_queue_is_rejected_without_loss() {
+        let mut q = TaggedQueue::new(1);
+        assert!(q.push(Token::data(1)));
+        assert!(!q.push(Token::data(2)));
+        assert_eq!(q.occupancy(), 1);
+        assert_eq!(q.peek().unwrap().data, 1);
+    }
+
+    #[test]
+    fn head_and_neck_peeking() {
+        let params = Params::default();
+        let mut q = TaggedQueue::new(3);
+        assert!(q.push(Token::new(Tag::new(1, &params).unwrap(), 10)));
+        assert!(q.push(Token::new(Tag::new(2, &params).unwrap(), 20)));
+        assert_eq!(q.peek_at(0).unwrap().tag.value(), 1);
+        assert_eq!(q.peek_at(1).unwrap().tag.value(), 2);
+        assert_eq!(q.peek_at(2), None);
+    }
+
+    #[test]
+    fn occupancy_tracks_operations() {
+        let mut q = TaggedQueue::new(2);
+        assert_eq!(q.occupancy(), 0);
+        assert!(q.is_empty());
+        let _ = q.push(Token::data(1));
+        assert_eq!(q.occupancy(), 1);
+        assert!(!q.is_empty() && !q.is_full());
+        let _ = q.push(Token::data(2));
+        assert!(q.is_full());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TaggedQueue::new(0);
+    }
+}

@@ -1,0 +1,553 @@
+//! The spatial system: PEs, memory ports, host streams, and the
+//! point-to-point channels that connect them.
+//!
+//! Both the functional simulator (`tia-sim`) and the cycle-level
+//! microarchitecture model (`tia-core`) plug their PE types into
+//! [`System`] through the [`ProcessingElement`] trait, so multi-PE
+//! workloads run unchanged on either.
+
+use std::fmt;
+
+use tia_isa::IsaError;
+
+use crate::memory::{Memory, ReadPort, SequentialWritePort, WritePort};
+use crate::queue::TaggedQueue;
+use crate::stream::{StreamSink, StreamSource};
+
+/// A processing element pluggable into a [`System`].
+///
+/// The trait deliberately exposes only what the fabric needs: a clock
+/// edge, the PE's channel endpoints, and halt status.
+pub trait ProcessingElement {
+    /// Advances the PE one cycle.
+    fn step(&mut self);
+
+    /// The PE's input queues (fabric delivers tokens here).
+    fn input_queue_mut(&mut self, index: usize) -> &mut TaggedQueue;
+
+    /// The PE's output queues (fabric drains tokens from here).
+    fn output_queue_mut(&mut self, index: usize) -> &mut TaggedQueue;
+
+    /// Whether the PE has retired a `halt` instruction.
+    fn is_halted(&self) -> bool;
+}
+
+/// A producer-side channel endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputRef {
+    /// Output queue `queue` of PE `pe`.
+    Pe {
+        /// PE index.
+        pe: usize,
+        /// Output queue index within the PE.
+        queue: usize,
+    },
+    /// The data-response endpoint of read port `port`.
+    ReadData {
+        /// Read-port index.
+        port: usize,
+    },
+    /// Host stream source `source`.
+    Source {
+        /// Source index.
+        source: usize,
+    },
+}
+
+/// A consumer-side channel endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputRef {
+    /// Input queue `queue` of PE `pe`.
+    Pe {
+        /// PE index.
+        pe: usize,
+        /// Input queue index within the PE.
+        queue: usize,
+    },
+    /// The address-request endpoint of read port `port`.
+    ReadAddr {
+        /// Read-port index.
+        port: usize,
+    },
+    /// The address endpoint of write port `port`.
+    WriteAddr {
+        /// Write-port index.
+        port: usize,
+    },
+    /// The data endpoint of write port `port`.
+    WriteData {
+        /// Write-port index.
+        port: usize,
+    },
+    /// The data endpoint of sequential (auto-incrementing) write port
+    /// `port`.
+    SeqWriteData {
+        /// Sequential-write-port index.
+        port: usize,
+    },
+    /// Host stream sink `sink`.
+    Sink {
+        /// Sink index.
+        sink: usize,
+    },
+}
+
+/// A point-to-point channel: each cycle at most one token moves from
+/// the producer endpoint to the consumer endpoint (one-cycle link
+/// latency, ideal for nearest-neighbour spatial interconnect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// The producing endpoint.
+    pub from: OutputRef,
+    /// The consuming endpoint.
+    pub to: InputRef,
+}
+
+/// Why [`System::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The caller's condition became true.
+    Condition,
+    /// The cycle limit elapsed first.
+    CycleLimit,
+}
+
+/// A complete spatial system under simulation.
+///
+/// Within a cycle the phases are: PEs step, then channels transfer,
+/// then memory ports and host streams step. A token produced in cycle
+/// *t* is therefore visible to its consumer in cycle *t + 1*, modelling
+/// single-cycle nearest-neighbour links.
+#[derive(Debug)]
+pub struct System<P> {
+    pes: Vec<P>,
+    memory: Memory,
+    read_ports: Vec<ReadPort>,
+    write_ports: Vec<WritePort>,
+    seq_write_ports: Vec<SequentialWritePort>,
+    sources: Vec<StreamSource>,
+    sinks: Vec<StreamSink>,
+    links: Vec<Link>,
+    cycle: u64,
+}
+
+impl<P: ProcessingElement> System<P> {
+    /// Creates a system over a data memory.
+    pub fn new(memory: Memory) -> Self {
+        System {
+            pes: Vec::new(),
+            memory,
+            read_ports: Vec::new(),
+            write_ports: Vec::new(),
+            seq_write_ports: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            links: Vec::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Adds a PE, returning its index.
+    pub fn add_pe(&mut self, pe: P) -> usize {
+        self.pes.push(pe);
+        self.pes.len() - 1
+    }
+
+    /// Adds a memory read port, returning its index.
+    pub fn add_read_port(&mut self, port: ReadPort) -> usize {
+        self.read_ports.push(port);
+        self.read_ports.len() - 1
+    }
+
+    /// Adds a memory write port, returning its index.
+    pub fn add_write_port(&mut self, port: WritePort) -> usize {
+        self.write_ports.push(port);
+        self.write_ports.len() - 1
+    }
+
+    /// Adds a sequential write port, returning its index.
+    pub fn add_seq_write_port(&mut self, port: SequentialWritePort) -> usize {
+        self.seq_write_ports.push(port);
+        self.seq_write_ports.len() - 1
+    }
+
+    /// Adds a host stream source, returning its index.
+    pub fn add_source(&mut self, source: StreamSource) -> usize {
+        self.sources.push(source);
+        self.sources.len() - 1
+    }
+
+    /// Adds a host stream sink, returning its index.
+    pub fn add_sink(&mut self, sink: StreamSink) -> usize {
+        self.sinks.push(sink);
+        self.sinks.len() - 1
+    }
+
+    /// Connects a producer endpoint to a consumer endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidProgram`] when either endpoint is
+    /// already connected (channels are point-to-point) or does not
+    /// exist.
+    pub fn connect(&mut self, from: OutputRef, to: InputRef) -> Result<(), IsaError> {
+        self.check_output(from)?;
+        self.check_input(to)?;
+        if self.links.iter().any(|l| l.from == from) {
+            return Err(IsaError::InvalidProgram(format!(
+                "producer endpoint {from:?} already connected"
+            )));
+        }
+        if self.links.iter().any(|l| l.to == to) {
+            return Err(IsaError::InvalidProgram(format!(
+                "consumer endpoint {to:?} already connected"
+            )));
+        }
+        self.links.push(Link { from, to });
+        Ok(())
+    }
+
+    fn check_output(&self, from: OutputRef) -> Result<(), IsaError> {
+        let ok = match from {
+            OutputRef::Pe { pe, .. } => pe < self.pes.len(),
+            OutputRef::ReadData { port } => port < self.read_ports.len(),
+            OutputRef::Source { source } => source < self.sources.len(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(IsaError::InvalidProgram(format!(
+                "producer endpoint {from:?} does not exist"
+            )))
+        }
+    }
+
+    fn check_input(&self, to: InputRef) -> Result<(), IsaError> {
+        let ok = match to {
+            InputRef::Pe { pe, .. } => pe < self.pes.len(),
+            InputRef::ReadAddr { port } => port < self.read_ports.len(),
+            InputRef::WriteAddr { port } | InputRef::WriteData { port } => {
+                port < self.write_ports.len()
+            }
+            InputRef::SeqWriteData { port } => port < self.seq_write_ports.len(),
+            InputRef::Sink { sink } => sink < self.sinks.len(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(IsaError::InvalidProgram(format!(
+                "consumer endpoint {to:?} does not exist"
+            )))
+        }
+    }
+
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Immutable access to a PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn pe(&self, index: usize) -> &P {
+        &self.pes[index]
+    }
+
+    /// Mutable access to a PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn pe_mut(&mut self, index: usize) -> &mut P {
+        &mut self.pes[index]
+    }
+
+    /// Number of PEs in the system.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The shared data memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable access to the shared data memory (host preloading).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// A sink's collected tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn sink(&self, index: usize) -> &StreamSink {
+        &self.sinks[index]
+    }
+
+    /// Whether every PE has halted.
+    pub fn all_halted(&self) -> bool {
+        self.pes.iter().all(|p| p.is_halted())
+    }
+
+    /// Whether every memory port has drained its buffered and
+    /// in-flight work. Workloads use this to wait for stores that were
+    /// still travelling to a write port when the worker PE halted.
+    pub fn ports_idle(&self) -> bool {
+        self.read_ports.iter().all(|p| p.is_idle())
+            && self.write_ports.iter().all(|p| p.is_idle())
+            && self.seq_write_ports.iter().all(|p| p.is_idle())
+    }
+
+    /// Advances the whole system one cycle.
+    pub fn step(&mut self) {
+        for pe in &mut self.pes {
+            if !pe.is_halted() {
+                pe.step();
+            }
+        }
+        self.transfer_links();
+        for port in &mut self.read_ports {
+            port.step(&self.memory);
+        }
+        for port in &mut self.write_ports {
+            port.step(&mut self.memory);
+        }
+        for port in &mut self.seq_write_ports {
+            port.step(&mut self.memory);
+        }
+        for source in &mut self.sources {
+            source.step();
+        }
+        for sink in &mut self.sinks {
+            sink.step();
+        }
+        self.cycle += 1;
+    }
+
+    fn transfer_links(&mut self) {
+        for i in 0..self.links.len() {
+            let Link { from, to } = self.links[i];
+            // Peek destination space first so we never drop a token.
+            let has_space = match to {
+                InputRef::Pe { pe, queue } => !self.pes[pe].input_queue_mut(queue).is_full(),
+                InputRef::ReadAddr { port } => !self.read_ports[port].addr_in.is_full(),
+                InputRef::WriteAddr { port } => !self.write_ports[port].addr_in.is_full(),
+                InputRef::WriteData { port } => !self.write_ports[port].data_in.is_full(),
+                InputRef::SeqWriteData { port } => !self.seq_write_ports[port].data_in.is_full(),
+                InputRef::Sink { sink } => !self.sinks[sink].input.is_full(),
+            };
+            if !has_space {
+                continue;
+            }
+            let token = match from {
+                OutputRef::Pe { pe, queue } => self.pes[pe].output_queue_mut(queue).pop(),
+                OutputRef::ReadData { port } => self.read_ports[port].data_out.pop(),
+                OutputRef::Source { source } => self.sources[source].out.pop(),
+            };
+            let Some(token) = token else { continue };
+            let accepted = match to {
+                InputRef::Pe { pe, queue } => self.pes[pe].input_queue_mut(queue).push(token),
+                InputRef::ReadAddr { port } => self.read_ports[port].addr_in.push(token),
+                InputRef::WriteAddr { port } => self.write_ports[port].addr_in.push(token),
+                InputRef::WriteData { port } => self.write_ports[port].data_in.push(token),
+                InputRef::SeqWriteData { port } => self.seq_write_ports[port].data_in.push(token),
+                InputRef::Sink { sink } => self.sinks[sink].input.push(token),
+            };
+            debug_assert!(accepted, "space was checked before popping");
+        }
+    }
+
+    /// Runs until `condition` holds (checked after each cycle) or
+    /// `max_cycles` elapse.
+    pub fn run_until<F>(&mut self, mut condition: F, max_cycles: u64) -> StopReason
+    where
+        F: FnMut(&System<P>) -> bool,
+    {
+        for _ in 0..max_cycles {
+            self.step();
+            if condition(self) {
+                return StopReason::Condition;
+            }
+        }
+        StopReason::CycleLimit
+    }
+
+    /// Runs until every PE halts or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> StopReason {
+        self.run_until(|sys| sys.all_halted(), max_cycles)
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Condition => f.write_str("condition met"),
+            StopReason::CycleLimit => f.write_str("cycle limit reached"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Token;
+
+    /// A trivial PE that copies input 0 to output 0 each cycle.
+    #[derive(Debug)]
+    struct CopyPe {
+        input: TaggedQueue,
+        output: TaggedQueue,
+        copied: u64,
+        halt_after: u64,
+    }
+
+    impl CopyPe {
+        fn new(halt_after: u64) -> Self {
+            CopyPe {
+                input: TaggedQueue::new(2),
+                output: TaggedQueue::new(2),
+                copied: 0,
+                halt_after,
+            }
+        }
+    }
+
+    impl ProcessingElement for CopyPe {
+        fn step(&mut self) {
+            if !self.input.is_empty() && !self.output.is_full() {
+                let t = self.input.pop().expect("checked");
+                let pushed = self.output.push(t);
+                debug_assert!(pushed);
+                self.copied += 1;
+            }
+        }
+
+        fn input_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+            assert_eq!(index, 0);
+            &mut self.input
+        }
+
+        fn output_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+            assert_eq!(index, 0);
+            &mut self.output
+        }
+
+        fn is_halted(&self) -> bool {
+            self.copied >= self.halt_after
+        }
+    }
+
+    fn chain(n_items: u32) -> System<CopyPe> {
+        let mut sys = System::new(Memory::new(0));
+        let pe = sys.add_pe(CopyPe::new(n_items as u64));
+        let tokens: Vec<Token> = (0..n_items).map(Token::data).collect();
+        let src = sys.add_source(StreamSource::new(2, tokens));
+        let sink = sys.add_sink(StreamSink::new(2));
+        sys.connect(
+            OutputRef::Source { source: src },
+            InputRef::Pe { pe, queue: 0 },
+        )
+        .unwrap();
+        sys.connect(OutputRef::Pe { pe, queue: 0 }, InputRef::Sink { sink })
+            .unwrap();
+        sys
+    }
+
+    #[test]
+    fn source_pe_sink_pipeline_delivers_everything_in_order() {
+        let mut sys = chain(10);
+        let reason = sys.run(1_000);
+        assert_eq!(reason, StopReason::Condition);
+        // Let the tail drain.
+        for _ in 0..10 {
+            sys.step();
+        }
+        assert_eq!(sys.sink(0).words(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_endpoints_are_rejected() {
+        let mut sys = chain(1);
+        let err = sys
+            .connect(OutputRef::Source { source: 0 }, InputRef::Sink { sink: 0 })
+            .unwrap_err();
+        assert!(err.to_string().contains("already connected"));
+    }
+
+    #[test]
+    fn dangling_endpoints_are_rejected() {
+        let mut sys: System<CopyPe> = System::new(Memory::new(0));
+        assert!(sys
+            .connect(
+                OutputRef::Pe { pe: 0, queue: 0 },
+                InputRef::Sink { sink: 0 }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn cycle_limit_stops_a_stuck_system() {
+        // A source with no consumer for the PE output: the PE's output
+        // queue fills and everything backs up.
+        let mut sys = System::new(Memory::new(0));
+        let pe = sys.add_pe(CopyPe::new(u64::MAX));
+        let tokens: Vec<Token> = (0..100).map(Token::data).collect();
+        let src = sys.add_source(StreamSource::new(2, tokens));
+        sys.connect(
+            OutputRef::Source { source: src },
+            InputRef::Pe { pe, queue: 0 },
+        )
+        .unwrap();
+        assert_eq!(sys.run(50), StopReason::CycleLimit);
+        assert_eq!(sys.cycle(), 50);
+        // Exactly capacity(out)=2 copies happened, then backpressure.
+        assert_eq!(sys.pe(0).copied, 2);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_ports() {
+        // source(addresses) -> read port -> sink
+        let mut sys: System<CopyPe> = System::new(Memory::from_words(vec![7, 8, 9]));
+        let rp = sys.add_read_port(ReadPort::new(2, 4));
+        let addrs: Vec<Token> = (0..3).map(Token::data).collect();
+        let src = sys.add_source(StreamSource::new(2, addrs));
+        let sink = sys.add_sink(StreamSink::new(2));
+        sys.connect(
+            OutputRef::Source { source: src },
+            InputRef::ReadAddr { port: rp },
+        )
+        .unwrap();
+        sys.connect(OutputRef::ReadData { port: rp }, InputRef::Sink { sink })
+            .unwrap();
+        let reason = sys.run_until(|s| s.sink(0).collected().len() == 3, 100);
+        assert_eq!(reason, StopReason::Condition);
+        assert_eq!(sys.sink(0).words(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn write_port_commits_paired_stores() {
+        let mut sys: System<CopyPe> = System::new(Memory::new(4));
+        let wp = sys.add_write_port(WritePort::new(2));
+        let addr_src = sys.add_source(StreamSource::new(2, vec![Token::data(1), Token::data(2)]));
+        let data_src = sys.add_source(StreamSource::new(2, vec![Token::data(11), Token::data(22)]));
+        sys.connect(
+            OutputRef::Source { source: addr_src },
+            InputRef::WriteAddr { port: wp },
+        )
+        .unwrap();
+        sys.connect(
+            OutputRef::Source { source: data_src },
+            InputRef::WriteData { port: wp },
+        )
+        .unwrap();
+        for _ in 0..20 {
+            sys.step();
+        }
+        assert_eq!(sys.memory().read(1), 11);
+        assert_eq!(sys.memory().read(2), 22);
+    }
+}

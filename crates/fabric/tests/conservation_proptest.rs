@@ -1,0 +1,146 @@
+//! Property tests on the fabric: FIFO order, token conservation
+//! through channels and memory ports, and read-port response ordering.
+
+use proptest::prelude::*;
+
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, SequentialWritePort, StreamSink,
+    StreamSource, System, TaggedQueue, Token, WritePort,
+};
+
+/// A PE-free system type for pure-fabric tests.
+#[derive(Debug)]
+enum NoPe {}
+
+impl ProcessingElement for NoPe {
+    fn step(&mut self) {
+        match *self {}
+    }
+    fn input_queue_mut(&mut self, _: usize) -> &mut TaggedQueue {
+        match *self {}
+    }
+    fn output_queue_mut(&mut self, _: usize) -> &mut TaggedQueue {
+        match *self {}
+    }
+    fn is_halted(&self) -> bool {
+        match *self {}
+    }
+}
+
+proptest! {
+    #[test]
+    fn queues_preserve_fifo_order_under_any_op_sequence(
+        ops in prop::collection::vec(any::<Option<u32>>(), 1..200),
+        capacity in 1usize..16,
+    ) {
+        // Some(v) = push v, None = pop. Model against a VecDeque.
+        let mut queue = TaggedQueue::new(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let accepted = queue.push(Token::data(v));
+                    prop_assert_eq!(accepted, model.len() < capacity);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                None => {
+                    let got = queue.pop().map(|t| t.data);
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(queue.occupancy(), model.len());
+            prop_assert_eq!(queue.peek().map(|t| t.data), model.front().copied());
+            if model.len() >= 2 {
+                prop_assert_eq!(
+                    queue.peek_at(1).map(|t| t.data),
+                    model.get(1).copied()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_to_sink_conserves_every_token(
+        values in prop::collection::vec(any::<u32>(), 0..100),
+        capacity in 1usize..8,
+    ) {
+        let tokens: Vec<Token> = values.iter().copied().map(Token::data).collect();
+        let mut sys: System<NoPe> = System::new(Memory::new(0));
+        let src = sys.add_source(StreamSource::new(capacity, tokens));
+        let sink = sys.add_sink(StreamSink::new(capacity));
+        sys.connect(OutputRef::Source { source: src }, InputRef::Sink { sink })
+            .expect("wires");
+        for _ in 0..(values.len() * 4 + 16) {
+            sys.step();
+        }
+        prop_assert_eq!(sys.sink(0).words(), values);
+    }
+
+    #[test]
+    fn read_port_responses_arrive_in_request_order(
+        addrs in prop::collection::vec(0u32..64, 1..50),
+        latency in 1u32..8,
+        capacity in 1usize..6,
+    ) {
+        let memory = Memory::from_words((100..164).collect());
+        let mut sys: System<NoPe> = System::new(memory);
+        let port = sys.add_read_port(ReadPort::new(capacity, latency));
+        let tokens: Vec<Token> = addrs.iter().copied().map(Token::data).collect();
+        let src = sys.add_source(StreamSource::new(capacity, tokens));
+        let sink = sys.add_sink(StreamSink::new(capacity));
+        sys.connect(OutputRef::Source { source: src }, InputRef::ReadAddr { port })
+            .expect("wires");
+        sys.connect(OutputRef::ReadData { port }, InputRef::Sink { sink })
+            .expect("wires");
+        for _ in 0..(addrs.len() * (latency as usize + 6) + 64) {
+            sys.step();
+        }
+        let expected: Vec<u32> = addrs.iter().map(|&a| 100 + a).collect();
+        prop_assert_eq!(sys.sink(0).words(), expected);
+    }
+
+    #[test]
+    fn paired_and_sequential_write_ports_agree(
+        values in prop::collection::vec(any::<u32>(), 1..60),
+        base in 0u32..16,
+    ) {
+        // Store `values` at base.. with both port styles; the memory
+        // images must match.
+        let size = base as usize + values.len();
+        let run_paired = {
+            let mut sys: System<NoPe> = System::new(Memory::new(size));
+            let wp = sys.add_write_port(WritePort::new(4));
+            let addr_tokens: Vec<Token> =
+                (0..values.len() as u32).map(|i| Token::data(base + i)).collect();
+            let data_tokens: Vec<Token> = values.iter().copied().map(Token::data).collect();
+            let a = sys.add_source(StreamSource::new(4, addr_tokens));
+            let d = sys.add_source(StreamSource::new(4, data_tokens));
+            sys.connect(OutputRef::Source { source: a }, InputRef::WriteAddr { port: wp })
+                .expect("wires");
+            sys.connect(OutputRef::Source { source: d }, InputRef::WriteData { port: wp })
+                .expect("wires");
+            for _ in 0..(values.len() * 4 + 32) {
+                sys.step();
+            }
+            sys.memory().words().to_vec()
+        };
+        let run_sequential = {
+            let mut sys: System<NoPe> = System::new(Memory::new(size));
+            let wp = sys.add_seq_write_port(SequentialWritePort::new(4, base));
+            let data_tokens: Vec<Token> = values.iter().copied().map(Token::data).collect();
+            let d = sys.add_source(StreamSource::new(4, data_tokens));
+            sys.connect(
+                OutputRef::Source { source: d },
+                InputRef::SeqWriteData { port: wp },
+            )
+            .expect("wires");
+            for _ in 0..(values.len() * 4 + 32) {
+                sys.step();
+            }
+            sys.memory().words().to_vec()
+        };
+        prop_assert_eq!(run_paired, run_sequential);
+    }
+}

@@ -1,0 +1,156 @@
+//! Pure datapath evaluation shared by the functional simulator and the
+//! cycle-level microarchitecture model.
+//!
+//! Keeping the arithmetic in one place guarantees the golden functional
+//! model and every pipeline variant compute identical results.
+
+use crate::instruction::Word;
+use crate::op::Op;
+
+/// Evaluates a datapath operation on (up to) two source words.
+///
+/// Scratchpad operations (`lsw`/`ssw`) are *not* evaluated here — they
+/// need the scratchpad memory and are handled by the execution model;
+/// calling this with them (or with `nop`/`halt`) returns 0.
+///
+/// Shift amounts use the low five bits of `b`, RISC-style.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{alu, Op};
+///
+/// assert_eq!(alu::evaluate(Op::Add, 2, 3), 5);
+/// assert_eq!(alu::evaluate(Op::Ult, 2, 3), 1);
+/// assert_eq!(alu::evaluate(Op::Clz, 1, 0), 31);
+/// assert_eq!(alu::evaluate(Op::Mulhu, u32::MAX, 2), 1);
+/// ```
+pub fn evaluate(op: Op, a: Word, b: Word) -> Word {
+    let sh = b & 31;
+    match op {
+        Op::Nop | Op::Halt | Op::Ssw | Op::Lsw => 0,
+        Op::Mov => a,
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+        Op::Mulhs => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u64 as u32,
+        Op::Neg => (a as i32).wrapping_neg() as u32,
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Not => !a,
+        Op::Sll => a.wrapping_shl(sh),
+        Op::Srl => a.wrapping_shr(sh),
+        Op::Sra => ((a as i32).wrapping_shr(sh)) as u32,
+        Op::Rol => a.rotate_left(sh),
+        Op::Ror => a.rotate_right(sh),
+        Op::Clz => a.leading_zeros(),
+        Op::Ctz => a.trailing_zeros(),
+        Op::Popc => a.count_ones(),
+        Op::Bset => a | (1u32 << sh),
+        Op::Bclr => a & !(1u32 << sh),
+        Op::Bget => (a >> sh) & 1,
+        Op::Eq => (a == b) as u32,
+        Op::Ne => (a != b) as u32,
+        Op::Slt => ((a as i32) < (b as i32)) as u32,
+        Op::Sle => ((a as i32) <= (b as i32)) as u32,
+        Op::Sgt => ((a as i32) > (b as i32)) as u32,
+        Op::Sge => ((a as i32) >= (b as i32)) as u32,
+        Op::Ult => (a < b) as u32,
+        Op::Ule => (a <= b) as u32,
+        Op::Ugt => (a > b) as u32,
+        Op::Uge => (a >= b) as u32,
+        Op::Smin => (a as i32).min(b as i32) as u32,
+        Op::Smax => (a as i32).max(b as i32) as u32,
+        Op::Umin => a.min(b),
+        Op::Umax => a.max(b),
+        Op::Sextb => a as u8 as i8 as i32 as u32,
+        Op::Sexth => a as u16 as i16 as i32 as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(evaluate(Op::Add, u32::MAX, 1), 0);
+        assert_eq!(evaluate(Op::Sub, 0, 1), u32::MAX);
+        assert_eq!(evaluate(Op::Mul, 1 << 31, 2), 0);
+        assert_eq!(evaluate(Op::Neg, i32::MIN as u32, 0), i32::MIN as u32);
+    }
+
+    #[test]
+    fn wide_products_match_u64_and_i64() {
+        assert_eq!(evaluate(Op::Mulhu, 0xffff_ffff, 0xffff_ffff), 0xffff_fffe);
+        assert_eq!(evaluate(Op::Mulhs, (-1i32) as u32, (-1i32) as u32), 0);
+        assert_eq!(evaluate(Op::Mulhs, (-2i32) as u32, 3), u32::MAX);
+        assert_eq!(
+            evaluate(Op::Mulhs, i32::MIN as u32, i32::MIN as u32),
+            ((i32::MIN as i64 * i32::MIN as i64) >> 32) as u32
+        );
+    }
+
+    #[test]
+    fn shifts_mask_the_amount() {
+        assert_eq!(evaluate(Op::Sll, 1, 33), 2);
+        assert_eq!(evaluate(Op::Srl, 0x8000_0000, 63), 1);
+        assert_eq!(evaluate(Op::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(evaluate(Op::Rol, 0x8000_0001, 1), 3);
+        assert_eq!(evaluate(Op::Ror, 3, 1), 0x8000_0001);
+    }
+
+    #[test]
+    fn bit_counts() {
+        assert_eq!(evaluate(Op::Clz, 0, 0), 32);
+        assert_eq!(evaluate(Op::Ctz, 0, 0), 32);
+        assert_eq!(evaluate(Op::Popc, 0xf0f0_f0f0, 0), 16);
+        assert_eq!(evaluate(Op::Clz, 0x0000_8000, 0), 16);
+        assert_eq!(evaluate(Op::Ctz, 0x0000_8000, 0), 15);
+    }
+
+    #[test]
+    fn bit_manipulation() {
+        assert_eq!(evaluate(Op::Bset, 0, 5), 32);
+        assert_eq!(evaluate(Op::Bclr, 0xff, 0), 0xfe);
+        assert_eq!(evaluate(Op::Bget, 0b100, 2), 1);
+        assert_eq!(evaluate(Op::Bget, 0b100, 1), 0);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_comparisons_disagree_on_sign_bit() {
+        let neg1 = (-1i32) as u32;
+        assert_eq!(evaluate(Op::Slt, neg1, 0), 1);
+        assert_eq!(evaluate(Op::Ult, neg1, 0), 0);
+        assert_eq!(evaluate(Op::Sge, 0, neg1), 1);
+        assert_eq!(evaluate(Op::Uge, 0, neg1), 0);
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        for op in [Op::Eq, Op::Ne, Op::Slt, Op::Ule, Op::Ugt] {
+            for (a, b) in [(0u32, 0u32), (5, 7), (u32::MAX, 1)] {
+                assert!(evaluate(op, a, b) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_sign_sensitivity() {
+        let neg = (-5i32) as u32;
+        assert_eq!(evaluate(Op::Smin, neg, 3), neg);
+        assert_eq!(evaluate(Op::Umin, neg, 3), 3);
+        assert_eq!(evaluate(Op::Smax, neg, 3), 3);
+        assert_eq!(evaluate(Op::Umax, neg, 3), neg);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(evaluate(Op::Sextb, 0x80, 0), 0xffff_ff80);
+        assert_eq!(evaluate(Op::Sextb, 0x7f, 0), 0x7f);
+        assert_eq!(evaluate(Op::Sexth, 0x8000, 0), 0xffff_8000);
+        assert_eq!(evaluate(Op::Sexth, 0x1234_7fff, 0), 0x7fff);
+    }
+}

@@ -1,0 +1,643 @@
+//! Binary instruction encoding (paper Table 2).
+//!
+//! "The sizing of many fields in the machine code layout is dependent
+//! on the parametrization chosen in Table 1." With the default
+//! parameters the encoded instruction is exactly 106 bits; the
+//! toolchain pads it "to a round 128 bits" for host manipulation
+//! (§2.3) — the padding "is never stored in the write-only instruction
+//! memory".
+
+use crate::error::IsaError;
+use crate::ids::{InputId, OutputId, PredId, RegId, Tag};
+use crate::instruction::{DstOperand, Instruction, QueueCheck, SrcOperand, Trigger};
+use crate::op::Op;
+use crate::params::{bits_for, Params, NUM_DSTS, NUM_OPS, NUM_SRCS};
+use crate::pred::{PredPattern, PredUpdate};
+
+/// The width and offset of every instruction field under a given
+/// parameter assignment (a computed Table 2).
+///
+/// Fields are packed least-significant-bit first in Table 2 order,
+/// starting with the valid bit at bit 0.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::Params;
+///
+/// let layout = Params::default().layout();
+/// assert_eq!(layout.total_bits(), 106);
+/// assert_eq!(layout.padded_bits(), 128);
+/// assert_eq!(layout.width("Imm"), Some(32));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodingLayout {
+    fields: Vec<FieldSpec>,
+}
+
+/// One named field of the binary layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name, matching Table 2 (`Val`, `PredMask`, ...).
+    pub name: &'static str,
+    /// Human-readable description from Table 2.
+    pub description: &'static str,
+    /// Bit offset of the field's least-significant bit.
+    pub offset: usize,
+    /// Field width in bits.
+    pub width: usize,
+}
+
+impl EncodingLayout {
+    /// Computes the layout implied by a parameter assignment.
+    pub fn from_params(p: &Params) -> Self {
+        let qidx = bits_for(p.num_input_queues + 1);
+        let src_id = bits_for(p.num_regs.max(p.num_input_queues));
+        let dst_id = bits_for(p.num_regs.max(p.num_output_queues).max(p.num_preds));
+        let widths: [(&'static str, &'static str, usize); 14] = [
+            ("Val", "Valid bit", 1),
+            (
+                "PredMask",
+                "Required on-set and off-set of predicates for trigger",
+                2 * p.num_preds,
+            ),
+            ("QueueIndices", "Input queues to check", p.max_check * qidx),
+            (
+                "NotTags",
+                "Which queues to check for absence of given tag",
+                p.max_check,
+            ),
+            (
+                "TagVals",
+                "Vector of tags to seek on input queues",
+                p.max_check * p.tag_width,
+            ),
+            ("Op", "Opcode", bits_for(NUM_OPS)),
+            (
+                "SrcTypes",
+                "Source types (reg, input queue, immediate, or none)",
+                NUM_SRCS * 2,
+            ),
+            ("SrcIDs", "Source indices", NUM_SRCS * src_id),
+            (
+                "DstTypes",
+                "Destination types (register, output queue, or predicate)",
+                NUM_DSTS * 2,
+            ),
+            ("DstIDs", "Destination indices", NUM_DSTS * dst_id),
+            (
+                "OutTag",
+                "Tag with which to enqueue the result",
+                p.tag_width,
+            ),
+            ("IQueueDeq", "Input queues to dequeue", p.max_deq * qidx),
+            (
+                "PredUpdate",
+                "Masks of which predicates to force high or low",
+                2 * p.num_preds,
+            ),
+            ("Imm", "Immediate value", p.word_width),
+        ];
+        let mut fields = Vec::with_capacity(widths.len());
+        let mut offset = 0;
+        for (name, description, width) in widths {
+            fields.push(FieldSpec {
+                name,
+                description,
+                offset,
+                width,
+            });
+            offset += width;
+        }
+        EncodingLayout { fields }
+    }
+
+    /// All fields in layout order.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// Total encoded width in bits (106 for the default parameters).
+    pub fn total_bits(&self) -> usize {
+        self.fields.last().map_or(0, |f| f.offset + f.width)
+    }
+
+    /// The host-visible width: `total_bits` rounded up to a multiple
+    /// of 64 (128 for the default parameters, as in §2.3).
+    pub fn padded_bits(&self) -> usize {
+        self.total_bits().div_ceil(64) * 64
+    }
+
+    /// Width of a named field, if present.
+    pub fn width(&self, name: &str) -> Option<usize> {
+        self.fields.iter().find(|f| f.name == name).map(|f| f.width)
+    }
+
+    /// Offset of a named field, if present.
+    pub fn offset(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.offset)
+    }
+}
+
+/// A little-endian bit writer over a `u128` image.
+struct BitWriter {
+    image: u128,
+    pos: usize,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { image: 0, pos: 0 }
+    }
+
+    fn push(&mut self, value: u128, width: usize) {
+        debug_assert!(width == 128 || value < (1u128 << width));
+        self.image |= value << self.pos;
+        self.pos += width;
+    }
+}
+
+/// A little-endian bit reader over a `u128` image.
+struct BitReader {
+    image: u128,
+    pos: usize,
+}
+
+impl BitReader {
+    fn new(image: u128) -> Self {
+        BitReader { image, pos: 0 }
+    }
+
+    fn pull(&mut self, width: usize) -> u128 {
+        let mask = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        let v = (self.image >> self.pos) & mask;
+        self.pos += width;
+        v
+    }
+}
+
+/// Encodes an instruction to its binary image.
+///
+/// The image occupies the low [`EncodingLayout::total_bits`] bits; the
+/// rest is zero padding.
+///
+/// # Errors
+///
+/// Returns an [`IsaError`] when the instruction fails
+/// [`Instruction::validate`] for `params`.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{encoding, Instruction, Params};
+///
+/// let params = Params::default();
+/// let image = encoding::encode(&Instruction::invalid(), &params)?;
+/// assert_eq!(image, 0); // invalid slots encode as all-zero
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+pub fn encode(instruction: &Instruction, params: &Params) -> Result<u128, IsaError> {
+    instruction.validate(params)?;
+    if !instruction.valid {
+        return Ok(0);
+    }
+    let qidx = bits_for(params.num_input_queues + 1);
+    let src_id = bits_for(params.num_regs.max(params.num_input_queues));
+    let dst_id = bits_for(
+        params
+            .num_regs
+            .max(params.num_output_queues)
+            .max(params.num_preds),
+    );
+
+    let mut w = BitWriter::new();
+    w.push(1, 1); // Val
+
+    // PredMask: on-set then off-set.
+    w.push(
+        instruction.trigger.predicates.on_set() as u128,
+        params.num_preds,
+    );
+    w.push(
+        instruction.trigger.predicates.off_set() as u128,
+        params.num_preds,
+    );
+
+    // QueueIndices (0 = unused slot, else queue + 1).
+    for slot in 0..params.max_check {
+        let v = instruction
+            .trigger
+            .queue_checks
+            .get(slot)
+            .map_or(0, |c| c.queue.index() as u128 + 1);
+        w.push(v, qidx);
+    }
+    // NotTags.
+    for slot in 0..params.max_check {
+        let v = instruction
+            .trigger
+            .queue_checks
+            .get(slot)
+            .map_or(0, |c| c.negate as u128);
+        w.push(v, 1);
+    }
+    // TagVals.
+    for slot in 0..params.max_check {
+        let v = instruction
+            .trigger
+            .queue_checks
+            .get(slot)
+            .map_or(0, |c| c.tag.value() as u128);
+        w.push(v, params.tag_width);
+    }
+
+    w.push(instruction.op.opcode() as u128, bits_for(NUM_OPS));
+
+    for src in &instruction.srcs {
+        w.push(src.type_code() as u128, 2);
+    }
+    for src in &instruction.srcs {
+        w.push(src.id_code() as u128, src_id);
+    }
+
+    w.push(instruction.dst.type_code() as u128, 2);
+    w.push(instruction.dst.id_code() as u128, dst_id);
+
+    w.push(instruction.out_tag.value() as u128, params.tag_width);
+
+    for slot in 0..params.max_deq {
+        let v = instruction
+            .dequeues
+            .get(slot)
+            .map_or(0, |q| q.index() as u128 + 1);
+        w.push(v, qidx);
+    }
+
+    w.push(instruction.pred_update.set_mask() as u128, params.num_preds);
+    w.push(
+        instruction.pred_update.clear_mask() as u128,
+        params.num_preds,
+    );
+
+    w.push(
+        (instruction.imm & params.word_mask()) as u128,
+        params.word_width,
+    );
+
+    debug_assert_eq!(w.pos, params.layout().total_bits());
+    Ok(w.image)
+}
+
+/// Decodes a binary image back into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] when the image contains an out-of-range
+/// opcode or identifier, or set bits beyond the encoded width, and
+/// propagates [`Instruction::validate`] failures for structurally
+/// invalid (but bit-wise representable) instructions.
+pub fn decode(image: u128, params: &Params) -> Result<Instruction, IsaError> {
+    let total = params.layout().total_bits();
+    if total < 128 && (image >> total) != 0 {
+        return Err(IsaError::Decode(format!(
+            "set bits beyond the {total}-bit encoding"
+        )));
+    }
+    if image & 1 == 0 {
+        // Valid bit clear: an empty slot. Require all-zero so stray
+        // bits in "invalid" slots are caught early.
+        if image != 0 {
+            return Err(IsaError::Decode(
+                "invalid instruction slot has non-zero payload".to_string(),
+            ));
+        }
+        return Ok(Instruction::invalid());
+    }
+
+    let qidx = bits_for(params.num_input_queues + 1);
+    let src_id = bits_for(params.num_regs.max(params.num_input_queues));
+    let dst_id = bits_for(
+        params
+            .num_regs
+            .max(params.num_output_queues)
+            .max(params.num_preds),
+    );
+
+    let mut r = BitReader::new(image);
+    let _val = r.pull(1);
+
+    let on_set = r.pull(params.num_preds) as u32;
+    let off_set = r.pull(params.num_preds) as u32;
+    let predicates =
+        PredPattern::new(on_set, off_set).map_err(|e| IsaError::Decode(e.to_string()))?;
+
+    let mut queue_slots = Vec::with_capacity(params.max_check);
+    for _ in 0..params.max_check {
+        queue_slots.push(r.pull(qidx) as usize);
+    }
+    let mut negates = Vec::with_capacity(params.max_check);
+    for _ in 0..params.max_check {
+        negates.push(r.pull(1) == 1);
+    }
+    let mut tags = Vec::with_capacity(params.max_check);
+    for _ in 0..params.max_check {
+        tags.push(r.pull(params.tag_width) as u32);
+    }
+    let mut queue_checks = Vec::new();
+    for slot in 0..params.max_check {
+        if queue_slots[slot] == 0 {
+            continue;
+        }
+        let queue = InputId::new(queue_slots[slot] - 1, params)
+            .map_err(|e| IsaError::Decode(e.to_string()))?;
+        let tag = Tag::new(tags[slot], params).map_err(|e| IsaError::Decode(e.to_string()))?;
+        queue_checks.push(QueueCheck {
+            queue,
+            tag,
+            negate: negates[slot],
+        });
+    }
+
+    let opcode = r.pull(bits_for(NUM_OPS)) as u8;
+    let op = Op::from_opcode(opcode)
+        .ok_or_else(|| IsaError::Decode(format!("unknown opcode {opcode}")))?;
+
+    let mut src_types = [0u8; NUM_SRCS];
+    for t in &mut src_types {
+        *t = r.pull(2) as u8;
+    }
+    let mut src_ids = [0u8; NUM_SRCS];
+    for id in &mut src_ids {
+        *id = r.pull(src_id) as u8;
+    }
+    let mut srcs = [SrcOperand::None; NUM_SRCS];
+    for i in 0..NUM_SRCS {
+        srcs[i] = match src_types[i] {
+            0 => SrcOperand::None,
+            1 => SrcOperand::Reg(
+                RegId::new(src_ids[i] as usize, params)
+                    .map_err(|e| IsaError::Decode(e.to_string()))?,
+            ),
+            2 => SrcOperand::Input(
+                InputId::new(src_ids[i] as usize, params)
+                    .map_err(|e| IsaError::Decode(e.to_string()))?,
+            ),
+            _ => SrcOperand::Imm,
+        };
+    }
+
+    let dst_type = r.pull(2) as u8;
+    let dst_idx = r.pull(dst_id) as usize;
+    let dst = match dst_type {
+        0 => DstOperand::None,
+        1 => DstOperand::Reg(
+            RegId::new(dst_idx, params).map_err(|e| IsaError::Decode(e.to_string()))?,
+        ),
+        2 => DstOperand::Output(
+            OutputId::new(dst_idx, params).map_err(|e| IsaError::Decode(e.to_string()))?,
+        ),
+        _ => DstOperand::Pred(
+            PredId::new(dst_idx, params).map_err(|e| IsaError::Decode(e.to_string()))?,
+        ),
+    };
+
+    let out_tag = Tag::new(r.pull(params.tag_width) as u32, params)
+        .map_err(|e| IsaError::Decode(e.to_string()))?;
+
+    let mut dequeues = Vec::new();
+    for _ in 0..params.max_deq {
+        let v = r.pull(qidx) as usize;
+        if v != 0 {
+            dequeues
+                .push(InputId::new(v - 1, params).map_err(|e| IsaError::Decode(e.to_string()))?);
+        }
+    }
+
+    let set_mask = r.pull(params.num_preds) as u32;
+    let clear_mask = r.pull(params.num_preds) as u32;
+    let pred_update =
+        PredUpdate::new(set_mask, clear_mask).map_err(|e| IsaError::Decode(e.to_string()))?;
+
+    let imm = r.pull(params.word_width) as u32;
+
+    let instruction = Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates,
+            queue_checks,
+        },
+        op,
+        srcs,
+        dst,
+        out_tag,
+        dequeues,
+        pred_update,
+        imm,
+    };
+    instruction.validate(params)?;
+    Ok(instruction)
+}
+
+/// Encodes to the padded little-endian byte image the host toolchain
+/// manipulates (16 bytes for the default 106-bit encoding, §2.3).
+///
+/// # Errors
+///
+/// Propagates the errors of [`encode`].
+pub fn to_bytes(instruction: &Instruction, params: &Params) -> Result<Vec<u8>, IsaError> {
+    let image = encode(instruction, params)?;
+    let n = params.layout().padded_bits() / 8;
+    Ok(image.to_le_bytes()[..n].to_vec())
+}
+
+/// Decodes a padded little-endian byte image.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] when `bytes` is longer than 16 bytes or
+/// the payload fails [`decode`].
+pub fn from_bytes(bytes: &[u8], params: &Params) -> Result<Instruction, IsaError> {
+    if bytes.len() > 16 {
+        return Err(IsaError::Decode(format!(
+            "instruction image of {} bytes exceeds 128 bits",
+            bytes.len()
+        )));
+    }
+    let mut buf = [0u8; 16];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    decode(u128::from_le_bytes(buf), params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn sample(p: &Params) -> Instruction {
+        Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::new(0b0001, 0b0110).unwrap(),
+                queue_checks: vec![QueueCheck {
+                    queue: InputId::new(2, p).unwrap(),
+                    tag: Tag::new(1, p).unwrap(),
+                    negate: true,
+                }],
+            },
+            op: Op::Add,
+            srcs: [
+                SrcOperand::Input(InputId::new(2, p).unwrap()),
+                SrcOperand::Imm,
+            ],
+            dst: DstOperand::Output(OutputId::new(1, p).unwrap()),
+            out_tag: Tag::new(2, p).unwrap(),
+            dequeues: vec![InputId::new(2, p).unwrap()],
+            pred_update: PredUpdate::new(0b1000, 0b0001).unwrap(),
+            imm: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn table2_widths_for_default_params() {
+        let layout = Params::default().layout();
+        let expect = [
+            ("Val", 1),
+            ("PredMask", 16),
+            ("QueueIndices", 6),
+            ("NotTags", 2),
+            ("TagVals", 4),
+            ("Op", 6),
+            ("SrcTypes", 4),
+            ("SrcIDs", 6),
+            ("DstTypes", 2),
+            ("DstIDs", 3),
+            ("OutTag", 2),
+            ("IQueueDeq", 6),
+            ("PredUpdate", 16),
+            ("Imm", 32),
+        ];
+        for (name, width) in expect {
+            assert_eq!(layout.width(name), Some(width), "field {name}");
+        }
+        assert_eq!(layout.total_bits(), 106);
+        assert_eq!(layout.padded_bits(), 128);
+    }
+
+    #[test]
+    fn fields_are_contiguous() {
+        let layout = Params::default().layout();
+        let mut expected_offset = 0;
+        for f in layout.fields() {
+            assert_eq!(f.offset, expected_offset, "field {}", f.name);
+            expected_offset += f.width;
+        }
+    }
+
+    #[test]
+    fn roundtrip_sample_instruction() {
+        let p = Params::default();
+        let i = sample(&p);
+        let image = encode(&i, &p).unwrap();
+        assert_eq!(decode(image, &p).unwrap(), i);
+    }
+
+    #[test]
+    fn roundtrip_through_padded_bytes() {
+        let p = Params::default();
+        let i = sample(&p);
+        let bytes = to_bytes(&i, &p).unwrap();
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(from_bytes(&bytes, &p).unwrap(), i);
+    }
+
+    #[test]
+    fn invalid_slot_is_all_zero() {
+        let p = Params::default();
+        assert_eq!(encode(&Instruction::invalid(), &p).unwrap(), 0);
+        assert_eq!(decode(0, &p).unwrap(), Instruction::invalid());
+    }
+
+    #[test]
+    fn stray_bits_in_invalid_slot_rejected() {
+        let p = Params::default();
+        assert!(decode(2, &p).is_err());
+    }
+
+    #[test]
+    fn bits_beyond_encoding_rejected() {
+        let p = Params::default();
+        let i = sample(&p);
+        let image = encode(&i, &p).unwrap();
+        assert!(decode(image | (1u128 << 106), &p).is_err());
+    }
+
+    #[test]
+    fn out_of_range_opcode_rejected() {
+        let p = Params::default();
+        let layout = p.layout();
+        let op_off = layout.offset("Op").unwrap();
+        // valid bit + opcode 63 (no such operation)
+        let image = 1u128 | (63u128 << op_off);
+        let err = decode(image, &p).unwrap_err();
+        assert!(err.to_string().contains("opcode"), "{err}");
+    }
+
+    #[test]
+    fn narrow_parameterization_changes_widths() {
+        let mut p = Params::default();
+        p.num_preds = 4;
+        p.word_width = 16;
+        p.num_instructions = 8;
+        let layout = p.layout();
+        assert_eq!(layout.width("PredMask"), Some(8));
+        assert_eq!(layout.width("PredUpdate"), Some(8));
+        assert_eq!(layout.width("Imm"), Some(16));
+        assert!(layout.total_bits() < 106);
+    }
+
+    #[test]
+    fn wide_parameterization_still_fits_u128() {
+        let mut p = Params::default();
+        p.num_regs = 16;
+        p.num_input_queues = 8;
+        p.num_output_queues = 8;
+        p.max_check = 3;
+        p.tag_width = 3;
+        p.validate().unwrap();
+        assert!(
+            p.layout().total_bits() <= 128,
+            "{}",
+            p.layout().total_bits()
+        );
+        let i = Instruction {
+            valid: true,
+            op: Op::Add,
+            srcs: [SrcOperand::Imm, SrcOperand::Imm],
+            dst: DstOperand::Reg(RegId::new(15, &p).unwrap()),
+            imm: 0xffff,
+            ..Instruction::default()
+        };
+        let image = encode(&i, &p).unwrap();
+        assert_eq!(decode(image, &p).unwrap(), i);
+    }
+
+    #[test]
+    fn oversized_encoding_is_rejected_by_validate() {
+        let mut p = Params::default();
+        p.num_preds = 16;
+        p.num_input_queues = 8;
+        p.num_output_queues = 8;
+        p.max_check = 4;
+        p.max_deq = 4;
+        p.tag_width = 4;
+        assert!(p.layout().total_bits() > 128);
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for ISA-level validation, encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while validating, encoding, or decoding
+/// triggered-ISA entities.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{IsaError, Params};
+///
+/// let mut params = Params::default();
+/// params.num_preds = 0;
+/// let err = params.validate().unwrap_err();
+/// assert!(matches!(err, IsaError::InvalidParams(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A parameter assignment is internally inconsistent.
+    InvalidParams(String),
+    /// An operand or identifier is out of range for the parameters.
+    OutOfRange {
+        /// Which kind of entity was out of range (e.g. `"register"`).
+        what: &'static str,
+        /// The offending index or value.
+        value: u32,
+        /// The exclusive upper bound implied by the parameters.
+        bound: u32,
+    },
+    /// An instruction violates a structural invariant.
+    InvalidInstruction(String),
+    /// A program violates a structural invariant (e.g. too many
+    /// instructions for the configured instruction memory).
+    InvalidProgram(String),
+    /// An encoded instruction image could not be decoded.
+    Decode(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            IsaError::OutOfRange { what, value, bound } => {
+                write!(f, "{what} index {value} out of range (bound {bound})")
+            }
+            IsaError::InvalidInstruction(msg) => write!(f, "invalid instruction: {msg}"),
+            IsaError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            IsaError::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = IsaError::OutOfRange {
+            what: "register",
+            value: 9,
+            bound: 8,
+        };
+        let text = e.to_string();
+        assert!(text.starts_with("register index 9"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

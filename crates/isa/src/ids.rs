@@ -1,0 +1,198 @@
+//! Typed identifiers for registers, queues, predicates, and tags.
+//!
+//! Newtypes keep register indices, queue indices and predicate indices
+//! statically distinct; each carries a checked constructor validating
+//! against a [`Params`] assignment.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::params::Params;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $what:expr, $bound:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates a checked identifier.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`IsaError::OutOfRange`] when `index` is not
+            /// valid under `params`.
+            pub fn new(index: usize, params: &Params) -> Result<Self, IsaError> {
+                if index < params.$bound {
+                    Ok(Self(index as u8))
+                } else {
+                    Err(IsaError::OutOfRange {
+                        what: $what,
+                        value: index as u32,
+                        bound: params.$bound as u32,
+                    })
+                }
+            }
+
+            /// Creates an identifier without validating against any
+            /// parameter assignment. Prefer [`Self::new`]; this exists
+            /// for constructing test fixtures and decoder internals
+            /// where the range is enforced elsewhere.
+            pub fn new_unchecked(index: usize) -> Self {
+                Self(index as u8)
+            }
+
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of a general-purpose data register (`%r*`).
+    RegId,
+    "register",
+    num_regs
+);
+
+id_newtype!(
+    /// Index of an input queue / channel (`%i*`).
+    InputId,
+    "input queue",
+    num_input_queues
+);
+
+id_newtype!(
+    /// Index of an output queue / channel (`%o*`).
+    OutputId,
+    "output queue",
+    num_output_queues
+);
+
+id_newtype!(
+    /// Index of a single-bit predicate register (`%p*`).
+    PredId,
+    "predicate",
+    num_preds
+);
+
+/// A queue tag: the small programmable semantic value that accompanies
+/// every data word communicated between PEs (paper §2.1).
+///
+/// Tags "encode programmable semantic information", e.g. a datatype or
+/// "a message to effect control flow like a termination condition".
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{Params, Tag};
+///
+/// let params = Params::default();
+/// let tag = Tag::new(3, &params)?;
+/// assert_eq!(tag.value(), 3);
+/// assert!(Tag::new(4, &params).is_err()); // only 2 tag bits
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag(u8);
+
+impl Tag {
+    /// Tag zero, the conventional "plain data" tag used by the
+    /// workloads in this repository.
+    pub const ZERO: Tag = Tag(0);
+
+    /// Creates a checked tag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::OutOfRange`] when `value` does not fit in
+    /// `params.tag_width` bits.
+    pub fn new(value: u32, params: &Params) -> Result<Self, IsaError> {
+        if value < params.num_tags() {
+            Ok(Tag(value as u8))
+        } else {
+            Err(IsaError::OutOfRange {
+                what: "tag",
+                value,
+                bound: params.num_tags(),
+            })
+        }
+    }
+
+    /// Creates a tag without validating its width. Prefer
+    /// [`Self::new`]; the unchecked form exists for decoder internals
+    /// and fixtures.
+    pub fn new_unchecked(value: u32) -> Self {
+        Tag(value as u8)
+    }
+
+    /// The raw tag value.
+    pub fn value(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_constructors_enforce_params() {
+        let p = Params::default();
+        assert!(RegId::new(7, &p).is_ok());
+        assert!(RegId::new(8, &p).is_err());
+        assert!(InputId::new(3, &p).is_ok());
+        assert!(InputId::new(4, &p).is_err());
+        assert!(OutputId::new(3, &p).is_ok());
+        assert!(OutputId::new(4, &p).is_err());
+        assert!(PredId::new(7, &p).is_ok());
+        assert!(PredId::new(8, &p).is_err());
+        assert!(Tag::new(3, &p).is_ok());
+        assert!(Tag::new(4, &p).is_err());
+    }
+
+    #[test]
+    fn ids_expose_their_index() {
+        let p = Params::default();
+        assert_eq!(RegId::new(5, &p).unwrap().index(), 5);
+        assert_eq!(Tag::new(2, &p).unwrap().value(), 2);
+    }
+
+    #[test]
+    fn out_of_range_error_names_entity() {
+        let p = Params::default();
+        let e = PredId::new(12, &p).unwrap_err();
+        assert_eq!(
+            e,
+            IsaError::OutOfRange {
+                what: "predicate",
+                value: 12,
+                bound: 8
+            }
+        );
+    }
+
+    #[test]
+    fn display_prints_bare_index() {
+        assert_eq!(RegId::new_unchecked(3).to_string(), "3");
+        assert_eq!(Tag::ZERO.to_string(), "0");
+    }
+}

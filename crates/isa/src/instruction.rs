@@ -1,0 +1,648 @@
+//! Triggered instructions: guard (trigger) plus datapath operation.
+//!
+//! Each PE holds "a priority ordered list of guarded atomic actions"
+//! (§2.1). An [`Instruction`] is one such action: the [`Trigger`] is
+//! the guard, and the operation/operands/dequeues/predicate-update are
+//! the atomic datapath action.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::ids::{InputId, OutputId, PredId, RegId, Tag};
+use crate::op::Op;
+use crate::params::{Params, NUM_SRCS};
+use crate::pred::{PredPattern, PredUpdate};
+
+/// A word of PE data. The paper fixes the architectural word at 32
+/// bits; narrower configurations mask the upper bits.
+pub type Word = u32;
+
+/// One input-queue tag condition within a trigger (`QueueIndices`,
+/// `NotTags`, `TagVals` in Table 2).
+///
+/// The trigger "is checking for tag values ... on input queues"; with
+/// `negate` the check passes only when the head tag *differs* ("which
+/// queues to check for absence of given tag"). Either way, the checked
+/// queue must be non-empty for the instruction to fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueueCheck {
+    /// The input queue whose head tag is inspected.
+    pub queue: InputId,
+    /// The reference tag value.
+    pub tag: Tag,
+    /// When true, require the head tag to *not* equal `tag`.
+    pub negate: bool,
+}
+
+/// A source operand (`SrcTypes`/`SrcIDs` in Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SrcOperand {
+    /// Operand slot unused.
+    #[default]
+    None,
+    /// A general-purpose register (`%r*`).
+    Reg(RegId),
+    /// The data word at the head of an input queue (`%i*`). Reading
+    /// does not dequeue; dequeues are explicit (see
+    /// [`Instruction::dequeues`]).
+    Input(InputId),
+    /// The instruction's full-word immediate field.
+    Imm,
+}
+
+impl SrcOperand {
+    /// The 2-bit `SrcTypes` encoding of this operand kind.
+    pub fn type_code(self) -> u8 {
+        match self {
+            SrcOperand::None => 0,
+            SrcOperand::Reg(_) => 1,
+            SrcOperand::Input(_) => 2,
+            SrcOperand::Imm => 3,
+        }
+    }
+
+    /// The `SrcIDs` index payload (0 where not applicable).
+    pub fn id_code(self) -> u8 {
+        match self {
+            SrcOperand::Reg(r) => r.index() as u8,
+            SrcOperand::Input(q) => q.index() as u8,
+            SrcOperand::None | SrcOperand::Imm => 0,
+        }
+    }
+
+    /// The input queue read by this operand, if any.
+    pub fn input_queue(self) -> Option<InputId> {
+        match self {
+            SrcOperand::Input(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The register read by this operand, if any.
+    pub fn register(self) -> Option<RegId> {
+        match self {
+            SrcOperand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A destination operand (`DstTypes`/`DstIDs` in Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DstOperand {
+    /// No destination (e.g. `nop`, `halt`, `ssw`, pure
+    /// predicate-update instructions).
+    #[default]
+    None,
+    /// A general-purpose register.
+    Reg(RegId),
+    /// An output queue; the result is enqueued with the instruction's
+    /// `OutTag`.
+    Output(OutputId),
+    /// A predicate register; the result's least-significant bit is
+    /// written.
+    Pred(PredId),
+}
+
+impl DstOperand {
+    /// The 2-bit `DstTypes` encoding of this destination kind.
+    pub fn type_code(self) -> u8 {
+        match self {
+            DstOperand::None => 0,
+            DstOperand::Reg(_) => 1,
+            DstOperand::Output(_) => 2,
+            DstOperand::Pred(_) => 3,
+        }
+    }
+
+    /// The `DstIDs` index payload (0 where not applicable).
+    pub fn id_code(self) -> u8 {
+        match self {
+            DstOperand::Reg(r) => r.index() as u8,
+            DstOperand::Output(q) => q.index() as u8,
+            DstOperand::Pred(p) => p.index() as u8,
+            DstOperand::None => 0,
+        }
+    }
+
+    /// The output queue written by this destination, if any.
+    pub fn output_queue(self) -> Option<OutputId> {
+        match self {
+            DstOperand::Output(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The predicate written by this destination, if any.
+    pub fn predicate(self) -> Option<PredId> {
+        match self {
+            DstOperand::Pred(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The guard of a triggered instruction.
+///
+/// "Each trigger's validity is determined by the state of the predicate
+/// registers, the availability of tagged input operands on the incoming
+/// queues, and capacity on the output queues for any instructions that
+/// write there" (§2.1). The first two live here; output capacity is a
+/// property of the instruction's destination.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Trigger {
+    /// Required predicate pattern (`PredMask`).
+    pub predicates: PredPattern,
+    /// Input-queue tag conditions, at most `MaxCheck`.
+    pub queue_checks: Vec<QueueCheck>,
+}
+
+impl Trigger {
+    /// A trigger that fires unconditionally (any predicates, no queue
+    /// conditions).
+    pub fn always() -> Self {
+        Trigger::default()
+    }
+
+    /// Validates the trigger against a parameter assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when the predicate pattern references
+    /// out-of-range bits, more than `max_check` queues are checked, or
+    /// the same queue is checked twice.
+    pub fn validate(&self, params: &Params) -> Result<(), IsaError> {
+        self.predicates.validate(params)?;
+        if self.queue_checks.len() > params.max_check {
+            return Err(IsaError::InvalidInstruction(format!(
+                "{} queue checks exceed MaxCheck = {}",
+                self.queue_checks.len(),
+                params.max_check
+            )));
+        }
+        for (i, check) in self.queue_checks.iter().enumerate() {
+            InputId::new(check.queue.index(), params)?;
+            Tag::new(check.tag.value(), params)?;
+            if self.queue_checks[..i]
+                .iter()
+                .any(|c| c.queue == check.queue)
+            {
+                return Err(IsaError::InvalidInstruction(format!(
+                    "input queue {} checked more than once",
+                    check.queue
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete triggered instruction (one row of Table 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Valid bit; invalid slots never trigger.
+    pub valid: bool,
+    /// The guard.
+    pub trigger: Trigger,
+    /// The datapath operation.
+    pub op: Op,
+    /// Source operands (`NSrcs` slots).
+    pub srcs: [SrcOperand; NUM_SRCS],
+    /// The destination.
+    pub dst: DstOperand,
+    /// Tag attached to an enqueued result (`OutTag`); meaningful only
+    /// when `dst` is an output queue.
+    pub out_tag: Tag,
+    /// Input queues dequeued when the instruction executes
+    /// (`IQueueDeq`), at most `MaxDeq`, no duplicates.
+    pub dequeues: Vec<InputId>,
+    /// Trigger-encoded predicate update (`PredUpdate`), applied
+    /// atomically with issue.
+    pub pred_update: PredUpdate,
+    /// Full word-length immediate (`Imm`).
+    pub imm: Word,
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction {
+            valid: false,
+            trigger: Trigger::default(),
+            op: Op::Nop,
+            srcs: [SrcOperand::None; NUM_SRCS],
+            dst: DstOperand::None,
+            out_tag: Tag::ZERO,
+            dequeues: Vec::new(),
+            pred_update: PredUpdate::NONE,
+            imm: 0,
+        }
+    }
+}
+
+impl Instruction {
+    /// An invalid (empty) instruction slot.
+    pub fn invalid() -> Self {
+        Instruction::default()
+    }
+
+    /// All input queues this instruction reads as operands.
+    pub fn input_operands(&self) -> impl Iterator<Item = InputId> + '_ {
+        self.srcs.iter().filter_map(|s| s.input_queue())
+    }
+
+    /// All registers this instruction reads.
+    pub fn register_reads(&self) -> impl Iterator<Item = RegId> + '_ {
+        self.srcs.iter().filter_map(|s| s.register())
+    }
+
+    /// The register written, if any.
+    pub fn register_write(&self) -> Option<RegId> {
+        match self.dst {
+            DstOperand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction has a datapath predicate destination —
+    /// the class of instructions that "activate the predictor" (§5.2)
+    /// and cause predicate hazards in unoptimized pipelines.
+    pub fn writes_predicate(&self) -> bool {
+        matches!(self.dst, DstOperand::Pred(_))
+    }
+
+    /// Whether this instruction dequeues any input queue. Dequeues
+    /// "take effect early during the execution of the associated
+    /// instruction" (§5.2), so they are forbidden while speculating.
+    pub fn has_dequeue(&self) -> bool {
+        !self.dequeues.is_empty()
+    }
+
+    /// Whether this instruction enqueues a result to an output queue.
+    pub fn enqueues(&self) -> Option<OutputId> {
+        self.dst.output_queue()
+    }
+
+    /// Every predicate bit this instruction writes, from both the
+    /// trigger-encoded update and a datapath predicate destination.
+    pub fn predicate_write_set(&self) -> u32 {
+        let mut set = self.pred_update.write_set();
+        if let DstOperand::Pred(p) = self.dst {
+            set |= 1 << p.index();
+        }
+        set
+    }
+
+    /// Validates the instruction against a parameter assignment,
+    /// including the invariant the paper's assembler guarantees: "if
+    /// any datapath instruction has a predicate as a destination, we
+    /// assume that this predicate update mask will not conflict with
+    /// it" (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when any identifier is out of range,
+    /// structural limits (`MaxCheck`, `MaxDeq`, arity) are exceeded,
+    /// or the predicate-update/predicate-destination conflict invariant
+    /// is violated.
+    pub fn validate(&self, params: &Params) -> Result<(), IsaError> {
+        if !self.valid {
+            return Ok(());
+        }
+        self.trigger.validate(params)?;
+        self.pred_update.validate(params)?;
+
+        // Operand arity and ranges.
+        let arity = self.op.num_srcs();
+        for (i, src) in self.srcs.iter().enumerate() {
+            if i >= arity && !matches!(src, SrcOperand::None) {
+                return Err(IsaError::InvalidInstruction(format!(
+                    "{} takes {} source(s) but source {} is populated",
+                    self.op, arity, i
+                )));
+            }
+            if i < arity && matches!(src, SrcOperand::None) {
+                return Err(IsaError::InvalidInstruction(format!(
+                    "{} takes {} source(s) but source {} is empty",
+                    self.op, arity, i
+                )));
+            }
+            match src {
+                SrcOperand::Reg(r) => {
+                    RegId::new(r.index(), params)?;
+                }
+                SrcOperand::Input(q) => {
+                    InputId::new(q.index(), params)?;
+                }
+                SrcOperand::None | SrcOperand::Imm => {}
+            }
+        }
+
+        // Destination consistency.
+        if self.op.has_result() {
+            match self.dst {
+                DstOperand::None => {
+                    return Err(IsaError::InvalidInstruction(format!(
+                        "{} produces a result but has no destination",
+                        self.op
+                    )))
+                }
+                DstOperand::Reg(r) => {
+                    RegId::new(r.index(), params)?;
+                }
+                DstOperand::Output(q) => {
+                    OutputId::new(q.index(), params)?;
+                    Tag::new(self.out_tag.value(), params)?;
+                }
+                DstOperand::Pred(p) => {
+                    PredId::new(p.index(), params)?;
+                }
+            }
+        } else if !matches!(self.dst, DstOperand::None) {
+            return Err(IsaError::InvalidInstruction(format!(
+                "{} produces no result but has a destination",
+                self.op
+            )));
+        }
+
+        // Wide multiply gating.
+        if !params.wide_multiply && matches!(self.op, Op::Mulhu | Op::Mulhs) {
+            return Err(IsaError::InvalidInstruction(
+                "wide multiplication is disabled in the parameters".to_string(),
+            ));
+        }
+
+        // Scratchpad gating.
+        if self.op.is_scratchpad() && params.scratchpad_words == 0 {
+            return Err(IsaError::InvalidInstruction(
+                "scratchpad operations require scratchpad_words > 0".to_string(),
+            ));
+        }
+
+        // Dequeue list.
+        if self.dequeues.len() > params.max_deq {
+            return Err(IsaError::InvalidInstruction(format!(
+                "{} dequeues exceed MaxDeq = {}",
+                self.dequeues.len(),
+                params.max_deq
+            )));
+        }
+        for (i, q) in self.dequeues.iter().enumerate() {
+            InputId::new(q.index(), params)?;
+            if self.dequeues[..i].contains(q) {
+                return Err(IsaError::InvalidInstruction(format!(
+                    "input queue {q} dequeued more than once"
+                )));
+            }
+        }
+
+        // A dequeued queue must be known non-empty at trigger time:
+        // it must be either a source operand or a checked queue.
+        for q in &self.dequeues {
+            let read = self.input_operands().any(|s| s == *q)
+                || self.trigger.queue_checks.iter().any(|c| c.queue == *q);
+            if !read {
+                return Err(IsaError::InvalidInstruction(format!(
+                    "input queue {q} is dequeued but neither read nor checked by the trigger"
+                )));
+            }
+        }
+
+        // The paper's assembler invariant: the trigger-encoded update
+        // must not conflict with a datapath predicate destination.
+        if let DstOperand::Pred(p) = self.dst {
+            if self.pred_update.write_set() & (1 << p.index()) != 0 {
+                return Err(IsaError::InvalidInstruction(format!(
+                    "predicate update mask conflicts with datapath predicate destination %p{p}"
+                )));
+            }
+        }
+
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.valid {
+            return f.write_str("<invalid>");
+        }
+        write!(f, "when %p == {} ", self.trigger.predicates)?;
+        if !self.trigger.queue_checks.is_empty() {
+            f.write_str("with ")?;
+            for (i, c) in self.trigger.queue_checks.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(
+                    f,
+                    "%i{}{}{}",
+                    c.queue,
+                    if c.negate { ".!" } else { "." },
+                    c.tag
+                )?;
+            }
+            f.write_str(" ")?;
+        }
+        write!(f, ": {}", self.op)?;
+        match self.dst {
+            DstOperand::None => {}
+            DstOperand::Reg(r) => write!(f, " %r{r},")?,
+            DstOperand::Output(q) => write!(f, " %o{}.{},", q, self.out_tag)?,
+            DstOperand::Pred(p) => write!(f, " %p{p},")?,
+        }
+        for (i, s) in self.srcs.iter().take(self.op.num_srcs()).enumerate() {
+            f.write_str(" ")?;
+            match s {
+                SrcOperand::None => f.write_str("_")?,
+                SrcOperand::Reg(r) => write!(f, "%r{r}")?,
+                SrcOperand::Input(q) => write!(f, "%i{q}")?,
+                SrcOperand::Imm => write!(f, "{:#x}", self.imm)?,
+            }
+            if i + 1 < self.op.num_srcs() {
+                f.write_str(",")?;
+            }
+        }
+        f.write_str(";")?;
+        if !self.pred_update.is_none() {
+            write!(f, " set %p = {};", self.pred_update)?;
+        }
+        if !self.dequeues.is_empty() {
+            f.write_str(" deq")?;
+            for (i, q) in self.dequeues.iter().enumerate() {
+                write!(f, "{}%i{}", if i == 0 { " " } else { ", " }, q)?;
+            }
+            f.write_str(";")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::default()
+    }
+
+    /// The merge-sort worker example from §2.2 of the paper.
+    fn merge_example(p: &Params) -> Instruction {
+        Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::new(0, 0x0f).unwrap(),
+                queue_checks: vec![
+                    QueueCheck {
+                        queue: InputId::new(0, p).unwrap(),
+                        tag: Tag::ZERO,
+                        negate: false,
+                    },
+                    QueueCheck {
+                        queue: InputId::new(3, p).unwrap(),
+                        tag: Tag::ZERO,
+                        negate: false,
+                    },
+                ],
+            },
+            op: Op::Ult,
+            srcs: [
+                SrcOperand::Input(InputId::new(3, p).unwrap()),
+                SrcOperand::Input(InputId::new(0, p).unwrap()),
+            ],
+            dst: DstOperand::Pred(PredId::new(7, p).unwrap()),
+            out_tag: Tag::ZERO,
+            dequeues: vec![],
+            pred_update: PredUpdate::new(0b0001, 0b1110).unwrap(),
+            imm: 0,
+        }
+    }
+
+    #[test]
+    fn paper_example_validates() {
+        let p = params();
+        merge_example(&p).validate(&p).unwrap();
+    }
+
+    #[test]
+    fn invalid_slot_always_validates() {
+        let p = params();
+        Instruction::invalid().validate(&p).unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let p = params();
+        let mut i = merge_example(&p);
+        i.srcs[1] = SrcOperand::None;
+        assert!(i.validate(&p).is_err());
+
+        let mut i = merge_example(&p);
+        i.op = Op::Not; // 1-source op with 2 sources populated
+        assert!(i.validate(&p).is_err());
+    }
+
+    #[test]
+    fn result_destination_consistency() {
+        let p = params();
+        let mut i = merge_example(&p);
+        i.dst = DstOperand::None;
+        assert!(i.validate(&p).is_err(), "result op without destination");
+
+        let mut i = Instruction {
+            valid: true,
+            op: Op::Nop,
+            dst: DstOperand::Reg(RegId::new(0, &p).unwrap()),
+            ..Instruction::default()
+        };
+        assert!(i.validate(&p).is_err(), "nop with destination");
+        i.dst = DstOperand::None;
+        i.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn pred_update_conflict_with_datapath_destination_rejected() {
+        let p = params();
+        let mut i = merge_example(&p);
+        // Destination is %p7; make the update also write bit 7.
+        i.pred_update = PredUpdate::new(0x80, 0).unwrap();
+        let err = i.validate(&p).unwrap_err();
+        assert!(err.to_string().contains("conflicts"));
+    }
+
+    #[test]
+    fn too_many_checks_or_dequeues_rejected() {
+        let p = params();
+        let mut i = merge_example(&p);
+        i.trigger.queue_checks.push(QueueCheck {
+            queue: InputId::new(1, &p).unwrap(),
+            tag: Tag::ZERO,
+            negate: false,
+        });
+        assert!(i.validate(&p).is_err(), "MaxCheck exceeded");
+
+        let mut i = merge_example(&p);
+        i.dequeues = vec![InputId::new(0, &p).unwrap(), InputId::new(3, &p).unwrap()];
+        i.validate(&p).unwrap();
+        i.dequeues.push(InputId::new(1, &p).unwrap());
+        assert!(i.validate(&p).is_err(), "MaxDeq exceeded");
+    }
+
+    #[test]
+    fn duplicate_dequeue_rejected() {
+        let p = params();
+        let mut i = merge_example(&p);
+        i.dequeues = vec![InputId::new(0, &p).unwrap(), InputId::new(0, &p).unwrap()];
+        assert!(i.validate(&p).is_err());
+    }
+
+    #[test]
+    fn dequeue_of_unread_queue_rejected() {
+        let p = params();
+        let mut i = merge_example(&p);
+        i.dequeues = vec![InputId::new(1, &p).unwrap()];
+        assert!(i.validate(&p).is_err());
+    }
+
+    #[test]
+    fn scratchpad_and_wide_multiply_gating() {
+        let mut p = params();
+        p.wide_multiply = false;
+        let mut i = merge_example(&p);
+        i.op = Op::Mulhu;
+        i.dst = DstOperand::Reg(RegId::new(0, &p).unwrap());
+        assert!(i.validate(&p).is_err());
+
+        let p2 = params(); // scratchpad_words = 0
+        let mut i = Instruction {
+            valid: true,
+            op: Op::Lsw,
+            srcs: [SrcOperand::Imm, SrcOperand::None],
+            dst: DstOperand::Reg(RegId::new(0, &p2).unwrap()),
+            ..Instruction::default()
+        };
+        assert!(i.validate(&p2).is_err());
+        let mut p3 = params();
+        p3.scratchpad_words = 64;
+        i.imm = 4;
+        i.validate(&p3).unwrap();
+    }
+
+    #[test]
+    fn predicate_write_set_combines_update_and_destination() {
+        let p = params();
+        let i = merge_example(&p);
+        // update writes bits 0..=3, destination writes bit 7
+        assert_eq!(i.predicate_write_set(), 0b1000_1111);
+    }
+
+    #[test]
+    fn display_mentions_trigger_and_op() {
+        let p = params();
+        let text = merge_example(&p).to_string();
+        assert!(text.contains("when %p == XXXX0000"), "{text}");
+        assert!(text.contains("ult"), "{text}");
+        assert!(text.contains("set %p = ZZZZ0001"), "{text}");
+    }
+}

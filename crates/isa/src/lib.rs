@@ -1,0 +1,86 @@
+//! # `tia-isa` — the triggered-instruction ISA
+//!
+//! The instruction-set layer of a Rust reproduction of Repetti et al.,
+//! ["Pipelining a Triggered Processing Element"][paper] (MICRO-50,
+//! 2017): a triggered, general-purpose, RISC-style integer ISA for
+//! spatial arrays of autonomous processing elements.
+//!
+//! In the triggered scheme there is no program counter. Each PE holds a
+//! priority-ordered list of *guarded atomic actions* ([`Instruction`]):
+//! every cycle, each instruction's [`Trigger`] is compared against the
+//! predicate registers ([`PredState`]) and the tag/occupancy state of
+//! the PE's input and output queues, and the highest-priority triggered
+//! instruction issues.
+//!
+//! This crate provides:
+//!
+//! * [`Params`] — the single parameter assignment (paper Table 1) that
+//!   governs every field width, queue count and memory size,
+//! * [`Op`] — the 42 datapath operations,
+//! * [`Instruction`] / [`Program`] — validated in-memory instruction
+//!   and program forms,
+//! * [`encoding`] — the 106-bit binary layout (paper Table 2) with
+//!   encode/decode,
+//! * [`alu`] — the pure datapath evaluation shared by the functional
+//!   simulator (`tia-sim`) and the cycle-level microarchitecture model
+//!   (`tia-core`).
+//!
+//! # Examples
+//!
+//! Build, validate and encode the paper's §2.2 merge-worker
+//! instruction:
+//!
+//! ```
+//! use tia_isa::{
+//!     encoding, DstOperand, InputId, Instruction, Op, Params, PredId,
+//!     PredPattern, PredUpdate, QueueCheck, SrcOperand, Tag, Trigger,
+//! };
+//!
+//! let params = Params::default();
+//! let instruction = Instruction {
+//!     valid: true,
+//!     // when %p == XXXX0000 with %i0.0, %i3.0:
+//!     trigger: Trigger {
+//!         predicates: PredPattern::new(0, 0b1111)?,
+//!         queue_checks: vec![
+//!             QueueCheck { queue: InputId::new(0, &params)?, tag: Tag::ZERO, negate: false },
+//!             QueueCheck { queue: InputId::new(3, &params)?, tag: Tag::ZERO, negate: false },
+//!         ],
+//!     },
+//!     // ult %p7, %i3, %i0; set %p = ZZZZ0001;
+//!     op: Op::Ult,
+//!     srcs: [
+//!         SrcOperand::Input(InputId::new(3, &params)?),
+//!         SrcOperand::Input(InputId::new(0, &params)?),
+//!     ],
+//!     dst: DstOperand::Pred(PredId::new(7, &params)?),
+//!     pred_update: PredUpdate::new(0b0001, 0b1110)?,
+//!     ..Instruction::default()
+//! };
+//! let image = encoding::encode(&instruction, &params)?;
+//! assert_eq!(encoding::decode(image, &params)?, instruction);
+//! # Ok::<(), tia_isa::IsaError>(())
+//! ```
+//!
+//! [paper]: https://doi.org/10.1145/3123939.3124551
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alu;
+pub mod encoding;
+pub mod error;
+pub mod ids;
+pub mod instruction;
+pub mod op;
+pub mod params;
+pub mod pred;
+pub mod program;
+
+pub use error::IsaError;
+pub use ids::{InputId, OutputId, PredId, RegId, Tag};
+pub use instruction::{DstOperand, Instruction, QueueCheck, SrcOperand, Trigger, Word};
+pub use op::{Op, ParseOpError, ALL_OPS};
+pub use params::{Params, NUM_DSTS, NUM_OPS, NUM_SRCS};
+pub use pred::{PredPattern, PredState, PredUpdate};
+pub use program::Program;

@@ -1,0 +1,395 @@
+//! The 42 datapath operations of the generic integer triggered ISA
+//! (paper §2.2, `NOps` in Table 1).
+//!
+//! The ISA is "a triggered, general-purpose, RISC-style, integer ISA
+//! that supports a full complement of arithmetic and logical
+//! operations", with "a wide range of comparison operations and logical
+//! operators intended primarily for predicate writes" and "a rich set
+//! of bit manipulation instructions, such as `clz` and `ctz`". Division
+//! and floating point are deliberately absent (implemented in software,
+//! see the `udiv` workload).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::NUM_OPS;
+
+/// A datapath operation.
+///
+/// Encoded in the 6-bit `Op` instruction field. The discriminant is the
+/// binary opcode.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::Op;
+///
+/// assert_eq!(Op::Add.mnemonic(), "add");
+/// assert_eq!("ult".parse::<Op>()?, Op::Ult);
+/// assert_eq!(Op::Ult.num_srcs(), 2);
+/// assert!(Op::Ult.is_comparison());
+/// # Ok::<(), tia_isa::ParseOpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Op {
+    /// No operation.
+    Nop = 0,
+    /// Halt the processing element; the PE retires this instruction and
+    /// stops scheduling.
+    Halt = 1,
+    /// Copy source 0 to the destination.
+    Mov = 2,
+    /// Two's-complement addition.
+    Add = 3,
+    /// Two's-complement subtraction (src0 − src1).
+    Sub = 4,
+    /// Low word of the product.
+    Mul = 5,
+    /// High word of the unsigned two-word product (paper: "two-word
+    /// product integer multiplication").
+    Mulhu = 6,
+    /// High word of the signed two-word product.
+    Mulhs = 7,
+    /// Two's-complement negation of source 0.
+    Neg = 8,
+    /// Bitwise AND.
+    And = 9,
+    /// Bitwise OR.
+    Or = 10,
+    /// Bitwise XOR.
+    Xor = 11,
+    /// Bitwise NOT of source 0.
+    Not = 12,
+    /// Logical left shift (shift amount from src1, modulo word width).
+    Sll = 13,
+    /// Logical right shift.
+    Srl = 14,
+    /// Arithmetic right shift.
+    Sra = 15,
+    /// Rotate left.
+    Rol = 16,
+    /// Rotate right.
+    Ror = 17,
+    /// Count leading zeros of source 0.
+    Clz = 18,
+    /// Count trailing zeros of source 0.
+    Ctz = 19,
+    /// Population count of source 0.
+    Popc = 20,
+    /// Set bit src1 of src0.
+    Bset = 21,
+    /// Clear bit src1 of src0.
+    Bclr = 22,
+    /// Extract bit src1 of src0 (result is 0 or 1).
+    Bget = 23,
+    /// Equal (result 1 if src0 == src1 else 0).
+    Eq = 24,
+    /// Not equal.
+    Ne = 25,
+    /// Signed less than.
+    Slt = 26,
+    /// Signed less than or equal.
+    Sle = 27,
+    /// Signed greater than.
+    Sgt = 28,
+    /// Signed greater than or equal.
+    Sge = 29,
+    /// Unsigned less than.
+    Ult = 30,
+    /// Unsigned less than or equal.
+    Ule = 31,
+    /// Unsigned greater than.
+    Ugt = 32,
+    /// Unsigned greater than or equal.
+    Uge = 33,
+    /// Signed minimum.
+    Smin = 34,
+    /// Signed maximum.
+    Smax = 35,
+    /// Unsigned minimum.
+    Umin = 36,
+    /// Unsigned maximum.
+    Umax = 37,
+    /// Sign-extend the low byte of source 0.
+    Sextb = 38,
+    /// Sign-extend the low halfword of source 0.
+    Sexth = 39,
+    /// Load a word from the PE-local scratchpad at address src0.
+    Lsw = 40,
+    /// Store src1 to the PE-local scratchpad at address src0. Has no
+    /// destination.
+    Ssw = 41,
+}
+
+/// All operations, in opcode order.
+pub const ALL_OPS: [Op; NUM_OPS] = [
+    Op::Nop,
+    Op::Halt,
+    Op::Mov,
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Mulhu,
+    Op::Mulhs,
+    Op::Neg,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Not,
+    Op::Sll,
+    Op::Srl,
+    Op::Sra,
+    Op::Rol,
+    Op::Ror,
+    Op::Clz,
+    Op::Ctz,
+    Op::Popc,
+    Op::Bset,
+    Op::Bclr,
+    Op::Bget,
+    Op::Eq,
+    Op::Ne,
+    Op::Slt,
+    Op::Sle,
+    Op::Sgt,
+    Op::Sge,
+    Op::Ult,
+    Op::Ule,
+    Op::Ugt,
+    Op::Uge,
+    Op::Smin,
+    Op::Smax,
+    Op::Umin,
+    Op::Umax,
+    Op::Sextb,
+    Op::Sexth,
+    Op::Lsw,
+    Op::Ssw,
+];
+
+impl Op {
+    /// The binary opcode (value of the `Op` instruction field).
+    pub fn opcode(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a binary opcode.
+    ///
+    /// Returns `None` for values ≥ [`NUM_OPS`].
+    pub fn from_opcode(code: u8) -> Option<Op> {
+        ALL_OPS.get(code as usize).copied()
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Nop => "nop",
+            Op::Halt => "halt",
+            Op::Mov => "mov",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Mulhu => "mulhu",
+            Op::Mulhs => "mulhs",
+            Op::Neg => "neg",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Not => "not",
+            Op::Sll => "sll",
+            Op::Srl => "srl",
+            Op::Sra => "sra",
+            Op::Rol => "rol",
+            Op::Ror => "ror",
+            Op::Clz => "clz",
+            Op::Ctz => "ctz",
+            Op::Popc => "popc",
+            Op::Bset => "bset",
+            Op::Bclr => "bclr",
+            Op::Bget => "bget",
+            Op::Eq => "eq",
+            Op::Ne => "ne",
+            Op::Slt => "slt",
+            Op::Sle => "sle",
+            Op::Sgt => "sgt",
+            Op::Sge => "sge",
+            Op::Ult => "ult",
+            Op::Ule => "ule",
+            Op::Ugt => "ugt",
+            Op::Uge => "uge",
+            Op::Smin => "smin",
+            Op::Smax => "smax",
+            Op::Umin => "umin",
+            Op::Umax => "umax",
+            Op::Sextb => "sextb",
+            Op::Sexth => "sexth",
+            Op::Lsw => "lsw",
+            Op::Ssw => "ssw",
+        }
+    }
+
+    /// Number of source operands the operation consumes (0, 1 or 2).
+    pub fn num_srcs(self) -> usize {
+        match self {
+            Op::Nop | Op::Halt => 0,
+            Op::Mov
+            | Op::Neg
+            | Op::Not
+            | Op::Clz
+            | Op::Ctz
+            | Op::Popc
+            | Op::Sextb
+            | Op::Sexth
+            | Op::Lsw => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the operation produces a result that may be written to a
+    /// register, output queue or predicate. `nop`, `halt` and `ssw`
+    /// produce nothing.
+    pub fn has_result(self) -> bool {
+        !matches!(self, Op::Nop | Op::Halt | Op::Ssw)
+    }
+
+    /// Whether this is a comparison producing a Boolean 0/1 result.
+    ///
+    /// These are the operations "intended primarily for predicate
+    /// writes to support expressive control flow" (§2.2), together with
+    /// `bget`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            Op::Eq
+                | Op::Ne
+                | Op::Slt
+                | Op::Sle
+                | Op::Sgt
+                | Op::Sge
+                | Op::Ult
+                | Op::Ule
+                | Op::Ugt
+                | Op::Uge
+                | Op::Bget
+        )
+    }
+
+    /// Whether the operation accesses the PE-local scratchpad.
+    pub fn is_scratchpad(self) -> bool {
+        matches!(self, Op::Lsw | Op::Ssw)
+    }
+
+    /// Whether the operation uses the multiplier functional unit, the
+    /// "lengthiest" of the datapath operations (§2.2).
+    pub fn is_multiply(self) -> bool {
+        matches!(self, Op::Mul | Op::Mulhu | Op::Mulhs)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an unknown mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpError {
+    mnemonic: String,
+}
+
+impl ParseOpError {
+    /// The unrecognized mnemonic text.
+    pub fn mnemonic(&self) -> &str {
+        &self.mnemonic
+    }
+}
+
+impl fmt::Display for ParseOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.mnemonic)
+    }
+}
+
+impl std::error::Error for ParseOpError {}
+
+impl FromStr for Op {
+    type Err = ParseOpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_OPS
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == s)
+            .ok_or_else(|| ParseOpError {
+                mnemonic: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_42_operations() {
+        assert_eq!(ALL_OPS.len(), 42);
+        assert_eq!(ALL_OPS.len(), NUM_OPS);
+    }
+
+    #[test]
+    fn opcodes_are_dense_and_roundtrip() {
+        for (i, op) in ALL_OPS.iter().enumerate() {
+            assert_eq!(op.opcode() as usize, i);
+            assert_eq!(Op::from_opcode(i as u8), Some(*op));
+        }
+        assert_eq!(Op::from_opcode(42), None);
+        assert_eq!(Op::from_opcode(255), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_parse_back() {
+        let mut seen = std::collections::HashSet::new();
+        for op in ALL_OPS {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+            assert_eq!(op.mnemonic().parse::<Op>().unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_an_error() {
+        let err = "fadd".parse::<Op>().unwrap_err();
+        assert_eq!(err.mnemonic(), "fadd");
+        assert!(err.to_string().contains("fadd"));
+    }
+
+    #[test]
+    fn arity_is_consistent_with_result() {
+        assert_eq!(Op::Nop.num_srcs(), 0);
+        assert!(!Op::Nop.has_result());
+        assert_eq!(Op::Mov.num_srcs(), 1);
+        assert!(Op::Mov.has_result());
+        assert_eq!(Op::Add.num_srcs(), 2);
+        assert_eq!(Op::Ssw.num_srcs(), 2);
+        assert!(!Op::Ssw.has_result());
+        assert_eq!(Op::Lsw.num_srcs(), 1);
+        assert!(Op::Lsw.has_result());
+    }
+
+    #[test]
+    fn comparison_class_is_exactly_the_boolean_producers() {
+        let comparisons: Vec<Op> = ALL_OPS
+            .iter()
+            .copied()
+            .filter(|o| o.is_comparison())
+            .collect();
+        assert_eq!(comparisons.len(), 11);
+        assert!(comparisons.contains(&Op::Ult));
+        assert!(comparisons.contains(&Op::Bget));
+        assert!(!Op::Add.is_comparison());
+        assert!(!Op::And.is_comparison());
+    }
+}

@@ -1,0 +1,300 @@
+//! Architectural and microarchitectural parameters (paper Table 1).
+//!
+//! The original toolchain is "centered around a single parameter file
+//! which can completely specify the target architecture and underlying
+//! microarchitecture" (Figure 1). [`Params`] is that file's in-memory
+//! form; it serializes with serde so it can be stored as JSON alongside
+//! programs, exactly like the paper's `params.yaml`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+
+/// Architectural parameters governing the binary instruction encoding
+/// and the shape of a processing element (paper Table 1).
+///
+/// The defaults are the fixed assignment used throughout the paper's
+/// evaluation: 32-bit words, 8 registers, 8 predicates, 4 input and 4
+/// output channels, 2 tag bits, 16 instructions per PE, and at most two
+/// input-channel tag conditions / dequeues per instruction.
+///
+/// Note: the paper's Table 1 lists `MaxCheck = 4`, but every field
+/// width in Table 2 and the stated 106-bit instruction length are only
+/// consistent with `MaxCheck = 2` (matching the prose "a maximum of two
+/// input channel tag conditions per trigger"). We default to 2.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::Params;
+///
+/// let params = Params::default();
+/// assert_eq!(params.num_regs, 8);
+/// assert_eq!(params.layout().total_bits(), 106);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(deny_unknown_fields, default)]
+pub struct Params {
+    /// Number of general-purpose data registers (`NRegs`).
+    pub num_regs: usize,
+    /// Number of input queues / channels (`NIQueues`).
+    pub num_input_queues: usize,
+    /// Number of output queues / channels (`NOQueues`).
+    pub num_output_queues: usize,
+    /// Maximum input queues whose tags a trigger may check (`MaxCheck`).
+    pub max_check: usize,
+    /// Maximum input-queue dequeues per instruction (`MaxDeq`).
+    pub max_deq: usize,
+    /// Number of single-bit predicate registers (`NPreds`).
+    pub num_preds: usize,
+    /// Data word width in bits (`Word`). This model fixes the word
+    /// storage type to `u32`, so widths above 32 are rejected.
+    pub word_width: usize,
+    /// Queue tag width in bits (`TagWidth`).
+    pub tag_width: usize,
+    /// Instructions per processing element (`NIns`).
+    pub num_instructions: usize,
+    /// Capacity, in words, of each register queue between PEs.
+    ///
+    /// The paper treats this as part of the spatial substrate rather
+    /// than the instruction encoding; small register queues (a few
+    /// entries) are the norm for triggered fabrics.
+    pub queue_capacity: usize,
+    /// Words of PE-local scratchpad memory (0 disables the scratchpad,
+    /// as in the paper's power analysis, which omits it).
+    pub scratchpad_words: usize,
+    /// Enable the two-word-product wide multiplication operations
+    /// (`mulhu`/`mulhs`), the paper's "wide multiplication" toggle.
+    pub wide_multiply: bool,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            num_regs: 8,
+            num_input_queues: 4,
+            num_output_queues: 4,
+            max_check: 2,
+            max_deq: 2,
+            num_preds: 8,
+            word_width: 32,
+            tag_width: 2,
+            num_instructions: 16,
+            queue_capacity: 4,
+            scratchpad_words: 0,
+            wide_multiply: true,
+        }
+    }
+}
+
+/// Number of datapath operations in the ISA (`NOps` in Table 1).
+pub const NUM_OPS: usize = 42;
+
+/// Number of source operands per instruction (`NSrcs` in Table 1).
+pub const NUM_SRCS: usize = 2;
+
+/// Number of destinations per instruction (`NDsts` in Table 1).
+pub const NUM_DSTS: usize = 1;
+
+impl Params {
+    /// Creates the paper's fixed parameter assignment (same as
+    /// [`Params::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates internal consistency of the parameter assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidParams`] when any value is zero where
+    /// a positive count is required, exceeds a representable bound
+    /// (e.g. more than 32 predicates or a word wider than 32 bits), or
+    /// is mutually inconsistent (e.g. `max_deq` larger than the number
+    /// of input queues).
+    pub fn validate(&self) -> Result<(), IsaError> {
+        let err = |what: &str| Err(IsaError::InvalidParams(what.to_string()));
+        if self.num_regs == 0 || self.num_regs > 64 {
+            return err("num_regs must be in 1..=64");
+        }
+        if self.num_input_queues == 0 || self.num_input_queues > 16 {
+            return err("num_input_queues must be in 1..=16");
+        }
+        if self.num_output_queues == 0 || self.num_output_queues > 16 {
+            return err("num_output_queues must be in 1..=16");
+        }
+        if self.num_preds == 0 || self.num_preds > 32 {
+            return err("num_preds must be in 1..=32");
+        }
+        if self.word_width == 0 || self.word_width > 32 {
+            return err("word_width must be in 1..=32");
+        }
+        if self.tag_width == 0 || self.tag_width > 8 {
+            return err("tag_width must be in 1..=8");
+        }
+        if self.num_instructions == 0 || self.num_instructions > 64 {
+            return err("num_instructions must be in 1..=64");
+        }
+        if self.max_check == 0 || self.max_check > self.num_input_queues {
+            return err("max_check must be in 1..=num_input_queues");
+        }
+        if self.max_deq == 0 || self.max_deq > self.num_input_queues {
+            return err("max_deq must be in 1..=num_input_queues");
+        }
+        if self.queue_capacity == 0 || self.queue_capacity > 1024 {
+            return err("queue_capacity must be in 1..=1024");
+        }
+        if self.layout().total_bits() > 128 {
+            return err("encoded instruction exceeds the 128-bit host image");
+        }
+        Ok(())
+    }
+
+    /// Number of distinct tag values, `2^tag_width`.
+    pub fn num_tags(&self) -> u32 {
+        1u32 << self.tag_width
+    }
+
+    /// Mask selecting the live bits of a data word.
+    pub fn word_mask(&self) -> u32 {
+        if self.word_width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.word_width) - 1
+        }
+    }
+
+    /// Mask selecting the live bits of the predicate register file.
+    pub fn pred_mask(&self) -> u32 {
+        if self.num_preds == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.num_preds) - 1
+        }
+    }
+
+    /// Computes the binary encoding layout (paper Table 2) implied by
+    /// this parameter assignment.
+    pub fn layout(&self) -> crate::encoding::EncodingLayout {
+        crate::encoding::EncodingLayout::from_params(self)
+    }
+}
+
+/// Number of bits needed to index `n` distinct values (`ceil(log2 n)`),
+/// with the convention that indexing a single value takes 0 bits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tia_isa::params::bits_for(8), 3);
+/// assert_eq!(tia_isa::params::bits_for(5), 3);
+/// assert_eq!(tia_isa::params::bits_for(1), 0);
+/// ```
+pub fn bits_for(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_the_papers_assignment() {
+        let p = Params::default();
+        assert_eq!(p.num_regs, 8);
+        assert_eq!(p.num_input_queues, 4);
+        assert_eq!(p.num_output_queues, 4);
+        assert_eq!(p.max_check, 2);
+        assert_eq!(p.max_deq, 2);
+        assert_eq!(p.num_preds, 8);
+        assert_eq!(p.word_width, 32);
+        assert_eq!(p.tag_width, 2);
+        assert_eq!(p.num_instructions, 16);
+        p.validate().expect("default params must validate");
+    }
+
+    #[test]
+    fn default_params_encode_to_106_bits() {
+        assert_eq!(Params::default().layout().total_bits(), 106);
+    }
+
+    #[test]
+    fn bits_for_matches_ceil_log2() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(42), 6);
+        assert_eq!(bits_for(64), 6);
+        assert_eq!(bits_for(65), 7);
+    }
+
+    #[test]
+    fn validation_rejects_zero_counts() {
+        for field in 0..6 {
+            let mut p = Params::default();
+            match field {
+                0 => p.num_regs = 0,
+                1 => p.num_input_queues = 0,
+                2 => p.num_preds = 0,
+                3 => p.word_width = 0,
+                4 => p.tag_width = 0,
+                _ => p.num_instructions = 0,
+            }
+            assert!(p.validate().is_err(), "field {field} accepted zero");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_oversized_values() {
+        let mut p = Params::default();
+        p.word_width = 64;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.num_preds = 33;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.max_deq = 5;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.max_check = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn masks_cover_exactly_the_live_bits() {
+        let p = Params::default();
+        assert_eq!(p.word_mask(), u32::MAX);
+        assert_eq!(p.pred_mask(), 0xff);
+        assert_eq!(p.num_tags(), 4);
+
+        let mut narrow = Params::default();
+        narrow.word_width = 16;
+        narrow.num_preds = 4;
+        narrow.tag_width = 1;
+        assert_eq!(narrow.word_mask(), 0xffff);
+        assert_eq!(narrow.pred_mask(), 0xf);
+        assert_eq!(narrow.num_tags(), 2);
+    }
+
+    #[test]
+    fn params_serde_roundtrip() {
+        let p = Params::default();
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: Params = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn params_deserialize_fills_defaults() {
+        let p: Params = serde_json::from_str("{\"num_regs\": 16}").expect("partial file");
+        assert_eq!(p.num_regs, 16);
+        assert_eq!(p.num_preds, 8);
+    }
+}

@@ -1,0 +1,363 @@
+//! Predicate state, trigger patterns, and predicate updates.
+//!
+//! Predicates are the control substrate of a triggered PE: "the PE
+//! also contains a set of single-bit predicate registers, which can be
+//! updated immediately upon triggering an instruction, or as the result
+//! of a datapath operation" (§2.1). Individual bits are pattern-matched
+//! in trigger conditions and selectively assigned with
+//! don't-care/high-impedance (`X`/`Z`) notation (§2.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::ids::PredId;
+use crate::params::Params;
+
+/// The live predicate register file of a PE: one bit per predicate.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{Params, PredState, PredId};
+///
+/// let params = Params::default();
+/// let mut preds = PredState::new();
+/// let p7 = PredId::new(7, &params)?;
+/// preds.set(p7, true);
+/// assert!(preds.get(p7));
+/// assert_eq!(preds.bits(), 0x80);
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredState(u32);
+
+impl PredState {
+    /// All predicates cleared (the reset state).
+    pub fn new() -> Self {
+        PredState(0)
+    }
+
+    /// Builds a predicate state from a raw bit vector.
+    pub fn from_bits(bits: u32) -> Self {
+        PredState(bits)
+    }
+
+    /// The raw bit vector (bit *i* = predicate *i*).
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reads predicate `id`.
+    pub fn get(self, id: PredId) -> bool {
+        (self.0 >> id.index()) & 1 == 1
+    }
+
+    /// Writes predicate `id`.
+    pub fn set(&mut self, id: PredId, value: bool) {
+        if value {
+            self.0 |= 1 << id.index();
+        } else {
+            self.0 &= !(1 << id.index());
+        }
+    }
+}
+
+impl fmt::Display for PredState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08b}", self.0)
+    }
+}
+
+/// The trigger's required predicate pattern: an on-set (bits that must
+/// be 1) and an off-set (bits that must be 0); bits in neither set are
+/// don't-care (`PredMask` in Table 2, `2 × NPreds` bits).
+///
+/// In assembly this is the `%p == XXXX0001` pattern: `1` → on-set,
+/// `0` → off-set, `X` → don't-care.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{PredPattern, PredState};
+///
+/// // matches when predicate 0 is 1 and predicate 1 is 0
+/// let pattern = PredPattern::new(0b01, 0b10)?;
+/// assert!(pattern.matches(PredState::from_bits(0b0001)));
+/// assert!(pattern.matches(PredState::from_bits(0b1101)));
+/// assert!(!pattern.matches(PredState::from_bits(0b0011)));
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredPattern {
+    on_set: u32,
+    off_set: u32,
+}
+
+impl PredPattern {
+    /// A pattern with every bit don't-care: matches any state.
+    pub const ANY: PredPattern = PredPattern {
+        on_set: 0,
+        off_set: 0,
+    };
+
+    /// Creates a pattern from on-set and off-set bit vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidInstruction`] when the two sets
+    /// overlap (a bit cannot be required both 1 and 0).
+    pub fn new(on_set: u32, off_set: u32) -> Result<Self, IsaError> {
+        if on_set & off_set != 0 {
+            return Err(IsaError::InvalidInstruction(format!(
+                "predicate pattern on-set {on_set:#b} and off-set {off_set:#b} overlap"
+            )));
+        }
+        Ok(PredPattern { on_set, off_set })
+    }
+
+    /// The bits required to be 1.
+    pub fn on_set(self) -> u32 {
+        self.on_set
+    }
+
+    /// The bits required to be 0.
+    pub fn off_set(self) -> u32 {
+        self.off_set
+    }
+
+    /// The bits this pattern actually reads (on-set ∪ off-set); the
+    /// complement is don't-care.
+    pub fn read_set(self) -> u32 {
+        self.on_set | self.off_set
+    }
+
+    /// Whether a predicate state satisfies the pattern.
+    pub fn matches(self, state: PredState) -> bool {
+        (state.bits() & self.on_set) == self.on_set && (state.bits() & self.off_set) == 0
+    }
+
+    /// Renders the pattern in the paper's assembly notation, most
+    /// significant predicate first (e.g. `XXXX0001` for 8 predicates).
+    pub fn to_assembly(self, num_preds: usize) -> String {
+        (0..num_preds)
+            .rev()
+            .map(|i| {
+                if (self.on_set >> i) & 1 == 1 {
+                    '1'
+                } else if (self.off_set >> i) & 1 == 1 {
+                    '0'
+                } else {
+                    'X'
+                }
+            })
+            .collect()
+    }
+
+    /// Validates that the pattern only references live predicate bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidInstruction`] when a referenced bit
+    /// is at or above `params.num_preds`.
+    pub fn validate(self, params: &Params) -> Result<(), IsaError> {
+        if self.read_set() & !params.pred_mask() != 0 {
+            return Err(IsaError::InvalidInstruction(format!(
+                "predicate pattern references bits above predicate {}",
+                params.num_preds - 1
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PredPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_assembly(8))
+    }
+}
+
+/// The trigger-encoded predicate update: "masks of which predicates to
+/// force high or low" (`PredUpdate` in Table 2), applied atomically at
+/// instruction trigger — "roughly equivalent to the default
+/// `PC = PC + 4` update in an equivalent traditional machine" (§2.2).
+///
+/// In assembly this is `set %p = ZZZZ0001`: `1` → force high, `0` →
+/// force low, `Z` → leave unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{PredState, PredUpdate};
+///
+/// let update = PredUpdate::new(0b0001, 0b0010)?;
+/// let state = update.apply(PredState::from_bits(0b1110));
+/// assert_eq!(state.bits(), 0b1101);
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredUpdate {
+    set_mask: u32,
+    clear_mask: u32,
+}
+
+impl PredUpdate {
+    /// The identity update (leave every predicate unchanged).
+    pub const NONE: PredUpdate = PredUpdate {
+        set_mask: 0,
+        clear_mask: 0,
+    };
+
+    /// Creates an update from force-high and force-low masks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidInstruction`] when the masks overlap.
+    pub fn new(set_mask: u32, clear_mask: u32) -> Result<Self, IsaError> {
+        if set_mask & clear_mask != 0 {
+            return Err(IsaError::InvalidInstruction(format!(
+                "predicate update set mask {set_mask:#b} and clear mask {clear_mask:#b} overlap"
+            )));
+        }
+        Ok(PredUpdate {
+            set_mask,
+            clear_mask,
+        })
+    }
+
+    /// The force-high mask.
+    pub fn set_mask(self) -> u32 {
+        self.set_mask
+    }
+
+    /// The force-low mask.
+    pub fn clear_mask(self) -> u32 {
+        self.clear_mask
+    }
+
+    /// The bits this update writes (set ∪ clear).
+    pub fn write_set(self) -> u32 {
+        self.set_mask | self.clear_mask
+    }
+
+    /// Whether this is the identity update.
+    pub fn is_none(self) -> bool {
+        self.write_set() == 0
+    }
+
+    /// Applies the update to a predicate state.
+    pub fn apply(self, state: PredState) -> PredState {
+        PredState::from_bits((state.bits() | self.set_mask) & !self.clear_mask)
+    }
+
+    /// Renders the update in the paper's assembly notation
+    /// (e.g. `ZZZZ0001`).
+    pub fn to_assembly(self, num_preds: usize) -> String {
+        (0..num_preds)
+            .rev()
+            .map(|i| {
+                if (self.set_mask >> i) & 1 == 1 {
+                    '1'
+                } else if (self.clear_mask >> i) & 1 == 1 {
+                    '0'
+                } else {
+                    'Z'
+                }
+            })
+            .collect()
+    }
+
+    /// Validates that the update only writes live predicate bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidInstruction`] when a written bit is
+    /// at or above `params.num_preds`.
+    pub fn validate(self, params: &Params) -> Result<(), IsaError> {
+        if self.write_set() & !params.pred_mask() != 0 {
+            return Err(IsaError::InvalidInstruction(format!(
+                "predicate update writes bits above predicate {}",
+                params.num_preds - 1
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PredUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_assembly(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_matching_honors_dont_cares() {
+        let p = PredPattern::new(0b0001, 0b0100).unwrap();
+        assert!(p.matches(PredState::from_bits(0b0001)));
+        assert!(p.matches(PredState::from_bits(0b1011)));
+        assert!(!p.matches(PredState::from_bits(0b0101)));
+        assert!(!p.matches(PredState::from_bits(0b0100)));
+        assert!(PredPattern::ANY.matches(PredState::from_bits(0xdead)));
+    }
+
+    #[test]
+    fn overlapping_sets_are_rejected() {
+        assert!(PredPattern::new(0b11, 0b01).is_err());
+        assert!(PredUpdate::new(0b10, 0b10).is_err());
+    }
+
+    #[test]
+    fn update_sets_and_clears_atomically() {
+        let u = PredUpdate::new(0b1010, 0b0101).unwrap();
+        assert_eq!(u.apply(PredState::from_bits(0b1111)).bits(), 0b1010);
+        assert_eq!(u.apply(PredState::from_bits(0b0000)).bits(), 0b1010);
+    }
+
+    #[test]
+    fn assembly_notation_matches_the_paper() {
+        // "when %p == XXXX0000" — low four bits required zero.
+        let p = PredPattern::new(0, 0x0f).unwrap();
+        assert_eq!(p.to_assembly(8), "XXXX0000");
+        // "set %p = ZZZZ0001" — set bit 0, clear bits 1..=3.
+        let u = PredUpdate::new(0b0001, 0b1110).unwrap();
+        assert_eq!(u.to_assembly(8), "ZZZZ0001");
+    }
+
+    #[test]
+    fn validation_limits_bits_to_num_preds() {
+        let mut params = Params::default();
+        params.num_preds = 4;
+        assert!(PredPattern::new(0b1_0000, 0)
+            .unwrap()
+            .validate(&params)
+            .is_err());
+        assert!(PredPattern::new(0b0100, 0b0011)
+            .unwrap()
+            .validate(&params)
+            .is_ok());
+        assert!(PredUpdate::new(0b10_0000, 0)
+            .unwrap()
+            .validate(&params)
+            .is_err());
+    }
+
+    #[test]
+    fn pred_state_set_get_roundtrip() {
+        let params = Params::default();
+        let mut s = PredState::new();
+        for i in 0..8 {
+            let id = PredId::new(i, &params).unwrap();
+            assert!(!s.get(id));
+            s.set(id, true);
+            assert!(s.get(id));
+        }
+        assert_eq!(s.bits(), 0xff);
+        s.set(PredId::new(3, &params).unwrap(), false);
+        assert_eq!(s.bits(), 0xf7);
+    }
+}

@@ -1,0 +1,191 @@
+//! Programs: the priority-ordered instruction list loaded into one PE.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IsaError;
+use crate::instruction::Instruction;
+use crate::params::Params;
+
+/// A PE program: a priority-ordered list of triggered instructions
+/// ("instructions are ordered by priority rather than sequence, with
+/// the highest priority triggered instruction issued for execution",
+/// §2.1). Lower index = higher priority.
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::{Instruction, Params, Program};
+///
+/// let params = Params::default();
+/// let program = Program::new(vec![Instruction::invalid()]);
+/// program.validate(&params)?;
+/// assert_eq!(program.len(), 1);
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates a program from an instruction list (priority order).
+    pub fn new(instructions: Vec<Instruction>) -> Self {
+        Program { instructions }
+    }
+
+    /// An empty program (a PE that never triggers).
+    pub fn empty() -> Self {
+        Program::default()
+    }
+
+    /// The instructions in priority order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instruction slots used.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends an instruction at the lowest priority.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// Validates the program against a parameter assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidProgram`] when the program exceeds
+    /// the PE's instruction memory, and propagates per-instruction
+    /// validation failures (annotated with the slot index).
+    pub fn validate(&self, params: &Params) -> Result<(), IsaError> {
+        if self.instructions.len() > params.num_instructions {
+            return Err(IsaError::InvalidProgram(format!(
+                "{} instructions exceed the {}-entry instruction memory",
+                self.instructions.len(),
+                params.num_instructions
+            )));
+        }
+        for (slot, instruction) in self.instructions.iter().enumerate() {
+            instruction
+                .validate(params)
+                .map_err(|e| IsaError::InvalidProgram(format!("instruction {slot}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Encodes the program as padded instruction images, one per slot,
+    /// padding unused slots with invalid (all-zero) images — the form
+    /// the host writes to the PE's "write-only instruction memory"
+    /// (§2.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::encoding::encode`] failures.
+    pub fn to_images(&self, params: &Params) -> Result<Vec<u128>, IsaError> {
+        self.validate(params)?;
+        let mut images = Vec::with_capacity(params.num_instructions);
+        for instruction in &self.instructions {
+            images.push(crate::encoding::encode(instruction, params)?);
+        }
+        images.resize(params.num_instructions, 0);
+        Ok(images)
+    }
+
+    /// Decodes a full instruction-memory image back into a program.
+    ///
+    /// Trailing invalid slots are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::encoding::decode`] failures (annotated with
+    /// the slot index).
+    pub fn from_images(images: &[u128], params: &Params) -> Result<Self, IsaError> {
+        let mut instructions = Vec::new();
+        for (slot, image) in images.iter().enumerate() {
+            instructions.push(
+                crate::encoding::decode(*image, params)
+                    .map_err(|e| IsaError::InvalidProgram(format!("instruction {slot}: {e}")))?,
+            );
+        }
+        while instructions.last().is_some_and(|i| !i.valid) {
+            instructions.pop();
+        }
+        Ok(Program::new(instructions))
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegId;
+    use crate::instruction::{DstOperand, SrcOperand};
+    use crate::op::Op;
+
+    fn add_imm(p: &Params, imm: u32) -> Instruction {
+        Instruction {
+            valid: true,
+            op: Op::Add,
+            srcs: [SrcOperand::Reg(RegId::new(0, p).unwrap()), SrcOperand::Imm],
+            dst: DstOperand::Reg(RegId::new(0, p).unwrap()),
+            imm,
+            ..Instruction::default()
+        }
+    }
+
+    #[test]
+    fn too_long_program_rejected() {
+        let p = Params::default();
+        let program: Program = (0..17).map(|i| add_imm(&p, i)).collect();
+        let err = program.validate(&p).unwrap_err();
+        assert!(err.to_string().contains("exceed"));
+    }
+
+    #[test]
+    fn per_instruction_errors_name_the_slot() {
+        let p = Params::default();
+        let mut bad = add_imm(&p, 1);
+        bad.dst = DstOperand::None;
+        let program = Program::new(vec![add_imm(&p, 0), bad]);
+        let err = program.validate(&p).unwrap_err();
+        assert!(err.to_string().contains("instruction 1"), "{err}");
+    }
+
+    #[test]
+    fn image_roundtrip_pads_to_instruction_memory_size() {
+        let p = Params::default();
+        let program = Program::new(vec![add_imm(&p, 7), add_imm(&p, 8)]);
+        let images = program.to_images(&p).unwrap();
+        assert_eq!(images.len(), 16);
+        assert!(images[2..].iter().all(|&i| i == 0));
+        let back = Program::from_images(&images, &p).unwrap();
+        assert_eq!(back, program);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let p = Params::default();
+        let mut program: Program = std::iter::once(add_imm(&p, 1)).collect();
+        program.extend(vec![add_imm(&p, 2)]);
+        assert_eq!(program.len(), 2);
+    }
+}

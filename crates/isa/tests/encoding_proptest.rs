@@ -1,0 +1,230 @@
+//! Property-based tests for the instruction encoding: every valid
+//! instruction must survive an encode/decode roundtrip, and the ALU
+//! must satisfy basic algebraic identities.
+
+use proptest::prelude::*;
+
+use tia_isa::{
+    alu, encoding, DstOperand, InputId, Instruction, Op, OutputId, Params, PredId, PredPattern,
+    PredUpdate, QueueCheck, RegId, SrcOperand, Tag, Trigger, ALL_OPS,
+};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop::sample::select(ALL_OPS.to_vec())
+}
+
+fn arb_src(params: Params) -> impl Strategy<Value = SrcOperand> {
+    (0u8..4, 0usize..8).prop_map(move |(kind, idx)| match kind {
+        0 => SrcOperand::None,
+        1 => SrcOperand::Reg(RegId::new(idx % params.num_regs, &params).unwrap()),
+        2 => SrcOperand::Input(InputId::new(idx % params.num_input_queues, &params).unwrap()),
+        _ => SrcOperand::Imm,
+    })
+}
+
+fn arb_pattern(params: Params) -> impl Strategy<Value = PredPattern> {
+    (any::<u32>(), any::<u32>()).prop_map(move |(on, off)| {
+        let on = on & params.pred_mask();
+        let off = off & params.pred_mask() & !on;
+        PredPattern::new(on, off).unwrap()
+    })
+}
+
+fn arb_update(params: Params) -> impl Strategy<Value = PredUpdate> {
+    (any::<u32>(), any::<u32>()).prop_map(move |(set, clear)| {
+        let set = set & params.pred_mask();
+        let clear = clear & params.pred_mask() & !set;
+        PredUpdate::new(set, clear).unwrap()
+    })
+}
+
+fn arb_checks(params: Params) -> impl Strategy<Value = Vec<QueueCheck>> {
+    prop::collection::vec(
+        (
+            0usize..params.num_input_queues,
+            0u32..params.num_tags(),
+            any::<bool>(),
+        ),
+        0..=params.max_check,
+    )
+    .prop_map(move |raw| {
+        let mut checks: Vec<QueueCheck> = Vec::new();
+        for (q, t, negate) in raw {
+            if checks.iter().any(|c| c.queue.index() == q) {
+                continue;
+            }
+            checks.push(QueueCheck {
+                queue: InputId::new(q, &params).unwrap(),
+                tag: Tag::new(t, &params).unwrap(),
+                negate,
+            });
+        }
+        checks
+    })
+}
+
+/// Generates structurally valid instructions (repairing the random
+/// pieces into the invariants `Instruction::validate` demands).
+fn arb_instruction() -> impl Strategy<Value = (Instruction, Params)> {
+    let params = Params::default();
+    (
+        arb_op(),
+        arb_src(params.clone()),
+        arb_src(params.clone()),
+        0u8..4,
+        0usize..8,
+        0u32..4,
+        arb_pattern(params.clone()),
+        arb_update(params.clone()),
+        arb_checks(params.clone()),
+        any::<u32>(),
+    )
+        .prop_map(
+            move |(op, s0, s1, dkind, didx, otag, pattern, update, checks, imm)| {
+                let p = params.clone();
+                // Skip scratchpad ops (disabled under default params).
+                let op = if op.is_scratchpad() { Op::Add } else { op };
+                let mut srcs = [SrcOperand::None, SrcOperand::None];
+                let arity = op.num_srcs();
+                let choices = [s0, s1];
+                for i in 0..arity {
+                    srcs[i] = match choices[i] {
+                        SrcOperand::None => SrcOperand::Imm,
+                        other => other,
+                    };
+                }
+                let dst = if !op.has_result() {
+                    DstOperand::None
+                } else {
+                    match dkind {
+                        0 | 1 => DstOperand::Reg(RegId::new(didx % p.num_regs, &p).unwrap()),
+                        2 => DstOperand::Output(
+                            OutputId::new(didx % p.num_output_queues, &p).unwrap(),
+                        ),
+                        _ => DstOperand::Pred(PredId::new(didx % p.num_preds, &p).unwrap()),
+                    }
+                };
+                // Repair the update/destination conflict.
+                let update = if let DstOperand::Pred(pr) = dst {
+                    let bit = 1u32 << pr.index();
+                    PredUpdate::new(update.set_mask() & !bit, update.clear_mask() & !bit).unwrap()
+                } else {
+                    update
+                };
+                // Dequeues must target read-or-checked queues.
+                let mut dequeues: Vec<InputId> = Vec::new();
+                for q in srcs.iter().filter_map(|s| s.input_queue()) {
+                    if dequeues.len() < p.max_deq && !dequeues.contains(&q) {
+                        dequeues.push(q);
+                    }
+                }
+                for c in &checks {
+                    if dequeues.len() < p.max_deq && !dequeues.contains(&c.queue) {
+                        dequeues.push(c.queue);
+                    }
+                }
+                let instruction = Instruction {
+                    valid: true,
+                    trigger: Trigger {
+                        predicates: pattern,
+                        queue_checks: checks,
+                    },
+                    op,
+                    srcs,
+                    dst,
+                    out_tag: Tag::new(otag, &p).unwrap(),
+                    dequeues,
+                    pred_update: update,
+                    imm,
+                };
+                (instruction, p)
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip((instruction, params) in arb_instruction()) {
+        prop_assert!(instruction.validate(&params).is_ok());
+        let image = encoding::encode(&instruction, &params).unwrap();
+        let back = encoding::decode(image, &params).unwrap();
+        prop_assert_eq!(back, instruction);
+    }
+
+    #[test]
+    fn byte_roundtrip((instruction, params) in arb_instruction()) {
+        let bytes = encoding::to_bytes(&instruction, &params).unwrap();
+        prop_assert_eq!(bytes.len(), 16);
+        let back = encoding::from_bytes(&bytes, &params).unwrap();
+        prop_assert_eq!(back, instruction);
+    }
+
+    #[test]
+    fn encoding_is_injective_on_distinct_instructions(
+        (a, params) in arb_instruction(),
+        (b, _) in arb_instruction(),
+    ) {
+        let ia = encoding::encode(&a, &params).unwrap();
+        let ib = encoding::encode(&b, &params).unwrap();
+        if a != b {
+            prop_assert_ne!(ia, ib);
+        } else {
+            prop_assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn comparisons_are_total_and_boolean(a in any::<u32>(), b in any::<u32>()) {
+        // Exactly one of lt/eq/gt holds, in both signednesses.
+        let ult = alu::evaluate(Op::Ult, a, b);
+        let ugt = alu::evaluate(Op::Ugt, a, b);
+        let eq = alu::evaluate(Op::Eq, a, b);
+        prop_assert_eq!(ult + ugt + eq, 1);
+        let slt = alu::evaluate(Op::Slt, a, b);
+        let sgt = alu::evaluate(Op::Sgt, a, b);
+        prop_assert_eq!(slt + sgt + eq, 1);
+        // Ordering duals.
+        prop_assert_eq!(alu::evaluate(Op::Ule, a, b), 1 - ugt);
+        prop_assert_eq!(alu::evaluate(Op::Uge, a, b), 1 - ult);
+        prop_assert_eq!(alu::evaluate(Op::Sle, a, b), 1 - sgt);
+        prop_assert_eq!(alu::evaluate(Op::Sge, a, b), 1 - slt);
+    }
+
+    #[test]
+    fn mul_identities(a in any::<u32>(), b in any::<u32>()) {
+        let full = (a as u64) * (b as u64);
+        prop_assert_eq!(alu::evaluate(Op::Mul, a, b), full as u32);
+        prop_assert_eq!(alu::evaluate(Op::Mulhu, a, b), (full >> 32) as u32);
+        let sfull = (a as i32 as i64) * (b as i32 as i64);
+        prop_assert_eq!(alu::evaluate(Op::Mulhs, a, b), (sfull >> 32) as u64 as u32);
+        // mul is commutative in both halves.
+        prop_assert_eq!(alu::evaluate(Op::Mul, a, b), alu::evaluate(Op::Mul, b, a));
+        prop_assert_eq!(alu::evaluate(Op::Mulhu, a, b), alu::evaluate(Op::Mulhu, b, a));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in any::<u32>(), b in any::<u32>()) {
+        let sum = alu::evaluate(Op::Add, a, b);
+        prop_assert_eq!(alu::evaluate(Op::Sub, sum, b), a);
+        prop_assert_eq!(alu::evaluate(Op::Neg, alu::evaluate(Op::Neg, a, 0), 0), a);
+    }
+
+    #[test]
+    fn rotations_compose_to_identity(a in any::<u32>(), s in 0u32..32) {
+        let left = alu::evaluate(Op::Rol, a, s);
+        prop_assert_eq!(alu::evaluate(Op::Ror, left, s), a);
+    }
+
+    #[test]
+    fn popc_clz_ctz_consistency(a in any::<u32>()) {
+        let popc = alu::evaluate(Op::Popc, a, 0);
+        prop_assert_eq!(popc, a.count_ones());
+        if a != 0 {
+            let clz = alu::evaluate(Op::Clz, a, 0);
+            let ctz = alu::evaluate(Op::Ctz, a, 0);
+            prop_assert!(clz + ctz <= 31);
+            prop_assert_eq!(alu::evaluate(Op::Bget, a, ctz), 1);
+            prop_assert_eq!(alu::evaluate(Op::Bget, a, 31 - clz), 1);
+        }
+    }
+}

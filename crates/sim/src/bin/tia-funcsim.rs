@@ -1,0 +1,216 @@
+//! `tia-funcsim` — the command-line functional simulator of the
+//! toolchain (Figure 1): executes one PE's program against input
+//! streams and prints its architectural results.
+//!
+//! ```text
+//! tia-funcsim [--params params.json] [--hex] [--max-cycles N]
+//!             [--in Q:v1,v2,...] ... <program>
+//! ```
+//!
+//! `<program>` is assembly (default) or, with `--hex`, the padded
+//! 128-bit instruction images `tia-as` emits. Each `--in Q:...` option
+//! preloads input queue `Q` with a comma-separated token list; a token
+//! is `value` (tag 0) or `tag:value`. On exit the simulator prints the
+//! register file, predicate state, output-queue contents, and the
+//! performance counters.
+
+use std::fs;
+use std::process::ExitCode;
+
+use tia_fabric::{ProcessingElement, Token};
+use tia_isa::{Params, Program, Tag};
+use tia_sim::FuncPe;
+
+#[derive(Debug)]
+struct Options {
+    params: Params,
+    program_path: String,
+    hex: bool,
+    max_cycles: u64,
+    inputs: Vec<(usize, Vec<Token>)>,
+}
+
+fn parse_token(text: &str, params: &Params) -> Result<Token, String> {
+    let mut parts = text.splitn(2, ':');
+    let first = parts.next().expect("splitn yields at least one part");
+    match parts.next() {
+        None => {
+            let value: u32 = first
+                .parse()
+                .map_err(|e| format!("bad token value `{first}`: {e}"))?;
+            Ok(Token::data(value))
+        }
+        Some(value_text) => {
+            let tag_value: u32 = first
+                .parse()
+                .map_err(|e| format!("bad tag `{first}`: {e}"))?;
+            let value: u32 = value_text
+                .parse()
+                .map_err(|e| format!("bad token value `{value_text}`: {e}"))?;
+            let tag = Tag::new(tag_value, params).map_err(|e| e.to_string())?;
+            Ok(Token::new(tag, value))
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut params = Params::default();
+    let mut program_path = None;
+    let mut hex = false;
+    let mut max_cycles = 1_000_000u64;
+    let mut raw_inputs: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--params" => {
+                let path = args.next().ok_or("--params needs a file")?;
+                let text =
+                    fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                params = serde_json::from_str(&text)
+                    .map_err(|e| format!("invalid parameter file {path}: {e}"))?;
+                params.validate().map_err(|e| format!("{path}: {e}"))?;
+            }
+            "--hex" => hex = true,
+            "--max-cycles" => {
+                max_cycles = args
+                    .next()
+                    .ok_or("--max-cycles needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad cycle count: {e}"))?;
+            }
+            "--in" => raw_inputs.push(args.next().ok_or("--in needs Q:v1,v2,...")?),
+            "--help" | "-h" => {
+                return Err("usage: tia-funcsim [--params params.json] [--hex] \
+                            [--max-cycles N] [--in Q:v1,v2,...] <program>"
+                    .to_string())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if program_path.replace(other.to_string()).is_some() {
+                    return Err("multiple program files given".to_string());
+                }
+            }
+        }
+    }
+    let mut inputs = Vec::new();
+    for raw in raw_inputs {
+        let (queue_text, tokens_text) = raw
+            .split_once(':')
+            .ok_or_else(|| format!("--in wants Q:v1,v2,... got `{raw}`"))?;
+        let queue: usize = queue_text
+            .parse()
+            .map_err(|e| format!("bad queue index `{queue_text}`: {e}"))?;
+        if queue >= params.num_input_queues {
+            return Err(format!("queue {queue} out of range"));
+        }
+        let tokens = tokens_text
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(|t| parse_token(t, &params))
+            .collect::<Result<Vec<Token>, String>>()?;
+        inputs.push((queue, tokens));
+    }
+    Ok(Options {
+        params,
+        program_path: program_path.ok_or("no program file given")?,
+        hex,
+        max_cycles,
+        inputs,
+    })
+}
+
+fn load_program(opts: &Options) -> Result<Program, String> {
+    let text = fs::read_to_string(&opts.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
+    if opts.hex {
+        let mut images = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            images.push(
+                u128::from_str_radix(line, 16)
+                    .map_err(|e| format!("line {}: malformed image: {e}", i + 1))?,
+            );
+        }
+        Program::from_images(&images, &opts.params).map_err(|e| e.to_string())
+    } else {
+        tia_asm::assemble(&text, &opts.params).map_err(|e| e.to_string())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let program = load_program(&opts)?;
+    let mut pe = FuncPe::new(&opts.params, program).map_err(|e| e.to_string())?;
+    for (queue, tokens) in &opts.inputs {
+        for token in tokens {
+            if !pe.input_queue_mut(*queue).push(*token) {
+                return Err(format!(
+                    "input queue {queue} overflows (capacity {})",
+                    opts.params.queue_capacity
+                ));
+            }
+        }
+    }
+
+    let mut outputs: Vec<Vec<Token>> = vec![Vec::new(); opts.params.num_output_queues];
+    for _ in 0..opts.max_cycles {
+        if pe.halted() {
+            break;
+        }
+        pe.step_cycle();
+        for (q, sink) in outputs.iter_mut().enumerate() {
+            while let Some(t) = pe.output_queue_mut(q).pop() {
+                sink.push(t);
+            }
+        }
+    }
+
+    println!(
+        "{} after {} cycles, {} instructions retired (CPI {:.3})",
+        if pe.halted() {
+            "halted"
+        } else {
+            "cycle limit reached"
+        },
+        pe.counters().cycles,
+        pe.counters().retired,
+        pe.counters().cpi(),
+    );
+    print!("registers:");
+    for i in 0..opts.params.num_regs {
+        print!(" %r{i}={:#x}", pe.reg(i));
+    }
+    println!();
+    println!("predicates: {}", pe.predicates());
+    for (q, tokens) in outputs.iter().enumerate() {
+        if tokens.is_empty() {
+            continue;
+        }
+        print!("%o{q}:");
+        for t in tokens {
+            print!(" {t}");
+        }
+        println!();
+    }
+    println!(
+        "counters: idle={} pred_writes={} dequeues={} enqueues={}",
+        pe.counters().idle,
+        pe.counters().predicate_writes,
+        pe.counters().dequeues,
+        pe.counters().enqueues,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tia-funcsim: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

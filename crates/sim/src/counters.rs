@@ -1,0 +1,81 @@
+//! Architectural event counters for the functional model.
+//!
+//! These mirror the per-PE performance counters of the FPGA prototype
+//! at the architectural level: cycles, retired (dynamic) instructions,
+//! and the event classes the paper's figures are built from (datapath
+//! predicate writes for Figure 4, queue traffic for the workload
+//! characterization of Table 3).
+
+/// Event counts accumulated by a functional PE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncCounters {
+    /// Cycles stepped (while not halted).
+    pub cycles: u64,
+    /// Instructions retired (the dynamic instruction count).
+    pub retired: u64,
+    /// Cycles in which no instruction was triggered.
+    pub idle: u64,
+    /// Retired instructions with a datapath predicate destination —
+    /// the paper's "predicate write frequency" numerator (Fig. 4).
+    pub predicate_writes: u64,
+    /// Input-queue dequeues performed.
+    pub dequeues: u64,
+    /// Output-queue enqueues performed.
+    pub enqueues: u64,
+    /// Scratchpad reads and writes performed.
+    pub scratchpad_accesses: u64,
+    /// Retired multiply-class operations (activity model input).
+    pub multiplies: u64,
+}
+
+impl FuncCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        FuncCounters::default()
+    }
+
+    /// Dynamic frequency of datapath predicate writes, the quantity
+    /// plotted per benchmark in Figure 4 (≈20% on average across the
+    /// paper's workloads).
+    pub fn predicate_write_frequency(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.predicate_writes as f64 / self.retired as f64
+        }
+    }
+
+    /// Cycles per retired instruction (≥ 1 for the functional model,
+    /// which issues at most one instruction per cycle).
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            f64::NAN
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_handle_zero_retired() {
+        let c = FuncCounters::new();
+        assert_eq!(c.predicate_write_frequency(), 0.0);
+        assert!(c.cpi().is_nan());
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let c = FuncCounters {
+            cycles: 200,
+            retired: 100,
+            predicate_writes: 20,
+            ..FuncCounters::new()
+        };
+        assert_eq!(c.cpi(), 2.0);
+        assert_eq!(c.predicate_write_frequency(), 0.2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # `tia-sim` — the functional ISA simulator
+//!
+//! The architectural golden model of the triggered-PE reproduction, in
+//! the role of the Python functional simulator in the paper's toolchain
+//! (Figure 1). A [`FuncPe`] executes one triggered instruction per
+//! cycle with fully atomic semantics; wired into a
+//! [`tia_fabric::System`] it runs the same multi-PE spatial workloads
+//! as the cycle-level pipelines of `tia-core`, which must match it
+//! bit-for-bit.
+//!
+//! # Examples
+//!
+//! A two-PE producer/consumer chain:
+//!
+//! ```
+//! use tia_asm::assemble;
+//! use tia_fabric::{InputRef, Memory, OutputRef, StreamSink, System};
+//! use tia_isa::Params;
+//! use tia_sim::FuncPe;
+//!
+//! let params = Params::default();
+//! // PE 0 emits 0,1,2,... on %o0; PE 1 doubles whatever arrives.
+//! let producer = assemble(
+//!     "when %p == XXXXXXX0: mov %o0.0, %r0; set %p = ZZZZZZZ1;\n\
+//!      when %p == XXXXXXX1: add %r0, %r0, 1; set %p = ZZZZZZZ0;",
+//!     &params,
+//! ).expect("assembles");
+//! let doubler = assemble(
+//!     "when %p == XXXXXXXX with %i0.0: add %o0.0, %i0, %i0; deq %i0;",
+//!     &params,
+//! ).expect("assembles");
+//!
+//! let mut sys = System::new(Memory::new(0));
+//! let p0 = sys.add_pe(FuncPe::new(&params, producer)?);
+//! let p1 = sys.add_pe(FuncPe::new(&params, doubler)?);
+//! let sink = sys.add_sink(StreamSink::new(4));
+//! sys.connect(OutputRef::Pe { pe: p0, queue: 0 }, InputRef::Pe { pe: p1, queue: 0 })?;
+//! sys.connect(OutputRef::Pe { pe: p1, queue: 0 }, InputRef::Sink { sink })?;
+//! sys.run_until(|s| s.sink(0).collected().len() >= 4, 100);
+//! assert_eq!(&sys.sink(0).words()[..4], &[0, 2, 4, 6]);
+//! # Ok::<(), tia_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counters;
+pub mod pe;
+
+pub use counters::FuncCounters;
+pub use pe::FuncPe;

@@ -1,0 +1,493 @@
+//! The functional (architectural) processing element.
+//!
+//! This is the golden model: it executes one triggered instruction per
+//! cycle with atomic semantics — "predicate updates encoded in
+//! PredMask, any input channel dequeues in IQueueDeq and datapath
+//! predicate writes must be atomic" (Figure 2 caption). Every pipelined
+//! microarchitecture in `tia-core` must match this model's
+//! architectural state and channel traffic exactly.
+
+use tia_fabric::{ProcessingElement, TaggedQueue, Token};
+use tia_isa::{
+    alu, DstOperand, Instruction, IsaError, Op, Params, PredState, Program, SrcOperand, Word,
+};
+
+use crate::counters::FuncCounters;
+
+/// A functional triggered PE.
+///
+/// # Examples
+///
+/// Run a tiny accumulate-and-halt program standalone:
+///
+/// ```
+/// use tia_asm::assemble;
+/// use tia_isa::Params;
+/// use tia_sim::FuncPe;
+///
+/// let params = Params::default();
+/// let program = assemble(
+///     "when %p == XXXXXXX0: add %r0, %r0, 7; set %p = ZZZZZZZ1;\n\
+///      when %p == XXXXXXX1: halt;",
+///     &params,
+/// ).expect("assembles");
+/// let mut pe = FuncPe::new(&params, program)?;
+/// while !pe.halted() {
+///     pe.step_cycle();
+/// }
+/// assert_eq!(pe.reg(0), 7);
+/// assert_eq!(pe.counters().retired, 2);
+/// # Ok::<(), tia_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuncPe {
+    params: Params,
+    program: Program,
+    regs: Vec<Word>,
+    preds: PredState,
+    scratchpad: Vec<Word>,
+    inputs: Vec<TaggedQueue>,
+    outputs: Vec<TaggedQueue>,
+    halted: bool,
+    counters: FuncCounters,
+    trace: Option<Vec<u16>>,
+}
+
+impl FuncPe {
+    /// Creates a PE with the given program loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when `params` or `program` fail
+    /// validation.
+    pub fn new(params: &Params, program: Program) -> Result<Self, IsaError> {
+        params.validate()?;
+        program.validate(params)?;
+        Ok(FuncPe {
+            regs: vec![0; params.num_regs],
+            preds: PredState::new(),
+            scratchpad: vec![0; params.scratchpad_words],
+            inputs: (0..params.num_input_queues)
+                .map(|_| TaggedQueue::new(params.queue_capacity))
+                .collect(),
+            outputs: (0..params.num_output_queues)
+                .map(|_| TaggedQueue::new(params.queue_capacity))
+                .collect(),
+            halted: false,
+            counters: FuncCounters::new(),
+            trace: None,
+            params: params.clone(),
+            program,
+        })
+    }
+
+    /// The parameter assignment this PE was built with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Reads a data register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn reg(&self, index: usize) -> Word {
+        self.regs[index]
+    }
+
+    /// Writes a data register (host preloading).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn set_reg(&mut self, index: usize, value: Word) {
+        self.regs[index] = value;
+    }
+
+    /// The current predicate state.
+    pub fn predicates(&self) -> PredState {
+        self.preds
+    }
+
+    /// Overwrites the predicate state (host preloading).
+    pub fn set_predicates(&mut self, preds: PredState) {
+        self.preds = preds;
+    }
+
+    /// The PE-local scratchpad contents.
+    pub fn scratchpad(&self) -> &[Word] {
+        &self.scratchpad
+    }
+
+    /// Writes a scratchpad word (host preloading); out-of-range writes
+    /// are dropped, mirroring the bus behaviour of the prototype.
+    pub fn preload_scratchpad(&mut self, addr: usize, value: Word) {
+        if let Some(w) = self.scratchpad.get_mut(addr) {
+            *w = value;
+        }
+    }
+
+    /// Accumulated event counters.
+    pub fn counters(&self) -> &FuncCounters {
+        &self.counters
+    }
+
+    /// Whether the PE has retired a `halt` instruction (also available
+    /// through [`ProcessingElement::is_halted`]).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Enables (or disables) recording of the slot index of every
+    /// retired instruction, for microarchitectural equivalence
+    /// debugging and tests.
+    pub fn record_trace(&mut self, enable: bool) {
+        self.trace = if enable { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded retirement trace (empty unless enabled).
+    pub fn trace(&self) -> &[u16] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Shared immutable view of an input queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn input_queue(&self, index: usize) -> &TaggedQueue {
+        &self.inputs[index]
+    }
+
+    /// Shared immutable view of an output queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn output_queue(&self, index: usize) -> &TaggedQueue {
+        &self.outputs[index]
+    }
+
+    /// Whether instruction slot `slot` is eligible to fire under the
+    /// current architectural state (the scheduler's trigger
+    /// resolution, §2.1).
+    pub fn eligible(&self, slot: usize) -> bool {
+        let Some(i) = self.program.instructions().get(slot) else {
+            return false;
+        };
+        if !i.valid {
+            return false;
+        }
+        // Predicate pattern.
+        if !i.trigger.predicates.matches(self.preds) {
+            return false;
+        }
+        // Tag checks: queue non-empty and head tag (mis)matching.
+        for check in &i.trigger.queue_checks {
+            match self.inputs[check.queue.index()].peek() {
+                None => return false,
+                Some(head) => {
+                    let equal = head.tag == check.tag;
+                    if equal == check.negate {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Input operand availability.
+        for q in i.input_operands() {
+            if self.inputs[q.index()].is_empty() {
+                return false;
+            }
+        }
+        // Dequeued queues must hold a token.
+        for q in &i.dequeues {
+            if self.inputs[q.index()].is_empty() {
+                return false;
+            }
+        }
+        // Output capacity for enqueueing instructions.
+        if let Some(q) = i.enqueues() {
+            if self.outputs[q.index()].is_full() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The highest-priority eligible instruction slot this cycle, if
+    /// any (the priority encoder of Figure 2).
+    pub fn triggered_slot(&self) -> Option<usize> {
+        (0..self.program.len()).find(|&slot| self.eligible(slot))
+    }
+
+    /// Advances one cycle: triggers and atomically executes at most one
+    /// instruction. Returns the retired slot, if any.
+    pub fn step_cycle(&mut self) -> Option<usize> {
+        if self.halted {
+            return None;
+        }
+        self.counters.cycles += 1;
+        let Some(slot) = self.triggered_slot() else {
+            self.counters.idle += 1;
+            return None;
+        };
+        let instruction = self.program.instructions()[slot].clone();
+        self.execute(&instruction);
+        if let Some(trace) = &mut self.trace {
+            trace.push(slot as u16);
+        }
+        Some(slot)
+    }
+
+    /// Executes one instruction with atomic semantics.
+    fn execute(&mut self, i: &Instruction) {
+        // Operand read.
+        let operands: Vec<Word> = i
+            .srcs
+            .iter()
+            .take(i.op.num_srcs())
+            .map(|s| self.read_operand(*s, i.imm))
+            .collect();
+        let a = operands.first().copied().unwrap_or(0);
+        let b = operands.get(1).copied().unwrap_or(0);
+
+        // Compute.
+        let mask = self.params.word_mask();
+        let result = match i.op {
+            Op::Lsw => {
+                self.counters.scratchpad_accesses += 1;
+                self.scratchpad.get(a as usize).copied().unwrap_or(0)
+            }
+            Op::Ssw => {
+                self.counters.scratchpad_accesses += 1;
+                if let Some(w) = self.scratchpad.get_mut(a as usize) {
+                    *w = b & mask;
+                }
+                0
+            }
+            Op::Halt => {
+                self.halted = true;
+                0
+            }
+            op => alu::evaluate(op, a, b) & mask,
+        };
+        if i.op.is_multiply() {
+            self.counters.multiplies += 1;
+        }
+
+        // Dequeues (after operand read).
+        for q in &i.dequeues {
+            let popped = self.inputs[q.index()].pop();
+            debug_assert!(popped.is_some(), "eligibility guarantees a token");
+            self.counters.dequeues += 1;
+        }
+
+        // Destination write.
+        match i.dst {
+            DstOperand::None => {}
+            DstOperand::Reg(r) => self.regs[r.index()] = result,
+            DstOperand::Output(q) => {
+                let accepted = self.outputs[q.index()].push(Token::new(i.out_tag, result));
+                debug_assert!(accepted, "eligibility guarantees space");
+                self.counters.enqueues += 1;
+            }
+            DstOperand::Pred(p) => {
+                self.preds.set(p, result & 1 == 1);
+                self.counters.predicate_writes += 1;
+            }
+        }
+
+        // Trigger-encoded predicate update (disjoint from any datapath
+        // predicate destination, so ordering is immaterial).
+        self.preds = i.pred_update.apply(self.preds);
+
+        self.counters.retired += 1;
+    }
+
+    fn read_operand(&self, src: SrcOperand, imm: Word) -> Word {
+        match src {
+            SrcOperand::None => 0,
+            SrcOperand::Reg(r) => self.regs[r.index()],
+            SrcOperand::Input(q) => self.inputs[q.index()].peek().map_or(0, |t| t.data),
+            SrcOperand::Imm => imm & self.params.word_mask(),
+        }
+    }
+}
+
+impl ProcessingElement for FuncPe {
+    fn step(&mut self) {
+        self.step_cycle();
+    }
+
+    fn input_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+        &mut self.inputs[index]
+    }
+
+    fn output_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+        &mut self.outputs[index]
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_asm::assemble;
+
+    fn pe(src: &str) -> FuncPe {
+        let params = Params::default();
+        let program = assemble(src, &params).expect("test program assembles");
+        FuncPe::new(&params, program).expect("valid program")
+    }
+
+    #[test]
+    fn priority_selects_the_first_eligible_instruction() {
+        // Both instructions are eligible; slot 0 must win.
+        let mut pe = pe("when %p == XXXXXXXX: mov %r0, 1;\n\
+             when %p == XXXXXXXX: mov %r1, 2;");
+        assert_eq!(pe.step_cycle(), Some(0));
+        assert_eq!(pe.reg(0), 1);
+        assert_eq!(pe.reg(1), 0);
+    }
+
+    #[test]
+    fn predicate_update_redirects_control() {
+        let mut pe = pe("when %p == XXXXXXX0: mov %r0, 5; set %p = ZZZZZZZ1;\n\
+             when %p == XXXXXXX1: halt;");
+        assert_eq!(pe.step_cycle(), Some(0));
+        assert_eq!(pe.step_cycle(), Some(1));
+        assert!(pe.is_halted());
+        assert_eq!(pe.step_cycle(), None, "halted PE does nothing");
+        assert_eq!(pe.counters().retired, 2);
+        assert_eq!(pe.counters().cycles, 2);
+    }
+
+    #[test]
+    fn datapath_predicate_write_takes_result_lsb() {
+        let mut pe = pe("when %p == XXXXXXX0: ult %p7, %r0, 5; set %p = ZZZZZZZ1;");
+        pe.set_reg(0, 3);
+        pe.step_cycle();
+        assert_eq!(pe.predicates().bits(), 0b1000_0001);
+        assert_eq!(pe.counters().predicate_writes, 1);
+    }
+
+    #[test]
+    fn tag_checks_gate_triggering() {
+        let params = Params::default();
+        let mut pe = pe("when %p == XXXXXXXX with %i0.1: mov %r0, %i0; deq %i0;\n\
+             when %p == XXXXXXXX with %i0.0: mov %r1, %i0; deq %i0;");
+        // Empty queue: nothing fires.
+        assert_eq!(pe.step_cycle(), None);
+        assert_eq!(pe.counters().idle, 1);
+        // Tag-0 token: slot 1 fires even though slot 0 is higher
+        // priority, because slot 0's tag check fails.
+        let t0 = tia_isa::Tag::new(0, &params).unwrap();
+        assert!(pe.input_queue_mut(0).push(Token::new(t0, 42)));
+        assert_eq!(pe.step_cycle(), Some(1));
+        assert_eq!(pe.reg(1), 42);
+        assert!(pe.input_queue(0).is_empty(), "dequeued");
+    }
+
+    #[test]
+    fn negated_tag_checks() {
+        let params = Params::default();
+        let mut pe = pe("when %p == XXXXXXXX with %i0.!1: mov %r0, %i0; deq %i0;");
+        let t1 = tia_isa::Tag::new(1, &params).unwrap();
+        assert!(pe.input_queue_mut(0).push(Token::new(t1, 9)));
+        assert_eq!(pe.step_cycle(), None, "tag 1 must not match .!1");
+        let _ = pe.input_queue_mut(0).pop();
+        assert!(pe.input_queue_mut(0).push(Token::data(9)));
+        assert_eq!(pe.step_cycle(), Some(0));
+    }
+
+    #[test]
+    fn full_output_queue_blocks_trigger() {
+        let mut pe = pe("when %p == XXXXXXXX: mov %o0.0, 1;");
+        let capacity = pe.params().queue_capacity;
+        for _ in 0..capacity {
+            assert!(pe.step_cycle().is_some());
+        }
+        // Output full: the instruction is no longer eligible.
+        assert_eq!(pe.step_cycle(), None);
+        assert_eq!(pe.output_queue(0).occupancy(), capacity);
+        // Draining one slot re-enables it.
+        let _ = pe.output_queue_mut(0).pop();
+        assert!(pe.step_cycle().is_some());
+    }
+
+    #[test]
+    fn operand_availability_blocks_trigger_without_tag_check() {
+        let mut pe = pe("when %p == XXXXXXXX: add %r0, %i1, %i2; deq %i1, %i2;");
+        assert_eq!(pe.step_cycle(), None);
+        assert!(pe.input_queue_mut(1).push(Token::data(3)));
+        assert_eq!(pe.step_cycle(), None, "second operand still missing");
+        assert!(pe.input_queue_mut(2).push(Token::data(4)));
+        assert_eq!(pe.step_cycle(), Some(0));
+        assert_eq!(pe.reg(0), 7);
+        assert_eq!(pe.counters().dequeues, 2);
+    }
+
+    #[test]
+    fn reading_without_dequeue_peeks() {
+        let mut pe = pe("when %p == XXXXXXX0: mov %r0, %i0; set %p = ZZZZZZZ1;\n\
+                         when %p == XXXXXXX1: mov %r1, %i0; deq %i0; set %p = ZZZZZZZ0;");
+        assert!(pe.input_queue_mut(0).push(Token::data(5)));
+        pe.step_cycle();
+        assert_eq!(pe.reg(0), 5);
+        assert_eq!(pe.input_queue(0).occupancy(), 1, "peek does not consume");
+        pe.step_cycle();
+        assert_eq!(pe.reg(1), 5);
+        assert!(pe.input_queue(0).is_empty());
+    }
+
+    #[test]
+    fn scratchpad_load_store() {
+        let mut params = Params::default();
+        params.scratchpad_words = 16;
+        let program = assemble(
+            "when %p == XXXXXX00: ssw 3, %r1; set %p = ZZZZZZ01;\n\
+             when %p == XXXXXX01: lsw %r2, 3; set %p = ZZZZZZ11;\n\
+             when %p == XXXXXX11: halt;",
+            &params,
+        )
+        .unwrap();
+        let mut pe = FuncPe::new(&params, program).unwrap();
+        pe.set_reg(1, 99);
+        while !pe.is_halted() {
+            pe.step_cycle();
+        }
+        assert_eq!(pe.scratchpad()[3], 99);
+        assert_eq!(pe.reg(2), 99);
+        assert_eq!(pe.counters().scratchpad_accesses, 2);
+    }
+
+    #[test]
+    fn out_tag_travels_with_enqueued_result() {
+        let mut pe = pe("when %p == XXXXXXXX: mov %o2.3, 7;");
+        pe.step_cycle();
+        let t = pe.output_queue(2).peek().unwrap();
+        assert_eq!(t.tag.value(), 3);
+        assert_eq!(t.data, 7);
+    }
+
+    #[test]
+    fn word_width_masks_results() {
+        let mut params = Params::default();
+        params.word_width = 16;
+        let program = assemble("when %p == XXXXXXXX: add %r0, %r0, 0xffff;", &params).unwrap();
+        let mut pe = FuncPe::new(&params, program).unwrap();
+        pe.step_cycle();
+        pe.step_cycle();
+        // 0xffff + 0xffff = 0x1fffe, masked to 16 bits.
+        assert_eq!(pe.reg(0), 0xfffe);
+    }
+}

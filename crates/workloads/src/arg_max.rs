@@ -1,0 +1,160 @@
+//! `arg_max` — streaming maximum index (Table 3).
+//!
+//! "One PE streams an array of integers from memory to another which
+//! determines the index of the highest of these values. The second PE
+//! (the worker) then stores the result back to data memory."
+//!
+//! The streamer walks the array through a read port; the worker keeps
+//! a running maximum and its index, then stores the index on the tag-1
+//! end-of-stream sentinel. The max-update comparison becomes rarely
+//! taken as the prefix maximum grows, so the 2-bit predictors learn it
+//! well.
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, System, WritePort,
+    DEFAULT_LOAD_LATENCY,
+};
+use tia_isa::Params;
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, when};
+use crate::streamer::streamer_program;
+
+/// Configuration for the `arg_max` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgMaxConfig {
+    /// Array length.
+    pub len: usize,
+    /// PRNG seed for array contents.
+    pub seed: u64,
+}
+
+impl ArgMaxConfig {
+    /// Paper-scale run.
+    pub fn paper() -> Self {
+        ArgMaxConfig {
+            len: 8192,
+            seed: 0xa23a,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        ArgMaxConfig {
+            len: 96,
+            seed: 0xa23a,
+        }
+    }
+}
+
+/// Worker program. `p1` = max comparison, phase on `p2..p4`.
+fn worker_source(params: &Params, result_addr: u32) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 3] = [2, 3, 4];
+    let w = |v: u32, extra: &[(usize, bool)]| when(n, &PH, v, extra);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# arg_max worker: result stored at {result_addr}
+         when %p == {eos} with %i0.1: mov %o0.0, {result_addr}; set %p = {g4};
+         when %p == {p0} with %i0.0: ugt %p1, %i0, %r0; set %p = {g1};
+         when %p == {new_max} with %i0.0: mov %r0, %i0; deq %i0; set %p = {g2};
+         when %p == {p2}: mov %r2, %r1; set %p = {g3};
+         when %p == {old_max} with %i0.0: nop; deq %i0; set %p = {g3};
+         when %p == {p3}: add %r1, %r1, 1; set %p = {g0};
+         when %p == {p4}: mov %o1.0, %r2; set %p = {g5};
+         when %p == {p5}: halt;",
+        eos = w(0, &[]),
+        g4 = g(4),
+        p0 = w(0, &[]),
+        g1 = g(1),
+        new_max = w(1, &[(1, true)]),
+        g2 = g(2),
+        p2 = w(2, &[]),
+        g3 = g(3),
+        old_max = w(1, &[(1, false)]),
+        p3 = w(3, &[]),
+        g0 = g(0),
+        p4 = w(4, &[]),
+        g5 = g(5),
+        p5 = w(5, &[]),
+    )
+}
+
+/// Builds the `arg_max` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &ArgMaxConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    let mut rng = golden::rng(cfg.seed);
+    let values = golden::random_array(cfg.len, u32::MAX / 2, &mut rng);
+    let result_addr = cfg.len as u32;
+    let mut words = values.clone();
+    words.push(0);
+    let memory = Memory::from_words(words);
+
+    let streamer = streamer_program(params, 0, cfg.len as u32)?;
+    let worker = assemble(&worker_source(params, result_addr), params)?;
+
+    let mut system = System::new(memory);
+    let s = system.add_pe(factory.make(params, streamer)?);
+    let w = system.add_pe(factory.make(params, worker)?);
+    let rp = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_write_port(WritePort::new(params.queue_capacity));
+
+    system.connect(
+        OutputRef::Pe { pe: s, queue: 0 },
+        InputRef::ReadAddr { port: rp },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp },
+        InputRef::Pe { pe: w, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 0 },
+        InputRef::WriteAddr { port: wp },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 1 },
+        InputRef::WriteData { port: wp },
+    )?;
+
+    Ok(Built {
+        system,
+        worker: w,
+        expected: vec![(result_addr, golden::arg_max_golden(&values))],
+        max_cycles: cfg.len as u64 * 32 + 2_000,
+        name: "arg_max",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn arg_max_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &ArgMaxConfig::test(), &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+    }
+
+    #[test]
+    fn worker_fits_the_instruction_memory() {
+        let params = Params::default();
+        let program = assemble(&worker_source(&params, 10), &params).unwrap();
+        assert_eq!(program.len(), 8);
+    }
+}

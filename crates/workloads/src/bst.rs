@@ -1,0 +1,209 @@
+//! `bst` — binary search tree traversal (Table 3).
+//!
+//! "A single PE accesses memory to traverse a binary search tree with
+//! nodes generated with random numbers to increase branch (predicate
+//! datapath write) entropy. The PE then stores the Boolean result of
+//! this search in the same data memory."
+//!
+//! The tree lives in data memory as `[key, left, right]` word triples
+//! (null = address 0); search keys arrive on a host stream (`%i1`)
+//! terminated by a tag-1 sentinel, and one Boolean result per key is
+//! stored through the write port. The unpredictable predicate write is
+//! the `ult` choosing the child to dereference; the predictable one is
+//! the per-key loop — exactly the structure §5.4 describes ("the
+//! predictable loop is the `while (next != NULL)` loop ... the
+//! unpredictable predicate write is from the result of the less-than
+//! comparison that determines which child to dereference").
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ReadPort, SequentialWritePort, StreamSource, System, Token,
+};
+use tia_fabric::{ProcessingElement, DEFAULT_LOAD_LATENCY};
+use tia_isa::{Params, Tag};
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, when};
+
+/// Configuration for the `bst` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BstConfig {
+    /// Number of tree nodes.
+    pub nodes: usize,
+    /// Number of keys searched.
+    pub keys: usize,
+    /// PRNG seed for tree and key generation.
+    pub seed: u64,
+}
+
+impl BstConfig {
+    /// Paper-scale run (≈100k worker cycles, within the §3 range of
+    /// 90k–160k depending on microarchitecture).
+    pub fn paper() -> Self {
+        BstConfig {
+            nodes: 1023,
+            keys: 600,
+            seed: 0xb57,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        BstConfig {
+            nodes: 63,
+            keys: 24,
+            seed: 0xb57,
+        }
+    }
+}
+
+/// The worker PE program. Predicate roles: `p1` = comparison result,
+/// phase = 4-bit field on `p2..p5`.
+fn worker_source(params: &Params, root: u32, results_base: u32) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 3] = [2, 3, 4];
+    let w = |v: u32, extra: &[(usize, bool)]| when(n, &PH, v, extra);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# bst worker: tree root at {root}; Boolean results streamed to a
+         # sequential write port at {results_base}, one per key.
+         when %p == {halt} with %i1.1: halt;
+         when %p == {key} with %i1.0: mov %r1, %i1; deq %i1; set %p = {to_root};
+         when %p == {root_ph}: mov %r0, {root}; set %p = {to_issue};
+         when %p == {issue}: mov %o0.0, %r0; set %p = {to_cmp};
+         when %p == {cmp} with %i0.0: eq %p1, %i0, %r1; set %p = {to_br};
+         when %p == {br_eq} with %i0.0: mov %o1.0, 1; deq %i0; set %p = {to_key};
+         when %p == {br_ne}: ult %p1, %r1, %i0; deq %i0; set %p = {to_dir};
+         when %p == {dir_l}: add %o0.0, %r0, 1; set %p = {to_child};
+         when %p == {dir_r}: add %o0.0, %r0, 2; set %p = {to_child};
+         when %p == {child} with %i0.0: eq %p1, %i0, 0; set %p = {to_null};
+         when %p == {null_y} with %i0.0: mov %o1.0, 0; deq %i0; set %p = {to_key};
+         when %p == {null_n}: mov %r0, %i0; deq %i0; set %p = {to_issue};",
+        halt = w(0, &[]),
+        key = w(0, &[]),
+        to_root = g(1),
+        root_ph = w(1, &[]),
+        to_issue = g(2),
+        issue = w(2, &[]),
+        to_cmp = g(3),
+        cmp = w(3, &[]),
+        to_br = g(4),
+        br_eq = w(4, &[(1, true)]),
+        to_key = g(0),
+        br_ne = w(4, &[(1, false)]),
+        to_dir = g(5),
+        dir_l = w(5, &[(1, true)]),
+        dir_r = w(5, &[(1, false)]),
+        to_child = g(6),
+        child = w(6, &[]),
+        to_null = g(7),
+        null_y = w(7, &[(1, true)]),
+        null_n = w(7, &[(1, false)]),
+    )
+}
+
+/// Builds the `bst` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &BstConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    let mut rng = golden::rng(cfg.seed);
+    let image = golden::bst_tree(cfg.nodes, &mut rng);
+    let keys = golden::bst_search_keys(&image, cfg.keys, &mut rng);
+    let results_base = image.words.len() as u32;
+
+    let mut memory_words = image.words.clone();
+    memory_words.resize(image.words.len() + cfg.keys, 0);
+    let memory = Memory::from_words(memory_words);
+
+    let source = worker_source(params, image.root, results_base);
+    let program = assemble(&source, params)?;
+
+    let mut system = System::new(memory);
+    let pe = system.add_pe(factory.make(params, program)?);
+    let rp = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_seq_write_port(SequentialWritePort::new(
+        params.queue_capacity,
+        results_base,
+    ));
+
+    let eos = Tag::new(crate::streamer::EOS_TAG, params).map_err(WorkloadError::Isa)?;
+    let mut tokens: Vec<Token> = keys.iter().map(|&k| Token::data(k)).collect();
+    tokens.push(Token::new(eos, 0));
+    let src = system.add_source(StreamSource::new(params.queue_capacity, tokens));
+
+    system.connect(
+        OutputRef::Source { source: src },
+        InputRef::Pe { pe, queue: 1 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe, queue: 0 },
+        InputRef::ReadAddr { port: rp },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp },
+        InputRef::Pe { pe, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe, queue: 1 },
+        InputRef::SeqWriteData { port: wp },
+    )?;
+
+    let expected = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            (
+                results_base + i as u32,
+                golden::bst_contains(&image, k) as u32,
+            )
+        })
+        .collect();
+
+    Ok(Built {
+        system,
+        worker: pe,
+        expected,
+        // Each tree level costs two round-trips through the read port.
+        max_cycles: (cfg.keys as u64 + 4) * 64 * (DEFAULT_LOAD_LATENCY as u64 + 12),
+        name: "bst",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn bst_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let cfg = BstConfig::test();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &cfg, &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+        // The worker's branchy behaviour: plenty of predicate writes.
+        let counters = built.system.pe(built.worker).counters();
+        assert!(counters.predicate_writes > 0);
+        assert!(counters.retired > 100);
+    }
+
+    #[test]
+    fn bst_worker_fits_the_instruction_memory() {
+        let params = Params::default();
+        let source = worker_source(&params, 1, 100);
+        let program = assemble(&source, &params).unwrap();
+        assert!(program.len() <= params.num_instructions);
+        assert_eq!(program.len(), 12);
+    }
+}

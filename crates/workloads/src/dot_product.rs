@@ -1,0 +1,173 @@
+//! `dot_product` — two-stream multiply-accumulate (Table 3).
+//!
+//! "Two PEs stream two integer arrays to a third PE (the worker) which
+//! calculates the dot product. Upon receiving end-of-program tags from
+//! both stream PEs, the multiply-accumulate PE saves its accumulator
+//! to memory before halting."
+//!
+//! Note (Fig. 4): "the worker PE in dot product does not rely on
+//! predicates for control flow, just the semantic information encoded
+//! in operand tags" — the MAC worker below has *no* datapath predicate
+//! writes; its control is tags plus trigger-encoded updates. At the
+//! default length of 10,000 elements the worker retires 20,003
+//! dynamic instructions, the paper's exact figure (§3).
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, System, WritePort,
+    DEFAULT_LOAD_LATENCY,
+};
+use tia_isa::Params;
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, when};
+use crate::streamer::streamer_program;
+
+/// Configuration for the `dot_product` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotProductConfig {
+    /// Vector length.
+    pub len: usize,
+    /// PRNG seed for vector contents.
+    pub seed: u64,
+}
+
+impl DotProductConfig {
+    /// Paper-scale run: worker retires exactly 20,003 instructions.
+    pub fn paper() -> Self {
+        DotProductConfig {
+            len: 10_000,
+            seed: 0xd07,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        DotProductConfig {
+            len: 80,
+            seed: 0xd07,
+        }
+    }
+}
+
+/// Worker program: tag-driven MAC with no datapath predicate writes.
+/// Phase on `p2..p3`.
+fn worker_source(params: &Params, result_addr: u32) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 2] = [2, 3];
+    let w = |v: u32| when(n, &PH, v, &[]);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# dot product worker: result stored at {result_addr}
+         when %p == {p0} with %i0.1, %i1.1: mov %o0.0, {result_addr}; set %p = {g2};
+         when %p == {p0} with %i0.0, %i1.0: mul %r0, %i0, %i1; deq %i0, %i1; set %p = {g1};
+         when %p == {p1}: add %r1, %r1, %r0; set %p = {g0};
+         when %p == {p2}: mov %o1.0, %r1; set %p = {g3};
+         when %p == {p3}: halt;",
+        p0 = w(0),
+        g2 = g(2),
+        g1 = g(1),
+        p1 = w(1),
+        g0 = g(0),
+        p2 = w(2),
+        g3 = g(3),
+        p3 = w(3),
+    )
+}
+
+/// Builds the `dot_product` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &DotProductConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    let mut rng = golden::rng(cfg.seed);
+    let a = golden::random_array(cfg.len, 1 << 16, &mut rng);
+    let b = golden::random_array(cfg.len, 1 << 16, &mut rng);
+    let result_addr = (2 * cfg.len) as u32;
+
+    let mut words = a.clone();
+    words.extend_from_slice(&b);
+    words.push(0);
+    let memory = Memory::from_words(words);
+
+    let stream_a = streamer_program(params, 0, cfg.len as u32)?;
+    let stream_b = streamer_program(params, cfg.len as u32, cfg.len as u32)?;
+    let worker = assemble(&worker_source(params, result_addr), params)?;
+
+    let mut system = System::new(memory);
+    let sa = system.add_pe(factory.make(params, stream_a)?);
+    let sb = system.add_pe(factory.make(params, stream_b)?);
+    let w = system.add_pe(factory.make(params, worker)?);
+    let rpa = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let rpb = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_write_port(WritePort::new(params.queue_capacity));
+
+    system.connect(
+        OutputRef::Pe { pe: sa, queue: 0 },
+        InputRef::ReadAddr { port: rpa },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: sb, queue: 0 },
+        InputRef::ReadAddr { port: rpb },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rpa },
+        InputRef::Pe { pe: w, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rpb },
+        InputRef::Pe { pe: w, queue: 1 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 0 },
+        InputRef::WriteAddr { port: wp },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 1 },
+        InputRef::WriteData { port: wp },
+    )?;
+
+    Ok(Built {
+        system,
+        worker: w,
+        expected: vec![(result_addr, golden::dot_product_golden(&a, &b))],
+        max_cycles: cfg.len as u64 * 24 + 2_000,
+        name: "dot_product",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn dot_product_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &DotProductConfig::test(), &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+        let counters = built.system.pe(built.worker).counters();
+        // 2 instructions per element + 3-instruction epilogue, and no
+        // datapath predicate writes at all (Fig. 4).
+        assert_eq!(counters.retired, 2 * 80 + 3);
+        assert_eq!(counters.predicate_writes, 0);
+    }
+
+    #[test]
+    fn worker_fits_the_instruction_memory() {
+        let params = Params::default();
+        let program = assemble(&worker_source(&params, 10), &params).unwrap();
+        assert_eq!(program.len(), 5);
+    }
+}

@@ -1,0 +1,211 @@
+//! `filter` — threshold filter over a value stream (Table 3).
+//!
+//! "One PE streams a list of integers to a second which determines
+//! whether they are above a threshold and in turn emits a zero or one
+//! accordingly to a third PE. This third PE (the worker) uses this
+//! Boolean input stream to determine whether to save the corresponding
+//! value from a second stream of integers to memory."
+//!
+//! With uniform random input and a median threshold the keep/drop
+//! predicate is a coin flip — this is one of the paper's two
+//! worst-case workloads for predicate prediction (≈50% accuracy,
+//! Fig. 4).
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, SequentialWritePort, System,
+    DEFAULT_LOAD_LATENCY,
+};
+use tia_isa::Params;
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, when};
+use crate::streamer::streamer_program;
+
+/// Configuration for the `filter` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Stream length.
+    pub len: usize,
+    /// Keep values strictly above this threshold.
+    pub threshold: u32,
+    /// Value range bound (exclusive).
+    pub bound: u32,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl FilterConfig {
+    /// Paper-scale run with a median threshold (maximum entropy).
+    pub fn paper() -> Self {
+        FilterConfig {
+            len: 8192,
+            threshold: 1 << 15,
+            bound: 1 << 16,
+            seed: 0xf117,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        FilterConfig {
+            len: 96,
+            threshold: 1 << 15,
+            bound: 1 << 16,
+            seed: 0xf117,
+        }
+    }
+}
+
+/// The threshold PE: turns values into Booleans, forwarding the EOS
+/// tag. No datapath predicate writes (`p0` flags completion).
+fn threshold_source(params: &Params, threshold: u32) -> String {
+    let n = params.num_preds;
+    format!(
+        "# threshold comparator: emits (value > {threshold}) per input
+         when %p == {run} with %i0.0: ugt %o0.0, %i0, {threshold}; deq %i0;
+         when %p == {run} with %i0.1: ugt %o0.1, %i0, {threshold}; deq %i0; set %p = {fin};
+         when %p == {done}: halt;",
+        run = crate::phases::pattern(n, &[(0, false)]),
+        fin = crate::phases::update(n, &[(0, true)]),
+        done = crate::phases::pattern(n, &[(0, true)]),
+    )
+}
+
+/// The worker PE: streams kept values to a sequential write port at
+/// `out_base` — a tight two-instructions-per-element loop. `p1` =
+/// keep/drop Boolean (unpredictable), phase on `p2..p3`.
+fn worker_source(params: &Params, out_base: u32) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 2] = [2, 3];
+    let w = |v: u32, extra: &[(usize, bool)]| when(n, &PH, v, extra);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# filter worker: kept values streamed to a sequential port at {out_base}
+         when %p == {p0} with %i0.1, %i1.1: nop; deq %i0, %i1; set %p = {g2};
+         when %p == {p0} with %i0.0, %i1.0: ne %p1, %i0, 0; deq %i0; set %p = {g1};
+         when %p == {keep} with %i1.0: mov %o0.0, %i1; deq %i1; set %p = {g0};
+         when %p == {drop} with %i1.0: nop; deq %i1; set %p = {g0};
+         when %p == {p2}: halt;",
+        p0 = w(0, &[]),
+        g2 = g(2),
+        g1 = g(1),
+        keep = w(1, &[(1, true)]),
+        g0 = g(0),
+        drop = w(1, &[(1, false)]),
+        p2 = w(2, &[]),
+    )
+}
+
+/// Builds the `filter` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &FilterConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    let mut rng = golden::rng(cfg.seed);
+    let values = golden::random_array(cfg.len, cfg.bound, &mut rng);
+    let out_base = cfg.len as u32;
+
+    let mut words = values.clone();
+    words.resize(2 * cfg.len, 0);
+    let memory = Memory::from_words(words);
+
+    // Two streamers walk the same array: one feeds the comparator,
+    // one feeds the worker's value input.
+    let stream_bool = streamer_program(params, 0, cfg.len as u32)?;
+    let stream_vals = streamer_program(params, 0, cfg.len as u32)?;
+    let threshold = assemble(&threshold_source(params, cfg.threshold), params)?;
+    let worker = assemble(&worker_source(params, out_base), params)?;
+
+    let mut system = System::new(memory);
+    let s1 = system.add_pe(factory.make(params, stream_bool)?);
+    let s2 = system.add_pe(factory.make(params, stream_vals)?);
+    let th = system.add_pe(factory.make(params, threshold)?);
+    let w = system.add_pe(factory.make(params, worker)?);
+    let rp1 = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let rp2 = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_seq_write_port(SequentialWritePort::new(params.queue_capacity, out_base));
+
+    system.connect(
+        OutputRef::Pe { pe: s1, queue: 0 },
+        InputRef::ReadAddr { port: rp1 },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp1 },
+        InputRef::Pe { pe: th, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: th, queue: 0 },
+        InputRef::Pe { pe: w, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: s2, queue: 0 },
+        InputRef::ReadAddr { port: rp2 },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp2 },
+        InputRef::Pe { pe: w, queue: 1 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 0 },
+        InputRef::SeqWriteData { port: wp },
+    )?;
+
+    let kept = golden::filter_golden(&values, cfg.threshold);
+    let expected = kept
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (out_base + i as u32, v))
+        .collect();
+
+    Ok(Built {
+        system,
+        worker: w,
+        expected,
+        max_cycles: cfg.len as u64 * 32 + 2_000,
+        name: "filter",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn filter_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &FilterConfig::test(), &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+        let counters = built.system.pe(built.worker).counters();
+        assert!(counters.predicate_writes > 0);
+    }
+
+    #[test]
+    fn programs_fit_the_instruction_memory() {
+        let params = Params::default();
+        assert_eq!(
+            assemble(&threshold_source(&params, 5), &params)
+                .unwrap()
+                .len(),
+            3
+        );
+        assert_eq!(
+            assemble(&worker_source(&params, 10), &params)
+                .unwrap()
+                .len(),
+            5
+        );
+    }
+}

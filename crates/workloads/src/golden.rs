@@ -1,0 +1,316 @@
+//! Seeded input generation and golden (reference) computations.
+//!
+//! The paper generates benchmark inputs "with a PRNG" prior to the
+//! test (§5.4); we use a seeded [`rand::rngs::StdRng`] so every run is
+//! reproducible. Each generator returns both the memory image and the
+//! golden results the hardware run must reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A binary search tree laid out in data memory.
+///
+/// Nodes are `[key, left, right]` word triples; address 0 is reserved
+/// as the null pointer (and as the sentinel-read location), so the
+/// root lives at address 1.
+#[derive(Debug, Clone)]
+pub struct BstImage {
+    /// The memory image (tree region only).
+    pub words: Vec<u32>,
+    /// Address of the root node.
+    pub root: u32,
+    /// The set of keys present, sorted.
+    pub keys_present: Vec<u32>,
+}
+
+/// Builds a random BST with `nodes` distinct keys.
+pub fn bst_tree(nodes: usize, rng: &mut StdRng) -> BstImage {
+    assert!(nodes > 0, "a bst needs at least one node");
+    let mut keys = Vec::with_capacity(nodes);
+    while keys.len() < nodes {
+        let k: u32 = rng.gen_range(1..=u32::MAX / 2);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    // words[0] is the reserved null/sentinel slot.
+    let mut words = vec![0u32; 1 + 3 * nodes];
+    let addr_of = |i: usize| (1 + 3 * i) as u32;
+    words[addr_of(0) as usize] = keys[0];
+    for i in 1..nodes {
+        // Standard BST insert against the already-materialized nodes.
+        let key = keys[i];
+        let mut at = 0usize;
+        loop {
+            let node_key = words[addr_of(at) as usize];
+            let side = if key < node_key { 1 } else { 2 };
+            let slot = (addr_of(at) + side) as usize;
+            if words[slot] == 0 {
+                words[slot] = addr_of(i);
+                words[addr_of(i) as usize] = key;
+                break;
+            }
+            at = ((words[slot] - 1) / 3) as usize;
+        }
+    }
+    let mut keys_present = keys;
+    keys_present.sort_unstable();
+    BstImage {
+        words,
+        root: 1,
+        keys_present,
+    }
+}
+
+/// Whether `key` is present in a [`BstImage`] (golden search).
+pub fn bst_contains(image: &BstImage, key: u32) -> bool {
+    image.keys_present.binary_search(&key).is_ok()
+}
+
+/// Draws `count` search keys, roughly half present in the tree.
+pub fn bst_search_keys(image: &BstImage, count: usize, rng: &mut StdRng) -> Vec<u32> {
+    (0..count)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                image.keys_present[rng.gen_range(0..image.keys_present.len())]
+            } else {
+                rng.gen_range(1..=u32::MAX / 2)
+            }
+        })
+        .collect()
+}
+
+/// A uniform random array in `1..bound`.
+pub fn random_array(len: usize, bound: u32, rng: &mut StdRng) -> Vec<u32> {
+    (0..len).map(|_| rng.gen_range(1..bound)).collect()
+}
+
+/// A sorted random array (for the merge benchmark's input lists).
+pub fn sorted_array(len: usize, bound: u32, rng: &mut StdRng) -> Vec<u32> {
+    let mut v = random_array(len, bound, rng);
+    v.sort_unstable();
+    v
+}
+
+/// Golden subtraction-based GCD, counting loop iterations.
+pub fn gcd_golden(mut a: u32, mut b: u32) -> (u32, u64) {
+    assert!(a > 0 && b > 0);
+    let mut iterations = 0;
+    while a != b {
+        if a > b {
+            a -= b;
+        } else {
+            b -= a;
+        }
+        iterations += 1;
+    }
+    (a, iterations)
+}
+
+/// Golden mean via power-of-two shift (the benchmark divides by
+/// shifting, since the ISA deliberately has no divide).
+pub fn mean_golden(values: &[u32]) -> u32 {
+    assert!(values.len().is_power_of_two());
+    let sum: u32 = values.iter().fold(0u32, |acc, &v| acc.wrapping_add(v));
+    sum >> values.len().trailing_zeros()
+}
+
+/// Golden arg-max: index of the first maximum.
+pub fn arg_max_golden(values: &[u32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Golden dot product with wrapping arithmetic (matching the ISA).
+pub fn dot_product_golden(a: &[u32], b: &[u32]) -> u32 {
+    a.iter()
+        .zip(b)
+        .fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)))
+}
+
+/// Golden filter: values strictly above `threshold`, in order.
+pub fn filter_golden(values: &[u32], threshold: u32) -> Vec<u32> {
+    values.iter().copied().filter(|&v| v > threshold).collect()
+}
+
+/// Golden two-way merge of sorted lists, taking from `b` when
+/// `b < a` (matching the worker's `ult %p7, %i3, %i0`).
+pub fn merge_golden(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if b[j] < a[i] {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Golden string search: for each byte position, 1 if the DFA is in
+/// the accept state after consuming that byte (i.e. the byte completes
+/// an occurrence of `needle`), else 0. Matches overlap like the
+/// benchmark's DFA: after an accept the automaton restarts, and on a
+/// mismatch it falls back to state 1 if the byte restarts the needle.
+pub fn string_search_golden(text: &[u8], needle: &[u8]) -> Vec<u32> {
+    assert!(!needle.is_empty());
+    let mut out = Vec::with_capacity(text.len());
+    let mut state = 0usize;
+    for &byte in text {
+        if byte == needle[state] {
+            state += 1;
+            if state == needle.len() {
+                out.push(1);
+                state = 0;
+            } else {
+                out.push(0);
+            }
+        } else {
+            // Fall back: the benchmark DFA retries the byte as a
+            // potential first character.
+            state = usize::from(byte == needle[0]);
+            out.push(0);
+        }
+    }
+    out
+}
+
+/// Random text with planted occurrences of `needle`.
+pub fn search_text(len: usize, needle: &[u8], plants: usize, rng: &mut StdRng) -> Vec<u8> {
+    let mut text: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+    for _ in 0..plants {
+        let at = rng.gen_range(0..len.saturating_sub(needle.len()).max(1));
+        text[at..at + needle.len()].copy_from_slice(needle);
+    }
+    text
+}
+
+/// Packs text bytes into little-endian words (the word reader streams
+/// words; the splitter PE re-derives bytes).
+pub fn pack_words(text: &[u8]) -> Vec<u32> {
+    assert_eq!(text.len() % 4, 0, "benchmark text is word-aligned");
+    text.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Golden 16-bit unsigned division (the udiv software macro operates
+/// on 16-bit operands; see the workload's module docs).
+pub fn udiv_golden(n: u32, d: u32) -> u32 {
+    assert!(d > 0);
+    n / d
+}
+
+/// A seeded RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bst_tree_is_a_valid_search_tree() {
+        let mut r = rng(7);
+        let image = bst_tree(64, &mut r);
+        // In-order traversal yields sorted keys.
+        fn walk(words: &[u32], addr: u32, out: &mut Vec<u32>) {
+            if addr == 0 {
+                return;
+            }
+            let a = addr as usize;
+            walk(words, words[a + 1], out);
+            out.push(words[a]);
+            walk(words, words[a + 2], out);
+        }
+        let mut inorder = Vec::new();
+        walk(&image.words, image.root, &mut inorder);
+        let mut sorted = inorder.clone();
+        sorted.sort_unstable();
+        assert_eq!(inorder, sorted);
+        assert_eq!(inorder.len(), 64);
+        assert_eq!(inorder, image.keys_present);
+    }
+
+    #[test]
+    fn bst_contains_agrees_with_key_list() {
+        let mut r = rng(3);
+        let image = bst_tree(16, &mut r);
+        for &k in &image.keys_present {
+            assert!(bst_contains(&image, k));
+        }
+        assert!(!bst_contains(&image, 0));
+    }
+
+    #[test]
+    fn gcd_golden_matches_euclid() {
+        assert_eq!(gcd_golden(12, 18).0, 6);
+        assert_eq!(gcd_golden(7, 13).0, 1);
+        assert_eq!(gcd_golden(100, 100), (100, 0));
+        let (g, iters) = gcd_golden(1000, 1);
+        assert_eq!(g, 1);
+        assert_eq!(iters, 999);
+    }
+
+    #[test]
+    fn mean_golden_shifts() {
+        assert_eq!(mean_golden(&[2, 4, 6, 8]), 5);
+        assert_eq!(mean_golden(&[1, 2]), 1);
+    }
+
+    #[test]
+    fn merge_golden_is_sorted_and_stable() {
+        let merged = merge_golden(&[1, 3, 5], &[2, 3, 4]);
+        assert_eq!(merged, vec![1, 2, 3, 3, 4, 5]);
+        // Ties take from `a` first (b < a is strict).
+        let merged = merge_golden(&[7], &[7]);
+        assert_eq!(merged, vec![7, 7]);
+    }
+
+    #[test]
+    fn string_search_golden_finds_planted_needles() {
+        let text = b"xxMICROxMICROMICROxx";
+        let hits = string_search_golden(text, b"MICRO");
+        let positions: Vec<usize> = hits
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| h == 1)
+            .map(|(i, _)| i)
+            .collect();
+        // Accept fires on the final 'O' of each occurrence.
+        assert_eq!(positions, vec![6, 12, 17]);
+    }
+
+    #[test]
+    fn string_search_golden_handles_mm_fallback() {
+        // "MMICRO": the second M restarts the automaton, so the
+        // occurrence starting at index 1 is still found.
+        let hits = string_search_golden(b"MMICRO", b"MICRO");
+        assert_eq!(hits, vec![0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn pack_words_is_little_endian() {
+        assert_eq!(pack_words(&[1, 2, 3, 4]), vec![0x04030201]);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = random_array(8, 100, &mut rng(5));
+        let b = random_array(8, 100, &mut rng(5));
+        assert_eq!(a, b);
+        let c = random_array(8, 100, &mut rng(6));
+        assert_ne!(a, c);
+    }
+}

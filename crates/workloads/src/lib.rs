@@ -1,0 +1,51 @@
+//! # `tia-workloads` — the Table 3 microbenchmark suite
+//!
+//! The ten "hand written and optimized assembly programs designed to
+//! exhibit a range of behaviors within the PE" (paper §2.3, Table 3),
+//! rebuilt in this repository's assembly dialect: `bst`, `gcd` and
+//! `mean` on a single PE, and `arg_max`, `dot_product`, `filter`,
+//! `merge`, `stream`, `string_search` and `udiv` on small spatial
+//! arrays. Each workload module carries its seeded input generator and
+//! a golden (reference) computation; running a workload verifies the
+//! memory image against the golden results, so the same builders
+//! validate the functional simulator *and* every pipelined
+//! microarchitecture.
+//!
+//! # Examples
+//!
+//! Run `gcd` on the functional model:
+//!
+//! ```
+//! use tia_isa::Params;
+//! use tia_sim::FuncPe;
+//! use tia_workloads::{Scale, WorkloadKind};
+//!
+//! let params = Params::default();
+//! let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+//! let mut built = WorkloadKind::Gcd.build(&params, Scale::Test, &mut factory)?;
+//! built.run_to_completion()?;
+//! assert_eq!(built.system.memory().read(2), 1); // gcd(9001, 2)
+//! # Ok::<(), tia_workloads::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arg_max;
+pub mod bst;
+pub mod build;
+pub mod dot_product;
+pub mod filter;
+pub mod gcd;
+pub mod golden;
+pub mod mean;
+pub mod merge;
+pub mod phases;
+pub mod spec;
+pub mod stream;
+pub mod streamer;
+pub mod string_search;
+pub mod udiv;
+
+pub use build::{Built, PeFactory, WorkloadError};
+pub use spec::{Scale, WorkloadKind, ALL_WORKLOADS};

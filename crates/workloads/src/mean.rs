@@ -1,0 +1,163 @@
+//! `mean` — array accumulation and average (Table 3).
+//!
+//! "A single PE reads an array of numbers from memory and accumulates
+//! them before calculating their average and storing it back to
+//! memory."
+//!
+//! The array length is a power of two so the average is a shift (the
+//! ISA deliberately omits division, §2.2). The only datapath predicate
+//! write is the loop bound — a "long-running and thus predictable
+//! loop" giving near-perfect prediction accuracy (Fig. 4).
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, System, WritePort,
+    DEFAULT_LOAD_LATENCY,
+};
+use tia_isa::Params;
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, when};
+
+/// Configuration for the `mean` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeanConfig {
+    /// Array length; must be a power of two.
+    pub len: usize,
+    /// PRNG seed for array contents.
+    pub seed: u64,
+}
+
+impl MeanConfig {
+    /// Paper-scale run.
+    pub fn paper() -> Self {
+        MeanConfig {
+            len: 4096,
+            seed: 0x3ea,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        MeanConfig {
+            len: 64,
+            seed: 0x3ea,
+        }
+    }
+}
+
+/// Worker program. `p0` = loop comparison, phase on `p2..p4`.
+fn worker_source(params: &Params, len: usize) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 3] = [2, 3, 4];
+    let w = |v: u32, extra: &[(usize, bool)]| when(n, &PH, v, extra);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    let shift = len.trailing_zeros();
+    format!(
+        "# mean worker: array at 0..{len}, result at {len}
+         when %p == {p0}: mov %o0.0, %r3; set %p = {g1};
+         when %p == {p1} with %i0.0: add %r1, %r1, %i0; deq %i0; set %p = {g2};
+         when %p == {p2}: add %r3, %r3, 1; set %p = {g3};
+         when %p == {p3}: ult %p0, %r3, {len}; set %p = {g4};
+         when %p == {again}: nop; set %p = {g0};
+         when %p == {done}: srl %r2, %r1, {shift}; set %p = {g5};
+         when %p == {p5}: mov %o1.0, {len}; set %p = {g6};
+         when %p == {p6}: mov %o2.0, %r2; set %p = {g7};
+         when %p == {p7}: halt;",
+        p0 = w(0, &[]),
+        g1 = g(1),
+        p1 = w(1, &[]),
+        g2 = g(2),
+        p2 = w(2, &[]),
+        g3 = g(3),
+        p3 = w(3, &[]),
+        g4 = g(4),
+        again = w(4, &[(0, true)]),
+        g0 = g(0),
+        done = w(4, &[(0, false)]),
+        g5 = g(5),
+        p5 = w(5, &[]),
+        g6 = g(6),
+        p6 = w(6, &[]),
+        g7 = g(7),
+        p7 = w(7, &[]),
+    )
+}
+
+/// Builds the `mean` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &MeanConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    assert!(
+        cfg.len.is_power_of_two(),
+        "mean length must be a power of two"
+    );
+    let mut rng = golden::rng(cfg.seed);
+    let values = golden::random_array(cfg.len, 1 << 16, &mut rng);
+    let mut words = values.clone();
+    words.push(0); // result slot
+    let memory = Memory::from_words(words);
+
+    let program = assemble(&worker_source(params, cfg.len), params)?;
+    let mut system = System::new(memory);
+    let pe = system.add_pe(factory.make(params, program)?);
+    let rp = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_write_port(WritePort::new(params.queue_capacity));
+
+    system.connect(
+        OutputRef::Pe { pe, queue: 0 },
+        InputRef::ReadAddr { port: rp },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp },
+        InputRef::Pe { pe, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe, queue: 1 },
+        InputRef::WriteAddr { port: wp },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe, queue: 2 },
+        InputRef::WriteData { port: wp },
+    )?;
+
+    Ok(Built {
+        system,
+        worker: pe,
+        expected: vec![(cfg.len as u32, golden::mean_golden(&values))],
+        max_cycles: cfg.len as u64 * 40 + 2_000,
+        name: "mean",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn mean_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &MeanConfig::test(), &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+    }
+
+    #[test]
+    fn worker_fits_the_instruction_memory() {
+        let params = Params::default();
+        let program = assemble(&worker_source(&params, 64), &params).unwrap();
+        assert_eq!(program.len(), 9);
+    }
+}

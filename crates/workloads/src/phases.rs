@@ -1,0 +1,150 @@
+//! Helpers for building predicate patterns and updates textually.
+//!
+//! The benchmark programs are state machines over the predicate
+//! registers; these helpers render `when %p == ...` patterns and
+//! `set %p = ...` updates from (bit, value) constraint lists so the
+//! hand-written control flow stays readable and the bit bookkeeping
+//! stays mechanical.
+
+/// Renders a trigger pattern (`1`/`0`/`X`, most-significant predicate
+/// first) requiring each `(bit, value)` constraint; all other bits are
+/// don't-care.
+///
+/// # Panics
+///
+/// Panics if a bit is repeated with conflicting values or is out of
+/// range for `num_preds`.
+///
+/// # Examples
+///
+/// ```
+/// use tia_workloads::phases::pattern;
+///
+/// assert_eq!(pattern(8, &[(0, true), (2, false)]), "XXXXX0X1");
+/// ```
+pub fn pattern(num_preds: usize, constraints: &[(usize, bool)]) -> String {
+    render(num_preds, constraints, 'X')
+}
+
+/// Renders a predicate update (`1`/`0`/`Z`) forcing each `(bit,
+/// value)`; all other bits are unchanged.
+///
+/// # Panics
+///
+/// Panics if a bit is repeated with conflicting values or is out of
+/// range for `num_preds`.
+///
+/// # Examples
+///
+/// ```
+/// use tia_workloads::phases::update;
+///
+/// assert_eq!(update(8, &[(1, true), (3, false)]), "ZZZZ0Z1Z");
+/// ```
+pub fn update(num_preds: usize, constraints: &[(usize, bool)]) -> String {
+    render(num_preds, constraints, 'Z')
+}
+
+/// Expands a multi-bit phase field to per-bit constraints: `field`
+/// lists the predicate indices of the field's bits, least significant
+/// first; `value` is the phase number.
+///
+/// # Panics
+///
+/// Panics if `value` does not fit in the field.
+///
+/// # Examples
+///
+/// ```
+/// use tia_workloads::phases::field;
+///
+/// // Phase 5 in a 3-bit field on predicates 2..=4.
+/// assert_eq!(field(&[2, 3, 4], 5), vec![(2, true), (3, false), (4, true)]);
+/// ```
+pub fn field(field: &[usize], value: u32) -> Vec<(usize, bool)> {
+    assert!(
+        (value as u64) < (1u64 << field.len()),
+        "phase value {value} does not fit in a {}-bit field",
+        field.len()
+    );
+    field
+        .iter()
+        .enumerate()
+        .map(|(i, &bit)| (bit, (value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Convenience: a pattern requiring phase `value` in `bits` plus extra
+/// constraints.
+pub fn when(num_preds: usize, bits: &[usize], value: u32, extra: &[(usize, bool)]) -> String {
+    let mut constraints = field(bits, value);
+    constraints.extend_from_slice(extra);
+    pattern(num_preds, &constraints)
+}
+
+/// Convenience: an update forcing phase `value` in `bits` plus extra
+/// forced bits.
+pub fn goto(num_preds: usize, bits: &[usize], value: u32, extra: &[(usize, bool)]) -> String {
+    let mut constraints = field(bits, value);
+    constraints.extend_from_slice(extra);
+    update(num_preds, &constraints)
+}
+
+fn render(num_preds: usize, constraints: &[(usize, bool)], dont_care: char) -> String {
+    let mut chars = vec![dont_care; num_preds];
+    for &(bit, value) in constraints {
+        assert!(bit < num_preds, "predicate bit {bit} out of range");
+        let c = if value { '1' } else { '0' };
+        let slot = num_preds - 1 - bit;
+        assert!(
+            chars[slot] == dont_care || chars[slot] == c,
+            "conflicting constraints on predicate {bit}"
+        );
+        chars[slot] = c;
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_places_bits_msb_first() {
+        assert_eq!(pattern(8, &[]), "XXXXXXXX");
+        assert_eq!(pattern(8, &[(7, true)]), "1XXXXXXX");
+        assert_eq!(pattern(8, &[(0, false)]), "XXXXXXX0");
+        assert_eq!(pattern(4, &[(1, true), (2, false)]), "X01X");
+    }
+
+    #[test]
+    fn update_uses_z_for_unchanged() {
+        assert_eq!(update(8, &[]), "ZZZZZZZZ");
+        assert_eq!(update(8, &[(4, true)]), "ZZZ1ZZZZ");
+    }
+
+    #[test]
+    fn field_expands_lsb_first() {
+        assert_eq!(field(&[2, 3], 0), vec![(2, false), (3, false)]);
+        assert_eq!(field(&[2, 3], 2), vec![(2, false), (3, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_phase_value_panics() {
+        let _ = field(&[2, 3], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting")]
+    fn conflicting_constraints_panic() {
+        let _ = pattern(8, &[(1, true), (1, false)]);
+    }
+
+    #[test]
+    fn when_and_goto_compose() {
+        let bits = [2, 3, 4, 5];
+        assert_eq!(when(8, &bits, 5, &[(1, true)]), "XX01011X");
+        assert_eq!(goto(8, &bits, 0, &[]), "ZZ0000ZZ");
+    }
+}

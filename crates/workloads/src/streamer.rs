@@ -1,0 +1,91 @@
+//! The shared address-streamer PE program.
+//!
+//! Several Table 3 workloads use a helper PE that walks an address
+//! range, feeding a memory read port, and finally requests a sentinel
+//! token with tag 1 so the consumer can detect end-of-stream — tags
+//! carrying "a message to effect control flow like a termination
+//! condition" (§2.1).
+
+use tia_asm::assemble;
+use tia_isa::{Params, Program};
+
+use crate::build::WorkloadError;
+
+/// The tag value used for end-of-stream sentinels throughout the
+/// workload suite (tag 0 is plain data).
+pub const EOS_TAG: u32 = 1;
+
+/// Builds the streamer program: emit addresses `base..base + count` on
+/// `%o0` with tag 0, then one sentinel request (tag 1, address `base`,
+/// value ignored by consumers), then halt.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if the generated assembly fails to
+/// assemble (a bug in this crate rather than user error).
+///
+/// # Examples
+///
+/// ```
+/// use tia_isa::Params;
+/// use tia_workloads::streamer::streamer_program;
+///
+/// let params = Params::default();
+/// let program = streamer_program(&params, 16, 100)?;
+/// assert_eq!(program.len(), 5);
+/// # Ok::<(), tia_workloads::WorkloadError>(())
+/// ```
+pub fn streamer_program(params: &Params, base: u32, count: u32) -> Result<Program, WorkloadError> {
+    // Predicate roles: p0 = loop comparison (datapath write),
+    // p1/p2 = phase bits driven by trigger-encoded updates.
+    let source = format!(
+        "# address streamer: base {base}, count {count}
+         when %p == XXXXX00X: ult %p0, %r0, {count}; set %p = ZZZZZZ1Z;   # test
+         when %p == XXXXX011: add %o0.0, %r0, {base}; set %p = ZZZZZ10Z;  # emit addr
+         when %p == XXXXX10X: add %r0, %r0, 1; set %p = ZZZZZ0ZZ;         # i += 1
+         when %p == XXXXX010: mov %o0.{EOS_TAG}, {base}; set %p = ZZZZZ1ZZ; # sentinel
+         when %p == XXXXX11X: halt;"
+    );
+    Ok(assemble(&source, params)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_fabric::ProcessingElement;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn streamer_emits_addresses_then_sentinel() {
+        let params = Params::default();
+        let program = streamer_program(&params, 10, 3).unwrap();
+        let mut pe = FuncPe::new(&params, program).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..100 {
+            pe.step();
+            while let Some(t) = pe.output_queue_mut(0).pop() {
+                seen.push((t.tag.value(), t.data));
+            }
+            if pe.is_halted() {
+                break;
+            }
+        }
+        assert!(pe.is_halted());
+        assert_eq!(seen, vec![(0, 10), (0, 11), (0, 12), (1, 10)]);
+    }
+
+    #[test]
+    fn zero_count_streamer_sends_only_the_sentinel() {
+        let params = Params::default();
+        let program = streamer_program(&params, 5, 0).unwrap();
+        let mut pe = FuncPe::new(&params, program).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..20 {
+            pe.step();
+            while let Some(t) = pe.output_queue_mut(0).pop() {
+                seen.push((t.tag.value(), t.data));
+            }
+        }
+        assert_eq!(seen, vec![(1, 5)]);
+    }
+}

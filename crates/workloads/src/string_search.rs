@@ -1,0 +1,268 @@
+//! `string_search` — DFA scan for `"MICRO"` (Table 3).
+//!
+//! "One PE reads four-byte words from memory and forwards them to a
+//! second PE, which breaks these words into bytes. This second PE
+//! forwards those bytes to a third PE (the worker) which interprets
+//! each as an ASCII character. This third string matching PE scans the
+//! stream for the string `MICRO` using a small DFA hard-coded in TI
+//! assembly. This PE emits zeros in all states except the match state
+//! in which it emits a one, resulting in an output array in memory
+//! which gives the indices of these occurrences of `MICRO`."
+//!
+//! Three PEs, as the paper describes: PE 0 streams word addresses,
+//! PE 1 splits words into bytes, and PE 2 (the worker) runs the DFA,
+//! streaming one 0/1 per byte to a sequential write port that builds
+//! the output array in memory.
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, SequentialWritePort, System,
+    DEFAULT_LOAD_LATENCY,
+};
+use tia_isa::Params;
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, pattern, update, when};
+use crate::streamer::streamer_program;
+
+/// The needle the DFA is hard-coded for.
+pub const NEEDLE: &[u8] = b"MICRO";
+
+/// Configuration for the `string_search` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringSearchConfig {
+    /// Text length in bytes (must be a multiple of 4).
+    pub text_bytes: usize,
+    /// Occurrences of the needle planted in the random text.
+    pub plants: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl StringSearchConfig {
+    /// Paper-scale run.
+    pub fn paper() -> Self {
+        StringSearchConfig {
+            text_bytes: 16_384,
+            plants: 64,
+            seed: 0x5ea6c,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        StringSearchConfig {
+            text_bytes: 256,
+            plants: 6,
+            seed: 0x5ea6c,
+        }
+    }
+}
+
+/// The word-splitter PE: four little-endian bytes per word, EOS
+/// forwarded. Phase on `p2..p4`.
+fn splitter_source(params: &Params) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 3] = [2, 3, 4];
+    let w = |v: u32| when(n, &PH, v, &[]);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# word-to-byte splitter (little endian)
+         when %p == {p0} with %i0.1: mov %o0.1, 0; deq %i0; set %p = {g7};
+         when %p == {p7}: halt;
+         when %p == {p0} with %i0.0: and %o0.0, %i0, 255; set %p = {g1};
+         when %p == {p1} with %i0.0: srl %r0, %i0, 8; deq %i0; set %p = {g2};
+         when %p == {p2}: and %o0.0, %r0, 255; set %p = {g3};
+         when %p == {p3}: srl %r0, %r0, 8; set %p = {g4};
+         when %p == {p4}: and %o0.0, %r0, 255; set %p = {g5};
+         when %p == {p5}: srl %r0, %r0, 8; set %p = {g6};
+         when %p == {p6}: mov %o0.0, %r0; set %p = {g0};",
+        p0 = w(0),
+        g7 = g(7),
+        p7 = w(7),
+        g1 = g(1),
+        p1 = w(1),
+        g2 = g(2),
+        p2 = w(2),
+        g3 = g(3),
+        p3 = w(3),
+        g4 = g(4),
+        p4 = w(4),
+        g5 = g(5),
+        p5 = w(5),
+        g6 = g(6),
+        p6 = w(6),
+        g0 = g(0),
+    )
+}
+
+/// The DFA worker. Predicate roles: `p0` = act flag (0 = compare
+/// phase), `p1` = comparison result, `p2..p4` = DFA state (0–4),
+/// `p6` = retry-as-'M' flag. Priority resolves the "state ≠ 0"
+/// fallback: the state-0 mismatch instruction shadows the generic one.
+fn matcher_source(params: &Params) -> String {
+    let n = params.num_preds;
+    const ST: [usize; 3] = [2, 3, 4];
+    let cmp = |s: u32| {
+        // compare phase in state s: p0=0, p6=0, state=s
+        when(n, &ST, s, &[(0, false), (6, false)])
+    };
+    let act = |s: u32, m: bool| {
+        // act phase: p0=1, p6=0, p1=m, state=s
+        when(n, &ST, s, &[(0, true), (6, false), (1, m)])
+    };
+    let to_compare_state = |s: u32| goto(n, &ST, s, &[(0, false), (6, false)]);
+    let to_act = update(n, &[(0, true)]);
+    let chars: Vec<u32> = NEEDLE.iter().map(|&c| c as u32).collect();
+    format!(
+        "# \"MICRO\" DFA. Emits one 0/1 per input byte.
+         when %p == {c0} with %i0.0: eq %p1, %i0, {m}; set %p = {to_act};
+         when %p == {c1} with %i0.0: eq %p1, %i0, {i}; set %p = {to_act};
+         when %p == {c2} with %i0.0: eq %p1, %i0, {c}; set %p = {to_act};
+         when %p == {c3} with %i0.0: eq %p1, %i0, {r}; set %p = {to_act};
+         when %p == {c4} with %i0.0: eq %p1, %i0, {o}; set %p = {to_act};
+         when %p == {a0} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g1};
+         when %p == {a1} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g2};
+         when %p == {a2} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g3};
+         when %p == {a3} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g4};
+         when %p == {a4} with %i0.0: mov %o0.0, 1; deq %i0; set %p = {g0};
+         when %p == {m0} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g0};
+         when %p == {mx} with %i0.0: eq %p1, %i0, {m}; set %p = {retry};
+         when %p == {ry} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g1};
+         when %p == {rn} with %i0.0: mov %o0.0, 0; deq %i0; set %p = {g0};
+         when %p == {idle} with %i0.1: halt;",
+        c0 = cmp(0),
+        c1 = cmp(1),
+        c2 = cmp(2),
+        c3 = cmp(3),
+        c4 = cmp(4),
+        m = chars[0],
+        i = chars[1],
+        c = chars[2],
+        r = chars[3],
+        o = chars[4],
+        to_act = to_act,
+        a0 = act(0, true),
+        a1 = act(1, true),
+        a2 = act(2, true),
+        a3 = act(3, true),
+        a4 = act(4, true),
+        g0 = to_compare_state(0),
+        g1 = to_compare_state(1),
+        g2 = to_compare_state(2),
+        g3 = to_compare_state(3),
+        g4 = to_compare_state(4),
+        // state-0 mismatch (higher priority than the generic retry)
+        m0 = act(0, false),
+        // generic mismatch in any state: retry the byte as an 'M'
+        mx = pattern(n, &[(0, true), (6, false), (1, false)]),
+        retry = update(n, &[(6, true)]),
+        ry = pattern(n, &[(0, true), (6, true), (1, true)]),
+        rn = pattern(n, &[(0, true), (6, true), (1, false)]),
+        idle = pattern(n, &[(0, false), (6, false)]),
+    )
+}
+
+/// Builds the `string_search` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &StringSearchConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    assert_eq!(cfg.text_bytes % 4, 0, "text must be word-aligned");
+    let mut rng = golden::rng(cfg.seed);
+    let text = golden::search_text(cfg.text_bytes, NEEDLE, cfg.plants, &mut rng);
+    let text_words = golden::pack_words(&text);
+    let n_words = text_words.len();
+    let out_base = n_words as u32;
+
+    let mut words = text_words;
+    words.resize(n_words + cfg.text_bytes, 0);
+    let memory = Memory::from_words(words);
+
+    let reader = streamer_program(params, 0, n_words as u32)?;
+    let splitter = assemble(&splitter_source(params), params)?;
+    let matcher = assemble(&matcher_source(params), params)?;
+
+    let mut system = System::new(memory);
+    let rd = system.add_pe(factory.make(params, reader)?);
+    let sp = system.add_pe(factory.make(params, splitter)?);
+    let w = system.add_pe(factory.make(params, matcher)?);
+    let rp = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_seq_write_port(SequentialWritePort::new(params.queue_capacity, out_base));
+
+    system.connect(
+        OutputRef::Pe { pe: rd, queue: 0 },
+        InputRef::ReadAddr { port: rp },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp },
+        InputRef::Pe { pe: sp, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: sp, queue: 0 },
+        InputRef::Pe { pe: w, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 0 },
+        InputRef::SeqWriteData { port: wp },
+    )?;
+
+    let hits = golden::string_search_golden(&text, NEEDLE);
+    let expected = hits
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| (out_base + i as u32, h))
+        .collect();
+
+    Ok(Built {
+        system,
+        worker: w,
+        expected,
+        max_cycles: cfg.text_bytes as u64 * 48 + 2_000,
+        name: "string_search",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn string_search_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &StringSearchConfig::test(), &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+        // At least the planted needles must be found.
+        let ones: u32 = built
+            .expected
+            .iter()
+            .map(|&(a, _)| built.system.memory().read(a))
+            .sum();
+        assert!(ones >= 1, "no matches found");
+    }
+
+    #[test]
+    fn programs_fit_the_instruction_memory() {
+        let params = Params::default();
+        assert_eq!(
+            assemble(&splitter_source(&params), &params).unwrap().len(),
+            9
+        );
+        assert_eq!(
+            assemble(&matcher_source(&params), &params).unwrap().len(),
+            15
+        );
+    }
+}

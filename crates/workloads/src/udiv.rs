@@ -1,0 +1,195 @@
+//! `udiv` — software unsigned division macro (Table 3).
+//!
+//! "This benchmark implements an unsigned integer division TI assembly
+//! macro in a single PE (the worker) which is then fed numerators and
+//! denominators by another PE streaming them from memory before
+//! storing the resulting quotients in memory."
+//!
+//! The macro is 16-iteration shift-subtract long division over 16-bit
+//! operands (the variable-shift formulation needs `denominator << j`
+//! to stay in-word, so operands are bounded at 2¹⁶ — the natural
+//! "software division" building block for a 32-bit RISC ISA without a
+//! divide, §2.2). Per §5.4: "the predictable predicate write is an
+//! iteration shifting through all the bits of the dividend, while the
+//! less predictable branch is whether the bit in question is one or
+//! zero."
+
+use tia_asm::assemble;
+use tia_fabric::{
+    InputRef, Memory, OutputRef, ProcessingElement, ReadPort, SequentialWritePort, System,
+    DEFAULT_LOAD_LATENCY,
+};
+use tia_isa::Params;
+
+use crate::build::{Built, PeFactory, WorkloadError};
+use crate::golden;
+use crate::phases::{goto, when};
+use crate::streamer::streamer_program;
+
+/// Configuration for the `udiv` workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdivConfig {
+    /// Number of numerator/denominator pairs.
+    pub pairs: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl UdivConfig {
+    /// Paper-scale run (≈100k worker instructions).
+    pub fn paper() -> Self {
+        UdivConfig {
+            pairs: 800,
+            seed: 0xd1f,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test() -> Self {
+        UdivConfig {
+            pairs: 12,
+            seed: 0xd1f,
+        }
+    }
+}
+
+/// The division worker. Predicate roles: `p0` = loop-continue
+/// (predictable), `p1` = trial-subtraction comparison (data
+/// dependent), phase = 4-bit field on `p2..p5`.
+fn worker_source(params: &Params, out_base: u32) -> String {
+    let n = params.num_preds;
+    const PH: [usize; 4] = [2, 3, 4, 5];
+    let w = |v: u32, extra: &[(usize, bool)]| when(n, &PH, v, extra);
+    let g = |v: u32| goto(n, &PH, v, &[]);
+    format!(
+        "# udiv worker: quotients stored from {out_base}
+         when %p == {idle} with %i0.1: halt;
+         when %p == {idle} with %i0.0: mov %r0, %i0; deq %i0; set %p = {g1};
+         when %p == {p1} with %i0.0: mov %r1, %i0; deq %i0; set %p = {g2};
+         when %p == {p2}: mov %r2, 0; set %p = {g3};
+         when %p == {p3}: mov %r4, 15; set %p = {loop_entry};
+         when %p == {head} : sll %r5, %r1, %r4; set %p = {g5};
+         when %p == {p5}: uge %p1, %r0, %r5; set %p = {g6};
+         when %p == {bit1}: sub %r0, %r0, %r5; set %p = {g7};
+         when %p == {p7}: bset %r2, %r2, %r4; set %p = {g8};
+         when %p == {bit0}: nop; set %p = {g8};
+         when %p == {p8}: sub %r4, %r4, 1; set %p = {g9};
+         when %p == {p9}: ne %p0, %r4, -1; set %p = {g10};
+         when %p == {exit}: mov %o1.0, %r2; set %p = {g0};",
+        idle = w(0, &[]),
+        g1 = g(1),
+        p1 = w(1, &[]),
+        g2 = g(2),
+        p2 = w(2, &[]),
+        g3 = g(3),
+        p3 = w(3, &[]),
+        loop_entry = goto(n, &PH, 10, &[(0, true)]),
+        head = w(10, &[(0, true)]),
+        g5 = g(5),
+        p5 = w(5, &[]),
+        g6 = g(6),
+        bit1 = w(6, &[(1, true)]),
+        g7 = g(7),
+        p7 = w(7, &[]),
+        g8 = g(8),
+        bit0 = w(6, &[(1, false)]),
+        p8 = w(8, &[]),
+        g9 = g(9),
+        p9 = w(9, &[]),
+        g10 = g(10),
+        exit = w(10, &[(0, false)]),
+        g0 = g(0),
+    )
+}
+
+/// Builds the `udiv` workload over the given PE factory.
+///
+/// # Errors
+///
+/// Propagates assembly, validation and wiring errors.
+pub fn build<P, F>(
+    params: &Params,
+    cfg: &UdivConfig,
+    factory: &mut F,
+) -> Result<Built<P>, WorkloadError>
+where
+    P: ProcessingElement,
+    F: PeFactory<P>,
+{
+    let mut rng = golden::rng(cfg.seed);
+    let numerators = golden::random_array(cfg.pairs, 1 << 16, &mut rng);
+    let denominators = golden::random_array(cfg.pairs, 1 << 10, &mut rng);
+
+    // Interleave [n0, d0, n1, d1, ...] so one stream feeds pairs.
+    let mut words = Vec::with_capacity(3 * cfg.pairs);
+    for i in 0..cfg.pairs {
+        words.push(numerators[i]);
+        words.push(denominators[i]);
+    }
+    let out_base = words.len() as u32;
+    words.resize(words.len() + cfg.pairs, 0);
+    let memory = Memory::from_words(words);
+
+    let streamer = streamer_program(params, 0, (2 * cfg.pairs) as u32)?;
+    let worker = assemble(&worker_source(params, out_base), params)?;
+
+    let mut system = System::new(memory);
+    let s = system.add_pe(factory.make(params, streamer)?);
+    let w = system.add_pe(factory.make(params, worker)?);
+    let rp = system.add_read_port(ReadPort::new(params.queue_capacity, DEFAULT_LOAD_LATENCY));
+    let wp = system.add_seq_write_port(SequentialWritePort::new(params.queue_capacity, out_base));
+
+    system.connect(
+        OutputRef::Pe { pe: s, queue: 0 },
+        InputRef::ReadAddr { port: rp },
+    )?;
+    system.connect(
+        OutputRef::ReadData { port: rp },
+        InputRef::Pe { pe: w, queue: 0 },
+    )?;
+    system.connect(
+        OutputRef::Pe { pe: w, queue: 1 },
+        InputRef::SeqWriteData { port: wp },
+    )?;
+
+    let expected = (0..cfg.pairs)
+        .map(|i| {
+            (
+                out_base + i as u32,
+                golden::udiv_golden(numerators[i], denominators[i]),
+            )
+        })
+        .collect();
+
+    Ok(Built {
+        system,
+        worker: w,
+        expected,
+        max_cycles: cfg.pairs as u64 * 16 * 24 + 2_000,
+        name: "udiv",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_sim::FuncPe;
+
+    #[test]
+    fn udiv_matches_golden_on_the_functional_model() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = build(&params, &UdivConfig::test(), &mut factory).unwrap();
+        built.run_to_completion().unwrap();
+        let counters = built.system.pe(built.worker).counters();
+        // ~16 iterations × ~6 instructions per division.
+        assert!(counters.retired > 12 * 80);
+    }
+
+    #[test]
+    fn worker_fits_the_instruction_memory() {
+        let params = Params::default();
+        let program = assemble(&worker_source(&params, 10), &params).unwrap();
+        assert_eq!(program.len(), 13);
+    }
+}

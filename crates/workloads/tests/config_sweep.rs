@@ -1,0 +1,171 @@
+//! Robustness sweep: workload builders verify across input sizes,
+//! seeds and fabric parameters, not just the two canned scales.
+
+use tia_isa::Params;
+use tia_sim::FuncPe;
+use tia_workloads::{
+    arg_max::ArgMaxConfig, bst::BstConfig, dot_product::DotProductConfig, filter::FilterConfig,
+    gcd::GcdConfig, mean::MeanConfig, merge::MergeConfig, stream::StreamConfig,
+    string_search::StringSearchConfig, udiv::UdivConfig,
+};
+
+fn run<B>(build: B)
+where
+    B: FnOnce(&Params) -> Result<tia_workloads::Built<FuncPe>, tia_workloads::WorkloadError>,
+{
+    let params = Params::default();
+    let mut built = build(&params).expect("build");
+    built.run_to_completion().expect("verify");
+}
+
+macro_rules! factory {
+    () => {
+        &mut |p: &Params, prog: tia_isa::Program| FuncPe::new(p, prog)
+    };
+}
+
+#[test]
+fn bst_verifies_across_tree_shapes_and_seeds() {
+    for (nodes, keys, seed) in [(1, 8, 1u64), (2, 4, 2), (127, 64, 3), (200, 10, 4)] {
+        run(|p| tia_workloads::bst::build(p, &BstConfig { nodes, keys, seed }, factory!()));
+    }
+}
+
+#[test]
+fn gcd_verifies_on_edge_operand_pairs() {
+    for (a, b) in [(1, 1), (1, 7), (7, 1), (1000, 1000), (999, 1000), (17, 510)] {
+        run(|p| tia_workloads::gcd::build(p, &GcdConfig { a, b }, factory!()));
+    }
+}
+
+#[test]
+fn mean_verifies_on_degenerate_lengths() {
+    for (len, seed) in [(1usize, 9u64), (2, 10), (8, 11), (256, 12)] {
+        run(|p| tia_workloads::mean::build(p, &MeanConfig { len, seed }, factory!()));
+    }
+}
+
+#[test]
+fn arg_max_verifies_when_the_max_is_first_or_last() {
+    for (len, seed) in [(1usize, 1u64), (2, 2), (33, 3), (128, 4)] {
+        run(|p| tia_workloads::arg_max::build(p, &ArgMaxConfig { len, seed }, factory!()));
+    }
+}
+
+#[test]
+fn dot_product_verifies_on_short_vectors() {
+    for (len, seed) in [(1usize, 5u64), (3, 6), (17, 7)] {
+        run(|p| tia_workloads::dot_product::build(p, &DotProductConfig { len, seed }, factory!()));
+    }
+}
+
+#[test]
+fn filter_verifies_at_extreme_thresholds() {
+    for (threshold, bound) in [(0u32, 1u32 << 16), (u32::MAX, 1 << 16), (1 << 15, 1 << 16)] {
+        run(|p| {
+            tia_workloads::filter::build(
+                p,
+                &FilterConfig {
+                    len: 40,
+                    threshold,
+                    bound,
+                    seed: 8,
+                },
+                factory!(),
+            )
+        });
+    }
+}
+
+#[test]
+fn merge_verifies_with_empty_sides_avoided_and_skew() {
+    // One-element sides, heavy skew, equal lengths.
+    for (a, b) in [(1usize, 1usize), (1, 50), (50, 1), (20, 20)] {
+        run(|p| {
+            tia_workloads::merge::build(
+                p,
+                &MergeConfig {
+                    len_a: a,
+                    len_b: b,
+                    seed: 13,
+                },
+                factory!(),
+            )
+        });
+    }
+}
+
+#[test]
+fn stream_verifies_at_small_lengths() {
+    for len in [1usize, 2, 3, 100] {
+        run(|p| tia_workloads::stream::build(p, &StreamConfig { len }, factory!()));
+    }
+}
+
+#[test]
+fn string_search_verifies_with_and_without_plants() {
+    for (bytes, plants, seed) in [(8usize, 0usize, 20u64), (64, 1, 21), (120, 12, 22)] {
+        run(|p| {
+            tia_workloads::string_search::build(
+                p,
+                &StringSearchConfig {
+                    text_bytes: bytes,
+                    plants,
+                    seed,
+                },
+                factory!(),
+            )
+        });
+    }
+}
+
+#[test]
+fn udiv_verifies_including_divisor_one() {
+    for (pairs, seed) in [(1usize, 30u64), (3, 31), (9, 32)] {
+        run(|p| tia_workloads::udiv::build(p, &UdivConfig { pairs, seed }, factory!()));
+    }
+}
+
+#[test]
+fn workloads_verify_under_alternate_queue_capacities() {
+    for capacity in [2usize, 3, 8] {
+        let mut params = Params::default();
+        params.queue_capacity = capacity;
+        let mut factory = |p: &Params, prog: tia_isa::Program| FuncPe::new(p, prog);
+        for kind in tia_workloads::ALL_WORKLOADS {
+            let mut built = kind
+                .build(&params, tia_workloads::Scale::Test, &mut factory)
+                .unwrap_or_else(|e| panic!("{kind} at capacity {capacity}: {e}"));
+            built
+                .run_to_completion()
+                .unwrap_or_else(|e| panic!("{kind} at capacity {capacity}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn verification_catches_a_corrupted_result() {
+    // Run a workload, then corrupt one golden location: verify() must
+    // report exactly that address.
+    let params = Params::default();
+    let mut factory = |p: &Params, prog: tia_isa::Program| FuncPe::new(p, prog);
+    let mut built = tia_workloads::WorkloadKind::Gcd
+        .build(&params, tia_workloads::Scale::Test, &mut factory)
+        .expect("build");
+    built.run_to_completion().expect("clean run verifies");
+    let (addr, good) = built.expected[0];
+    built.system.memory_mut().write(addr, good.wrapping_add(1));
+    match built.verify() {
+        Err(tia_workloads::WorkloadError::Mismatch {
+            addr: bad_addr,
+            expected,
+            found,
+            ..
+        }) => {
+            assert_eq!(bad_addr, addr);
+            assert_eq!(expected, good);
+            assert_eq!(found, good.wrapping_add(1));
+        }
+        other => panic!("expected a mismatch, got {other:?}"),
+    }
+}

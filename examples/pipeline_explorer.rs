@@ -1,0 +1,45 @@
+//! Interactive-style explorer: run one workload across all 32
+//! microarchitectures and print the CPI stacks, so the effect of each
+//! pipeline register and each optimization is visible side by side.
+//!
+//! ```text
+//! cargo run --release --example pipeline_explorer [workload]
+//! ```
+//!
+//! `workload` is a Table 3 name (default `bst`).
+
+use tia::core::{UarchConfig, UarchPe};
+use tia::isa::Params;
+use tia::workloads::{Scale, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bst".to_string());
+    let kind = WorkloadKind::from_name(&name)
+        .ok_or_else(|| format!("unknown workload `{name}`; pick one of the Table 3 names"))?;
+
+    let params = Params::default();
+    println!("workload: {} — {}", kind.name(), kind.description());
+    println!(
+        "\n{:18} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "microarchitecture", "CPI", "retired", "quashed", "predHaz", "dataHaz", "forbid", "noTrig"
+    );
+    for config in UarchConfig::all() {
+        let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+        let mut built = kind.build(&params, Scale::Test, &mut factory)?;
+        built.run_to_completion()?;
+        let c = built.system.pe(built.worker).counters();
+        let s = c.cpi_stack();
+        println!(
+            "{:18} {:7.3} {:8} {:8.3} {:8.3} {:8.3} {:8.3} {:8.3}",
+            config.to_string(),
+            s.total(),
+            c.retired,
+            s.quashed,
+            s.predicate_hazard,
+            s.data_hazard,
+            s.forbidden,
+            s.not_triggered
+        );
+    }
+    Ok(())
+}

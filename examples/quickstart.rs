@@ -1,0 +1,64 @@
+//! Quickstart: assemble a triggered program, run it on the functional
+//! model and on a pipelined microarchitecture, and compare.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tia::asm::assemble;
+use tia::core::{Pipeline, UarchConfig, UarchPe};
+use tia::isa::Params;
+use tia::sim::FuncPe;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::default();
+
+    // A triggered program has no program counter: each instruction is
+    // a guarded atomic action. This one sums the integers 1..=100.
+    // p0/p2 are control phases (set by trigger-encoded updates); p1
+    // holds the loop comparison (a datapath predicate write — the
+    // "branch" that pipelined PEs must predict or stall on).
+    let source = "\
+        # while (i <= 100) acc += i;
+        when %p == XXXXX0X0: ult %p1, %r0, 100; set %p = ZZZZZZZ1;   # test
+        when %p == XXXXXX11: add %r0, %r0, 1;   set %p = ZZZZZ1Z0;   # i += 1
+        when %p == XXXXX1XX: add %r1, %r1, %r0; set %p = ZZZZZ0ZZ;   # acc += i
+        when %p == XXXXXX01: halt;";
+    let program = assemble(source, &params)?;
+
+    // Golden functional run: one instruction per cycle.
+    let mut golden = FuncPe::new(&params, program.clone())?;
+    while !golden.halted() {
+        golden.step_cycle();
+    }
+    println!("functional model: acc = {}", golden.reg(1));
+    println!(
+        "  {} instructions in {} cycles (CPI = {:.2})",
+        golden.counters().retired,
+        golden.counters().cycles,
+        golden.counters().cpi()
+    );
+    assert_eq!(golden.reg(1), 5050);
+
+    // The same program on every pipelined microarchitecture: the
+    // architecture is invariant, the cycle count is not.
+    println!("\npipelines (base vs +P predicate prediction):");
+    for pipeline in Pipeline::ALL {
+        let mut cycles = Vec::new();
+        for config in [UarchConfig::base(pipeline), UarchConfig::with_pq(pipeline)] {
+            let mut pe = UarchPe::new(&params, config, program.clone())?;
+            while !pe.halted() {
+                pe.step_cycle();
+            }
+            assert_eq!(pe.reg(1), 5050, "{config}: wrong sum");
+            cycles.push(pe.counters().cycles);
+        }
+        println!(
+            "  {:10}  base: {:4} cycles   +P+Q: {:4} cycles",
+            pipeline.name(),
+            cycles[0],
+            cycles[1]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure and ablation of the paper into
+# results/. Pass --test-scale for a fast small-input run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SCALE="${1:-}"
+mkdir -p results
+cargo build --release -p tia-bench -p tia-asm
+
+BINS=(
+    sec1_tradeoff_modes
+    table1_params
+    table2_encoding
+    table3_workloads
+    fig3_breakdown
+    fig4_prediction
+    fig5_cpi_stacks
+    fig6_voltage_frontiers
+    fig7_optimization_benefit
+    fig8_pareto_designs
+    sec3_characterization
+    sec4_instruction_memory
+    sec54_overheads
+    ablation_nested_speculation
+    ablation_predictor
+    ablation_queue_capacity
+)
+
+for bin in "${BINS[@]}"; do
+    echo "== $bin"
+    # shellcheck disable=SC2086
+    ./target/release/"$bin" $SCALE > "results/$bin.txt"
+done
+
+./target/release/dse_export $SCALE -o results/design_space.json
+./target/release/dump_workload_asm results/asm
+echo "all outputs in results/"

@@ -1,0 +1,136 @@
+//! Cross-crate toolchain integration: assembly → program → binary
+//! images → program → assembly, with execution equivalence at every
+//! stage (the Figure 1 flow from `program.s` to `program.bin`).
+
+use tia::asm::{assemble, disassemble};
+use tia::isa::{encoding, Params, Program};
+use tia::sim::FuncPe;
+use tia::workloads::{Scale, ALL_WORKLOADS};
+
+/// Every benchmark program survives the full round trip:
+/// text → Program → 128-bit images → Program → text → Program.
+#[test]
+fn all_workload_programs_roundtrip_through_binary_and_text() {
+    let params = Params::default();
+    for kind in ALL_WORKLOADS {
+        // Collect each PE's program by building the workload.
+        let mut programs: Vec<Program> = Vec::new();
+        let mut factory = |p: &Params, prog: Program| {
+            programs.push(prog.clone());
+            FuncPe::new(p, prog)
+        };
+        let _ = kind
+            .build(&params, Scale::Test, &mut factory)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(programs.len(), kind.num_pes(), "{kind}");
+
+        for (i, program) in programs.iter().enumerate() {
+            // Binary image roundtrip (the write-only instruction
+            // memory contents).
+            let images = program.to_images(&params).unwrap();
+            assert_eq!(images.len(), params.num_instructions);
+            let back = Program::from_images(&images, &params)
+                .unwrap_or_else(|e| panic!("{kind} PE{i}: {e}"));
+            assert_eq!(&back, program, "{kind} PE{i}: binary roundtrip");
+
+            // Text roundtrip (disassembler output reassembles).
+            let text = disassemble(program, &params);
+            let back =
+                assemble(&text, &params).unwrap_or_else(|e| panic!("{kind} PE{i}: {e}\n{text}"));
+            assert_eq!(&back, program, "{kind} PE{i}: text roundtrip");
+        }
+    }
+}
+
+/// Instructions are 106 bits padded to 128 for the host interface
+/// (§2.3), and the padding row-trips through bytes.
+#[test]
+fn instruction_images_are_106_bits_padded_to_128() {
+    let params = Params::default();
+    let layout = params.layout();
+    assert_eq!(layout.total_bits(), 106);
+    assert_eq!(layout.padded_bits(), 128);
+
+    let program = assemble(
+        "when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; set %p = ZZZZ0001;",
+        &params,
+    )
+    .unwrap();
+    let instruction = &program.instructions()[0];
+    let bytes = encoding::to_bytes(instruction, &params).unwrap();
+    assert_eq!(bytes.len(), 16);
+    // The padding bits above 106 are zero.
+    let image = u128::from_le_bytes(bytes.clone().try_into().unwrap());
+    assert_eq!(image >> 106, 0);
+    assert_eq!(&encoding::from_bytes(&bytes, &params).unwrap(), instruction);
+}
+
+/// A disassembled-and-reassembled program executes identically.
+#[test]
+fn reassembled_programs_execute_identically() {
+    let params = Params::default();
+    let source = "\
+        when %p == XXXXX0X0: ult %p1, %r0, 25; set %p = ZZZZZZZ1;
+        when %p == XXXXXX11: add %r0, %r0, 3;  set %p = ZZZZZ1Z0;
+        when %p == XXXXX1XX: add %r1, %r1, %r0; set %p = ZZZZZ0ZZ;
+        when %p == XXXXXX01: halt;";
+    let original = assemble(source, &params).unwrap();
+    let copy = assemble(&disassemble(&original, &params), &params).unwrap();
+
+    let run = |program: Program| {
+        let mut pe = FuncPe::new(&params, program).unwrap();
+        while !pe.halted() {
+            pe.step_cycle();
+        }
+        (pe.reg(0), pe.reg(1), pe.counters().retired)
+    };
+    assert_eq!(run(original), run(copy));
+}
+
+/// The parameter file (the root of the Figure 1 toolchain) serializes
+/// and controls the encoding.
+#[test]
+fn params_file_roundtrips_and_governs_the_layout() {
+    let params = Params::default();
+    let json = serde_json::to_string_pretty(&params).unwrap();
+    let back: Params = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, params);
+
+    let narrow: Params = serde_json::from_str("{\"num_preds\": 4, \"word_width\": 16}").unwrap();
+    narrow.validate().unwrap();
+    assert!(narrow.layout().total_bits() < params.layout().total_bits());
+
+    // A program assembled under one parameterization is rejected by a
+    // narrower one.
+    let program = assemble("when %p == 1XXXXXXX: halt;", &params).unwrap();
+    assert!(program.validate(&narrow).is_err());
+}
+
+/// The shipped parameter presets (the analog of the paper's
+/// `params.yaml`) parse, validate, and drive the encoding.
+#[test]
+fn shipped_parameter_presets_are_valid() {
+    for (name, expect_bits) in [
+        ("params/default.json", Some(106)),
+        ("params/scratchpad.json", Some(106)),
+        ("params/narrow16.json", None),
+    ] {
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../")
+                .join(name),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let params: Params = serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        params.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let Some(bits) = expect_bits {
+            assert_eq!(params.layout().total_bits(), bits, "{name}");
+        } else {
+            assert!(params.layout().total_bits() < 106, "{name} is narrower");
+        }
+        // The default preset must be byte-for-byte the library default.
+        if name == "params/default.json" {
+            assert_eq!(params, Params::default());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Whole-stack equivalence and microarchitectural ordering properties
+//! across the workspace crates.
+
+use tia::core::{Pipeline, UarchConfig, UarchPe};
+use tia::isa::Params;
+use tia::sim::FuncPe;
+use tia::workloads::{Scale, WorkloadKind};
+
+fn uarch_counters(kind: WorkloadKind, config: UarchConfig) -> tia::core::UarchCounters {
+    let params = Params::default();
+    let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+    let mut built = kind.build(&params, Scale::Test, &mut factory).unwrap();
+    built.run_to_completion().unwrap();
+    *built.system.pe(built.worker).counters()
+}
+
+#[test]
+fn deeper_base_pipelines_never_have_lower_cpi() {
+    // Without the optimizations, added pipeline registers only add
+    // hazard stalls; CPI must be monotone in depth for every workload.
+    for kind in [WorkloadKind::Gcd, WorkloadKind::Bst, WorkloadKind::Udiv] {
+        let by_depth: Vec<f64> = [
+            Pipeline::TDX,
+            Pipeline::T_DX,
+            Pipeline::T_D_X,
+            Pipeline::T_D_X1_X2,
+        ]
+        .iter()
+        .map(|&p| uarch_counters(kind, UarchConfig::base(p)).cpi())
+        .collect();
+        for w in by_depth.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{kind}: CPI not monotone in depth: {by_depth:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizations_never_hurt_cpi_on_the_deep_pipeline() {
+    for kind in [
+        WorkloadKind::Gcd,
+        WorkloadKind::Mean,
+        WorkloadKind::Stream,
+        WorkloadKind::DotProduct,
+        WorkloadKind::Udiv,
+    ] {
+        let base = uarch_counters(kind, UarchConfig::base(Pipeline::T_D_X1_X2)).cpi();
+        let pq = uarch_counters(kind, UarchConfig::with_pq(Pipeline::T_D_X1_X2)).cpi();
+        assert!(
+            pq <= base + 1e-9,
+            "{kind}: +P+Q worsened CPI ({pq:.3} vs {base:.3})"
+        );
+    }
+}
+
+#[test]
+fn predictable_workloads_predict_well_and_entropic_ones_do_not() {
+    // Figure 4's qualitative split: gcd/stream/mean near-perfect;
+    // filter/merge near the 50% worst case.
+    let config = UarchConfig::with_pq(Pipeline::T_DX);
+    for kind in [WorkloadKind::Gcd, WorkloadKind::Stream, WorkloadKind::Mean] {
+        let acc = uarch_counters(kind, config).prediction_accuracy();
+        assert!(
+            acc > 0.9,
+            "{kind}: accuracy {acc:.2} should be near-perfect"
+        );
+    }
+    for kind in [WorkloadKind::Filter, WorkloadKind::Merge] {
+        let acc = uarch_counters(kind, config).prediction_accuracy();
+        assert!(
+            (0.3..0.75).contains(&acc),
+            "{kind}: accuracy {acc:.2} should be near the coin-flip worst case"
+        );
+    }
+    // dot_product's worker makes no datapath predicate writes at all.
+    let c = uarch_counters(WorkloadKind::DotProduct, config);
+    assert_eq!(c.predicate_writes, 0);
+    assert_eq!(c.predictions, 0);
+}
+
+#[test]
+fn functional_and_tdx_agree_on_every_counter_that_exists_in_both() {
+    let params = Params::default();
+    for kind in [
+        WorkloadKind::ArgMax,
+        WorkloadKind::Filter,
+        WorkloadKind::Merge,
+    ] {
+        let mut f_factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut f = kind.build(&params, Scale::Test, &mut f_factory).unwrap();
+        f.run_to_completion().unwrap();
+        let fc = *f.system.pe(f.worker).counters();
+
+        let config = UarchConfig::base(Pipeline::TDX);
+        let mut u_factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+        let mut u = kind.build(&params, Scale::Test, &mut u_factory).unwrap();
+        u.run_to_completion().unwrap();
+        let uc = *u.system.pe(u.worker).counters();
+
+        assert_eq!(fc.retired, uc.retired, "{kind}: retired");
+        assert_eq!(fc.cycles, uc.cycles, "{kind}: cycles");
+        assert_eq!(
+            fc.predicate_writes, uc.predicate_writes,
+            "{kind}: pred writes"
+        );
+        assert_eq!(fc.dequeues, uc.dequeues, "{kind}: dequeues");
+        assert_eq!(fc.enqueues, uc.enqueues, "{kind}: enqueues");
+    }
+}
+
+#[test]
+fn pred_hazard_component_is_depth_dependent_and_q_shrinks_no_trigger() {
+    // Figure 5's two structural observations on a branchy workload.
+    let kind = WorkloadKind::Bst;
+    let d2 = uarch_counters(kind, UarchConfig::base(Pipeline::T_DX));
+    let d3 = uarch_counters(kind, UarchConfig::base(Pipeline::T_D_X));
+    let d4 = uarch_counters(kind, UarchConfig::base(Pipeline::T_D_X1_X2));
+    let h2 = d2.cpi_stack().predicate_hazard;
+    let h3 = d3.cpi_stack().predicate_hazard;
+    let h4 = d4.cpi_stack().predicate_hazard;
+    assert!(h2 > 0.0);
+    assert!(h3 > h2, "predicate hazards grow with depth: {h2} {h3} {h4}");
+    assert!(h4 > h3, "predicate hazards grow with depth: {h2} {h3} {h4}");
+
+    let p_only = uarch_counters(kind, UarchConfig::with_p(Pipeline::T_D_X1_X2));
+    assert_eq!(
+        p_only.cpi_stack().predicate_hazard,
+        0.0,
+        "+P eliminates them"
+    );
+
+    // The no-trigger reduction from +Q needs a queue-dense worker;
+    // merge's two-instruction loop enqueues every other instruction.
+    let m_p = uarch_counters(
+        WorkloadKind::Merge,
+        UarchConfig::with_p(Pipeline::T_D_X1_X2),
+    );
+    let m_pq = uarch_counters(
+        WorkloadKind::Merge,
+        UarchConfig::with_pq(Pipeline::T_D_X1_X2),
+    );
+    assert!(
+        m_pq.cpi_stack().not_triggered < m_p.cpi_stack().not_triggered,
+        "+Q shrinks merge's no-trigger component: {} vs {}",
+        m_pq.cpi_stack().not_triggered,
+        m_p.cpi_stack().not_triggered
+    );
+}

@@ -1,0 +1,64 @@
+//! Golden-model verification of the full Table 3 suite through the
+//! facade crate, on both simulators.
+
+use tia::core::{Pipeline, UarchConfig, UarchPe};
+use tia::isa::Params;
+use tia::sim::FuncPe;
+use tia::workloads::{Scale, WorkloadKind, ALL_WORKLOADS};
+
+#[test]
+fn the_whole_suite_verifies_on_the_functional_model() {
+    let params = Params::default();
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let mut built = kind.build(&params, Scale::Test, &mut factory).unwrap();
+        built
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+#[test]
+fn the_whole_suite_verifies_on_the_papers_best_balanced_design() {
+    // T|DX +P+Q "narrowly dominates" most of the balanced frontier
+    // (§5.4 Pareto discussion).
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_DX);
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+        let mut built = kind.build(&params, Scale::Test, &mut factory).unwrap();
+        built
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+#[test]
+fn dot_product_dynamic_count_matches_the_paper_formula() {
+    // §3 reports exactly 20,003 dynamic instructions for dot_product;
+    // the worker retires 2 per element plus a 3-instruction epilogue,
+    // so the test-scale count must follow the same formula.
+    let params = Params::default();
+    let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+    let mut built = WorkloadKind::DotProduct
+        .build(&params, Scale::Test, &mut factory)
+        .unwrap();
+    built.run_to_completion().unwrap();
+    let retired = built.system.pe(built.worker).counters().retired;
+    assert_eq!(retired, 2 * 80 + 3, "2N + 3 with the test N = 80");
+    // At paper scale N = 10,000 the same formula gives 20,003.
+    assert_eq!(2 * 10_000 + 3, 20_003);
+}
+
+#[test]
+fn worker_pes_are_the_documented_ones() {
+    let params = Params::default();
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        let built = kind.build(&params, Scale::Test, &mut factory).unwrap();
+        assert!(built.worker < built.system.num_pes(), "{kind}");
+        assert_eq!(built.system.num_pes(), kind.num_pes(), "{kind}");
+        assert!(!built.expected.is_empty(), "{kind}: golden checks exist");
+        assert!(built.max_cycles > 0, "{kind}");
+    }
+}
