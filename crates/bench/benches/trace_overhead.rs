@@ -1,0 +1,56 @@
+//! Criterion bench: the A/B cost of the tracing layer.
+//!
+//! Two arms over the same gcd run on the 4-stage +P+Q pipeline:
+//!
+//! * `null_tracer` — `UarchPe<NullTracer>` (the default): every
+//!   emission site folds away at compile time, so this arm must match
+//!   the pre-tracing baseline.
+//! * `ring_tracer` — `UarchPe<RingTracer>` recording the full event
+//!   stream: the cost of observability when it is actually on.
+//!
+//! The acceptance bar for the tracing subsystem is `null_tracer`
+//! within noise (< 2%) of a build with no tracing code at all; since
+//! `NullTracer` *is* the default type parameter, any regression here
+//! is a regression of the untraced simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_isa::Params;
+use tia_trace::{NullTracer, RingTracer};
+use tia_workloads::{Scale, WorkloadKind};
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_D_X1_X2);
+    let mut group = c.benchmark_group("trace_overhead");
+
+    group.bench_function("null_tracer", |b| {
+        b.iter(|| {
+            let mut factory =
+                |p: &Params, prog| UarchPe::with_tracer(p, config, prog, NullTracer);
+            let mut built = WorkloadKind::Gcd
+                .build(&params, Scale::Test, &mut factory)
+                .expect("build");
+            built.run_to_completion().expect("run");
+            built.system.cycle()
+        })
+    });
+
+    group.bench_function("ring_tracer", |b| {
+        b.iter(|| {
+            let mut factory = |p: &Params, prog| {
+                UarchPe::with_tracer(p, config, prog, RingTracer::with_default_capacity())
+            };
+            let mut built = WorkloadKind::Gcd
+                .build(&params, Scale::Test, &mut factory)
+                .expect("build");
+            built.run_to_completion().expect("run");
+            built.system.cycle()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

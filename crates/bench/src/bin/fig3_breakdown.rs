@@ -2,12 +2,32 @@
 //! single-cycle baseline PE (64,435 µm², 1.95 mW), plus the §4
 //! front-end / back-end accounting.
 
-use tia_bench::Table;
+use serde::Serialize;
+use tia_bench::{json_out_from_args, write_json, Table};
 use tia_energy::area_power::{Component, TDX_AREA_UM2, TDX_POWER_MW};
+
+#[derive(Serialize)]
+struct BreakdownPoint {
+    component: String,
+    end: String,
+    area_fraction: f64,
+    area_um2: f64,
+    power_fraction: f64,
+    power_mw: f64,
+}
 
 fn main() {
     let mut t = Table::new(&["component", "area %", "area µm²", "power %", "power mW"]);
+    let mut points: Vec<BreakdownPoint> = Vec::new();
     for c in Component::ALL {
+        points.push(BreakdownPoint {
+            component: c.name().to_string(),
+            end: c.end().to_string(),
+            area_fraction: c.area_fraction(),
+            area_um2: TDX_AREA_UM2 * c.area_fraction(),
+            power_fraction: c.power_fraction(),
+            power_mw: TDX_POWER_MW * c.power_fraction(),
+        });
         t.row_owned(vec![
             c.name().to_string(),
             format!("{:.0}%", 100.0 * c.area_fraction()),
@@ -44,4 +64,7 @@ fn main() {
         100.0 * Component::Queues.area_fraction(),
         100.0 * Component::Queues.power_fraction(),
     );
+    if let Some(path) = json_out_from_args() {
+        write_json(&path, &points);
+    }
 }

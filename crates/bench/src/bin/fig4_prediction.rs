@@ -6,14 +6,24 @@
 //! predictor and the workload's branch structure, not of the pipeline
 //! depth.
 
-use tia_bench::{run_uarch_workload, scale_from_args, Table};
+use serde::Serialize;
+use tia_bench::{json_out_from_args, run_uarch_workload, scale_from_args, write_json, Table};
 use tia_core::{Pipeline, UarchConfig};
 use tia_workloads::ALL_WORKLOADS;
+
+#[derive(Serialize)]
+struct PredictionPoint {
+    workload: String,
+    predicate_write_frequency: f64,
+    /// `None` when the workload makes no datapath predicate writes.
+    prediction_accuracy: Option<f64>,
+}
 
 fn main() {
     let scale = scale_from_args();
     let config = UarchConfig::with_pq(Pipeline::T_DX);
     let mut t = Table::new(&["workload", "pred. write freq.", "prediction accuracy"]);
+    let mut points: Vec<PredictionPoint> = Vec::new();
     let mut freq_sum = 0.0;
     let mut acc_sum = 0.0;
     let mut acc_count = 0usize;
@@ -22,6 +32,11 @@ fn main() {
         let c = run.counters;
         let freq = c.predicate_write_frequency();
         let acc = c.prediction_accuracy();
+        points.push(PredictionPoint {
+            workload: kind.name().to_string(),
+            predicate_write_frequency: freq,
+            prediction_accuracy: if acc.is_nan() { None } else { Some(acc) },
+        });
         freq_sum += freq;
         let acc_text = if acc.is_nan() {
             "- (no predicate writes)".to_string()
@@ -47,4 +62,7 @@ fn main() {
     println!(" filter and merge are the ~50% worst case; gcd, stream and mean are");
     println!(" near-perfect; dot_product makes no datapath predicate writes.)\n");
     print!("{}", t.render());
+    if let Some(path) = json_out_from_args() {
+        write_json(&path, &points);
+    }
 }

@@ -3,9 +3,17 @@
 //! prediction (+P) and effective queue status (+Q) optimizations
 //! selectively enabled, averaged over the ten workloads.
 
-use tia_bench::{run_uarch_workload, scale_from_args, Table};
+use serde::Serialize;
+use tia_bench::{json_out_from_args, run_uarch_workload, scale_from_args, write_json, Table};
 use tia_core::{CpiStack, Pipeline, UarchConfig};
 use tia_workloads::ALL_WORKLOADS;
+
+#[derive(Serialize)]
+struct StackPoint {
+    microarchitecture: String,
+    cpi: f64,
+    stack: CpiStack,
+}
 
 fn average_stack(config: UarchConfig, scale: tia_workloads::Scale) -> CpiStack {
     let stacks: Vec<CpiStack> = ALL_WORKLOADS
@@ -27,6 +35,7 @@ fn main() {
         "forbidden",
         "no trig.",
     ]);
+    let mut points: Vec<StackPoint> = Vec::new();
     println!("Figure 5: CPI stacks (average over the ten workloads).\n");
     for pipeline in Pipeline::ALL {
         let variants: &[UarchConfig] = if pipeline == Pipeline::TDX {
@@ -40,6 +49,11 @@ fn main() {
         };
         for config in variants {
             let s = average_stack(*config, scale);
+            points.push(StackPoint {
+                microarchitecture: config.to_string(),
+                cpi: s.total(),
+                stack: s,
+            });
             t.row_owned(vec![
                 config.to_string(),
                 format!("{:.3}", s.total()),
@@ -54,6 +68,9 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
+    if let Some(path) = json_out_from_args() {
+        write_json(&path, &points);
+    }
 
     // The paper's headline: the two optimizations together reduce the
     // 4-stage pipeline's CPI by 35%.

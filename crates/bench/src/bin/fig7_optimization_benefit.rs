@@ -4,9 +4,41 @@
 //! the origin (§5.4: "the addition of both ... improves the frontier
 //! by 20-25% in both energy and delay").
 
-use tia_bench::{scale_from_args, suite_activity_source, Table};
+use serde::Serialize;
+use tia_bench::{json_out_from_args, scale_from_args, suite_activity_source, write_json, Table};
 use tia_energy::dse::{explore, CachedCpi, DesignPoint};
 use tia_energy::pareto::{frontier_energy_improvement, pareto_frontier};
+
+#[derive(Serialize)]
+struct FrontierPoint {
+    design: String,
+    vt: String,
+    vdd: f64,
+    freq_mhz: f64,
+    ns_per_inst: f64,
+    pj_per_inst: f64,
+}
+
+#[derive(Serialize)]
+struct Frontier {
+    features: String,
+    energy_improvement: f64,
+    points: Vec<FrontierPoint>,
+}
+
+fn frontier_points(frontier: &[DesignPoint]) -> Vec<FrontierPoint> {
+    frontier
+        .iter()
+        .map(|p| FrontierPoint {
+            design: p.config.pipeline.to_string(),
+            vt: p.vt.to_string(),
+            vdd: p.vdd,
+            freq_mhz: p.freq_mhz,
+            ns_per_inst: p.ns_per_inst,
+            pj_per_inst: p.pj_per_inst,
+        })
+        .collect()
+}
 
 fn main() {
     let scale = scale_from_args();
@@ -80,4 +112,21 @@ fn main() {
     }
     println!("(paper: the optimizations improve the balanced frontier by 20-25% in both");
     println!(" energy and delay, with +Q alone optimal at the high-performance extreme)");
+
+    if let Some(path) = json_out_from_args() {
+        let frontiers: Vec<Frontier> = [
+            ("None", &none),
+            ("+P", &p_only),
+            ("+Q", &q_only),
+            ("+P+Q", &pq),
+        ]
+        .into_iter()
+        .map(|(name, frontier)| Frontier {
+            features: name.to_string(),
+            energy_improvement: frontier_energy_improvement(&none, frontier),
+            points: frontier_points(frontier),
+        })
+        .collect();
+        write_json(&path, &frontiers);
+    }
 }

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod jsonout;
 pub mod measure;
 pub mod table;
 
+pub use jsonout::{json_out_from_args, write_json};
 pub use measure::{
     bst_activity_source, run_uarch_workload, scale_from_args, suite_activity_source, MeasuredRun,
 };

@@ -1,0 +1,134 @@
+//! Golden-file test for the tracing pipeline on a real workload: a
+//! short gcd run on the 4-stage +P+Q microarchitecture must produce a
+//! Chrome trace that parses back with `serde_json` and carries issue
+//! slices, stall slices, and per-PE track metadata — and running the
+//! same workload untraced (`NullTracer`, the default) must leave every
+//! performance counter bit-identical.
+
+use std::sync::OnceLock;
+
+use serde::Value;
+use tia_core::{Pipeline, UarchConfig, UarchCounters, UarchPe};
+use tia_isa::Params;
+use tia_trace::{chrome, EventKind, NullTracer, RingTracer, TraceEvent};
+use tia_workloads::{Scale, WorkloadKind};
+
+type TracedRun = (Vec<TraceEvent>, Vec<(u16, String)>, UarchCounters);
+
+/// The traced gcd run, executed once and shared by both tests (a
+/// debug-build µarch run is slow enough to be worth caching).
+fn traced_gcd() -> &'static TracedRun {
+    static RUN: OnceLock<TracedRun> = OnceLock::new();
+    RUN.get_or_init(run_traced_gcd)
+}
+
+fn run_traced_gcd() -> TracedRun {
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_D_X1_X2);
+    let mut factory = |p: &Params, prog| {
+        UarchPe::with_tracer(p, config, prog, RingTracer::with_default_capacity())
+    };
+    let mut built = WorkloadKind::Gcd
+        .build(&params, Scale::Test, &mut factory)
+        .expect("gcd builds");
+    for i in 0..built.system.num_pes() {
+        built.system.pe_mut(i).set_pe_id(i as u16);
+    }
+    built.run_to_completion().expect("gcd runs");
+    built.verify().expect("gcd result verifies");
+
+    let counters = *built.system.pe(built.worker).counters();
+    let labels: Vec<(u16, String)> = (0..built.system.num_pes())
+        .map(|i| (i as u16, format!("pe{i}")))
+        .collect();
+    let tracers: Vec<RingTracer> = (0..built.system.num_pes())
+        .map(|i| built.system.pe(i).tracer().clone())
+        .collect();
+    (RingTracer::merge(tracers), labels, counters)
+}
+
+#[test]
+fn gcd_chrome_trace_round_trips_with_issue_stall_and_track_metadata() {
+    let (events, labels, _) = traced_gcd();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Issue { .. })),
+        "gcd run records at least one issue"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Stall { .. })),
+        "gcd run records at least one stall"
+    );
+
+    let json = chrome::export(events, labels);
+    let doc: Value = serde_json::from_str(&json).expect("chrome trace is valid JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+
+    // One process_name metadata record per PE in the fabric.
+    let process_names = trace_events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("name").and_then(Value::as_str) == Some("process_name")
+        })
+        .count();
+    assert_eq!(process_names, labels.len());
+
+    // Issue slices survive the round trip as "X" events with args.
+    let issue_slices: Vec<&Value> = trace_events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("X")
+                && e.get("name")
+                    .and_then(Value::as_str)
+                    .is_some_and(|n| n.starts_with("issue "))
+        })
+        .collect();
+    assert!(!issue_slices.is_empty(), "issue slices in the trace");
+    assert!(issue_slices.iter().all(|e| {
+        e.get("args")
+            .and_then(|a| a.get("slot"))
+            .and_then(Value::as_u64)
+            .is_some()
+    }));
+
+    // Stall slices survive too (any of the four stall class names).
+    assert!(
+        trace_events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("X")
+                && e.get("name").and_then(Value::as_str).is_some_and(|n| {
+                    matches!(
+                        n,
+                        "pred_hazard" | "data_hazard" | "forbidden" | "not_triggered"
+                    )
+                })
+        }),
+        "stall slices in the trace"
+    );
+}
+
+#[test]
+fn null_tracer_counters_match_traced_run_bit_for_bit() {
+    let (_, _, traced_counters) = traced_gcd().clone();
+
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_D_X1_X2);
+    let mut factory =
+        |p: &Params, prog| UarchPe::with_tracer(p, config, prog, NullTracer);
+    let mut built = WorkloadKind::Gcd
+        .build(&params, Scale::Test, &mut factory)
+        .expect("gcd builds");
+    built.run_to_completion().expect("gcd runs");
+
+    assert_eq!(
+        *built.system.pe(built.worker).counters(),
+        traced_counters,
+        "tracing must not perturb any performance counter"
+    );
+}

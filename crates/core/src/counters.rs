@@ -8,6 +8,9 @@
 
 use std::ops::{Add, AddAssign};
 
+use serde::Serialize;
+use tia_trace::MetricsRegistry;
+
 /// Why the scheduler failed to issue this cycle (or that it issued).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CycleClass {
@@ -29,7 +32,7 @@ pub enum CycleClass {
 }
 
 /// Accumulated event counts for a cycle-level PE.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct UarchCounters {
     /// Cycles stepped while not halted.
     pub cycles: u64,
@@ -95,6 +98,25 @@ impl UarchCounters {
         }
     }
 
+    /// Registers every counter field under its own name in a
+    /// [`MetricsRegistry`], for uniform machine-readable dumps.
+    pub fn register_into(&self, metrics: &mut MetricsRegistry) {
+        metrics.set_counter("cycles", self.cycles);
+        metrics.set_counter("retired", self.retired);
+        metrics.set_counter("quashed", self.quashed);
+        metrics.set_counter("pred_hazard_cycles", self.pred_hazard_cycles);
+        metrics.set_counter("data_hazard_cycles", self.data_hazard_cycles);
+        metrics.set_counter("forbidden_cycles", self.forbidden_cycles);
+        metrics.set_counter("not_triggered_cycles", self.not_triggered_cycles);
+        metrics.set_counter("predicate_writes", self.predicate_writes);
+        metrics.set_counter("predictions", self.predictions);
+        metrics.set_counter("correct_predictions", self.correct_predictions);
+        metrics.set_counter("dequeues", self.dequeues);
+        metrics.set_counter("enqueues", self.enqueues);
+        metrics.set_counter("multiplies", self.multiplies);
+        metrics.set_counter("scratchpad_accesses", self.scratchpad_accesses);
+    }
+
     /// The Figure 5 CPI stack.
     pub fn cpi_stack(&self) -> CpiStack {
         let r = self.retired.max(1) as f64;
@@ -140,7 +162,7 @@ impl AddAssign for UarchCounters {
 /// A Figure 5 CPI stack: per-retired-instruction cycle attribution.
 /// The sum of all components equals the measured CPI (up to the
 /// one-issue-per-cycle accounting identity).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct CpiStack {
     /// The ideal single issue per retired instruction (always 1.0).
     pub retired: f64,

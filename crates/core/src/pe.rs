@@ -32,6 +32,7 @@ use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredId, PredState, Program, SrcOperand,
     Word, NUM_SRCS,
 };
+use tia_trace::{EventKind, NullTracer, QueueDir, StallClass, Tracer};
 
 use crate::config::UarchConfig;
 use crate::counters::{CycleClass, UarchCounters};
@@ -80,6 +81,12 @@ enum SlotStatus {
 /// A cycle-level triggered PE running one of the 32 microarchitecture
 /// variants.
 ///
+/// The type parameter selects the tracing backend. The default
+/// [`NullTracer`] compiles every emission site to a no-op, so untraced
+/// simulation pays nothing; construct with
+/// [`UarchPe::with_tracer`] and e.g. [`tia_trace::RingTracer`] to
+/// capture cycle-level [`tia_trace::TraceEvent`]s.
+///
 /// # Examples
 ///
 /// The single-cycle `TDX` configuration matches the functional model
@@ -106,7 +113,7 @@ enum SlotStatus {
 /// # Ok::<(), tia_isa::IsaError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct UarchPe {
+pub struct UarchPe<T: Tracer = NullTracer> {
     params: Params,
     config: UarchConfig,
     program: Program,
@@ -123,16 +130,36 @@ pub struct UarchPe {
     counters: UarchCounters,
     now: u64,
     trace: Option<Vec<u16>>,
+    pe_id: u16,
+    tracer: T,
 }
 
 impl UarchPe {
-    /// Creates a PE with the given microarchitecture and program.
+    /// Creates an untraced PE with the given microarchitecture and
+    /// program.
     ///
     /// # Errors
     ///
     /// Returns an [`IsaError`] when `params` or `program` fail
     /// validation.
     pub fn new(params: &Params, config: UarchConfig, program: Program) -> Result<Self, IsaError> {
+        Self::with_tracer(params, config, program, NullTracer)
+    }
+}
+
+impl<T: Tracer> UarchPe<T> {
+    /// Creates a PE recording cycle-level events into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when `params` or `program` fail
+    /// validation.
+    pub fn with_tracer(
+        params: &Params,
+        config: UarchConfig,
+        program: Program,
+        tracer: T,
+    ) -> Result<Self, IsaError> {
         params.validate()?;
         program.validate(params)?;
         Ok(UarchPe {
@@ -163,10 +190,28 @@ impl UarchPe {
             counters: UarchCounters::new(),
             now: 0,
             trace: None,
+            pe_id: 0,
+            tracer,
             params: params.clone(),
             config,
             program,
         })
+    }
+
+    /// Sets the PE id stamped on every emitted trace event (defaults
+    /// to 0; assign distinct ids when tracing a multi-PE system).
+    pub fn set_pe_id(&mut self, pe_id: u16) {
+        self.pe_id = pe_id;
+    }
+
+    /// The tracing backend.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the PE, returning the tracer and its recorded events.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// The microarchitecture configuration.
@@ -260,6 +305,37 @@ impl UarchPe {
             CycleClass::DataHazard => self.counters.data_hazard_cycles += 1,
             CycleClass::NotTriggered => self.counters.not_triggered_cycles += 1,
         }
+        if T::ENABLED {
+            let stall = match class {
+                CycleClass::Issued => None,
+                CycleClass::PredicateHazard => Some(StallClass::PredicateHazard),
+                CycleClass::Forbidden => Some(StallClass::Forbidden),
+                CycleClass::DataHazard => Some(StallClass::DataHazard),
+                CycleClass::NotTriggered => Some(StallClass::NotTriggered),
+            };
+            if let Some(class) = stall {
+                self.tracer
+                    .emit(self.pe_id, self.now, EventKind::Stall { class });
+            }
+        }
+        // Cycle-attribution identity (paper §3.3): every elapsed cycle
+        // is either an issue slot (now retired, quashed, or still in
+        // flight) or exactly one classified stall.
+        #[cfg(debug_assertions)]
+        {
+            let c = &self.counters;
+            debug_assert_eq!(
+                c.cycles,
+                c.retired
+                    + c.quashed
+                    + self.in_flight.len() as u64
+                    + c.pred_hazard_cycles
+                    + c.data_hazard_cycles
+                    + c.forbidden_cycles
+                    + c.not_triggered_cycles,
+                "cycle attribution leak"
+            );
+        }
     }
 
     /// Commits the instruction (if any) completing its final execute
@@ -329,6 +405,17 @@ impl UarchPe {
                     self.outputs[q.index()].push(Token::new(instruction.out_tag, result & mask));
                 debug_assert!(accepted, "queue accounting guarantees space");
                 self.counters.enqueues += 1;
+                if T::ENABLED {
+                    self.tracer.emit(
+                        self.pe_id,
+                        self.now,
+                        EventKind::QueueOp {
+                            queue: q.index() as u16,
+                            dir: QueueDir::Enqueue,
+                            occupancy: self.outputs[q.index()].occupancy() as u16,
+                        },
+                    );
+                }
             }
             DstOperand::Pred(p) => {
                 let value = result & 1 == 1;
@@ -344,6 +431,16 @@ impl UarchPe {
                     debug_assert_eq!(spec.bit, p, "writers resolve in order");
                     self.counters.predictions += 1;
                     self.predictor.train(p, value);
+                    if T::ENABLED {
+                        self.tracer.emit(
+                            self.pe_id,
+                            self.now,
+                            EventKind::PredictorOutcome {
+                                slot: flight.slot as u16,
+                                correct: value == spec.predicted,
+                            },
+                        );
+                    }
                     if value == spec.predicted {
                         // Confirmed: the speculative state is the
                         // truth; everything issued under it moves one
@@ -367,6 +464,22 @@ impl UarchPe {
                         self.spec_stack.clear();
                         self.counters.quashed += quashed as u64;
                         self.halt_pending = false;
+                        if T::ENABLED {
+                            self.tracer.emit(
+                                self.pe_id,
+                                self.now,
+                                EventKind::Quash {
+                                    count: quashed as u16,
+                                },
+                            );
+                            self.tracer.emit(
+                                self.pe_id,
+                                self.now,
+                                EventKind::Flush {
+                                    depth: quashed as u16,
+                                },
+                            );
+                        }
                     }
                 } else {
                     self.preds.set(p, value);
@@ -374,6 +487,15 @@ impl UarchPe {
             }
         }
         self.counters.retired += 1;
+        if T::ENABLED {
+            self.tracer.emit(
+                self.pe_id,
+                self.now,
+                EventKind::Retire {
+                    slot: flight.slot as u16,
+                },
+            );
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(flight.slot as u16);
         }
@@ -444,6 +566,17 @@ impl UarchPe {
             }
             self.in_flight[idx].spec_resolved_early = true;
             self.spec_stack.remove(0);
+            if T::ENABLED {
+                let slot = self.in_flight[idx].slot as u16;
+                self.tracer.emit(
+                    self.pe_id,
+                    self.now,
+                    EventKind::PredictorOutcome {
+                        slot,
+                        correct: true,
+                    },
+                );
+            }
         }
     }
 
@@ -488,6 +621,17 @@ impl UarchPe {
             let popped = self.inputs[q.index()].pop();
             debug_assert!(popped.is_some());
             self.counters.dequeues += 1;
+            if T::ENABLED {
+                self.tracer.emit(
+                    self.pe_id,
+                    self.now,
+                    EventKind::QueueOp {
+                        queue: q.index() as u16,
+                        dir: QueueDir::Dequeue,
+                        occupancy: self.inputs[q.index()].occupancy() as u16,
+                    },
+                );
+            }
         }
         self.in_flight[idx].queue_operands = captured;
         self.in_flight[idx].d_done = true;
@@ -740,6 +884,16 @@ impl UarchPe {
     fn issue(&mut self, slot: usize) {
         let instruction = self.instruction(slot).clone();
         let spec_level = self.spec_stack.len();
+        if T::ENABLED {
+            self.tracer.emit(
+                self.pe_id,
+                self.now,
+                EventKind::Issue {
+                    slot: slot as u16,
+                    depth: (spec_level + 1) as u16,
+                },
+            );
+        }
 
         // The trigger-encoded predicate update applies atomically with
         // issue (the "PC + 4" analog, §2.2). Under speculation it
@@ -788,7 +942,7 @@ impl UarchPe {
     }
 }
 
-impl ProcessingElement for UarchPe {
+impl<T: Tracer> ProcessingElement for UarchPe<T> {
     fn step(&mut self) {
         self.step_cycle();
     }
@@ -899,6 +1053,61 @@ mod tests {
         assert_eq!(p.input_queue(0).occupancy(), 0);
         assert_eq!(p.output_queue(0).occupancy(), 0);
         assert!(p.trace().is_empty());
+    }
+
+    #[test]
+    fn ring_tracer_captures_the_cycle_level_event_stream() {
+        use tia_trace::RingTracer;
+        let params = Params::default();
+        let source = "\
+            when %p == XXXXXXX0: add %r0, %r0, 7; set %p = ZZZZZZZ1;
+            when %p == XXXXXXX1: halt;";
+        let program = assemble(source, &params).expect("assembles");
+        let mut traced = UarchPe::with_tracer(
+            &params,
+            UarchConfig::base(Pipeline::T_D_X),
+            program.clone(),
+            RingTracer::new(1 << 10),
+        )
+        .expect("valid program");
+        traced.set_pe_id(7);
+        while !traced.halted() {
+            traced.step_cycle();
+        }
+
+        let events: Vec<_> = traced.tracer().events().copied().collect();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.pe == 7), "pe id stamps every event");
+        let issues = events.iter().filter(|e| e.is_issue()).count() as u64;
+        let retires = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Retire { .. }))
+            .count() as u64;
+        assert_eq!(issues, traced.counters().retired);
+        assert_eq!(retires, traced.counters().retired);
+        // On the 3-deep T|D|X pipeline the second instruction waits for
+        // the first predicate write: stall events must appear and agree
+        // with the counters.
+        let stalls = events.iter().filter(|e| e.is_stall()).count() as u64;
+        let c = traced.counters();
+        assert_eq!(
+            stalls,
+            c.pred_hazard_cycles
+                + c.data_hazard_cycles
+                + c.forbidden_cycles
+                + c.not_triggered_cycles
+        );
+
+        // The same program untraced reaches the bit-identical
+        // architectural state and counter values.
+        let mut plain = UarchPe::new(&params, UarchConfig::base(Pipeline::T_D_X), program)
+            .expect("valid program");
+        while !plain.halted() {
+            plain.step_cycle();
+        }
+        assert_eq!(plain.counters(), traced.counters());
+        assert_eq!(plain.reg(0), traced.reg(0));
+        let _ = traced.into_tracer();
     }
 
     #[test]

@@ -58,6 +58,6 @@ pub use memory::{
     addr_token, Memory, ReadPort, SequentialWritePort, WritePort, DEFAULT_LOAD_LATENCY,
 };
 pub use mesh::{Coord, Direction, Mesh, MeshBuilder};
-pub use queue::{TaggedQueue, Token};
+pub use queue::{QueueStats, TaggedQueue, Token};
 pub use stream::{StreamSink, StreamSource};
 pub use system::{InputRef, Link, OutputRef, ProcessingElement, StopReason, System};

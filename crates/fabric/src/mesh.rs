@@ -258,6 +258,19 @@ impl Mesh {
     pub fn num_links(&self) -> usize {
         self.rows * (self.cols - 1) + (self.rows - 1) * self.cols
     }
+
+    /// `(pe index, "rR,cC")` labels for every grid cell, for naming
+    /// per-PE tracks in trace exports.
+    pub fn pe_labels(&self) -> Vec<(u16, String)> {
+        let mut labels = Vec::with_capacity(self.indices.len());
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let index = self.indices[self.flat(Coord { row, col })];
+                labels.push((index as u16, format!("r{row},c{col}")));
+            }
+        }
+        labels
+    }
 }
 
 #[cfg(test)]

@@ -62,11 +62,37 @@ impl fmt::Display for Token {
 /// assert_eq!(q.peek_at(1).unwrap().data, 8); // the "neck"
 /// assert_eq!(q.pop().unwrap().data, 7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct TaggedQueue {
     tokens: VecDeque<Token>,
     capacity: usize,
+    stats: QueueStats,
 }
+
+/// Lifetime traffic statistics for one queue. Cheap enough to keep
+/// always-on; the trace/metrics layer reads them at end of run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Tokens accepted by [`TaggedQueue::push`].
+    pub pushes: u64,
+    /// Tokens removed by [`TaggedQueue::pop`].
+    pub pops: u64,
+    /// Pushes rejected because the queue was full.
+    pub rejected: u64,
+    /// Highest occupancy ever reached.
+    pub high_water: usize,
+}
+
+/// Equality compares contents and capacity only — two queues that
+/// arrived at the same state through different traffic histories are
+/// equal, which is what the architectural-equivalence tests compare.
+impl PartialEq for TaggedQueue {
+    fn eq(&self, other: &Self) -> bool {
+        self.tokens == other.tokens && self.capacity == other.capacity
+    }
+}
+
+impl Eq for TaggedQueue {}
 
 impl TaggedQueue {
     /// Creates an empty queue with the given capacity.
@@ -80,7 +106,13 @@ impl TaggedQueue {
         TaggedQueue {
             tokens: VecDeque::with_capacity(capacity),
             capacity,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Lifetime traffic statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// The configured capacity.
@@ -118,16 +150,23 @@ impl TaggedQueue {
     #[must_use = "a rejected push means the queue was full"]
     pub fn push(&mut self, token: Token) -> bool {
         if self.is_full() {
+            self.stats.rejected += 1;
             false
         } else {
             self.tokens.push_back(token);
+            self.stats.pushes += 1;
+            self.stats.high_water = self.stats.high_water.max(self.tokens.len());
             true
         }
     }
 
     /// Dequeues the head token.
     pub fn pop(&mut self) -> Option<Token> {
-        self.tokens.pop_front()
+        let token = self.tokens.pop_front();
+        if token.is_some() {
+            self.stats.pops += 1;
+        }
+        token
     }
 
     /// Removes every token.
@@ -196,5 +235,30 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = TaggedQueue::new(0);
+    }
+
+    #[test]
+    fn stats_track_traffic_and_high_water() {
+        let mut q = TaggedQueue::new(2);
+        assert!(q.push(Token::data(1)));
+        assert!(q.push(Token::data(2)));
+        assert!(!q.push(Token::data(3)));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+        let stats = q.stats();
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.pops, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.high_water, 2);
+    }
+
+    #[test]
+    fn equality_ignores_traffic_history() {
+        let mut a = TaggedQueue::new(2);
+        let b = TaggedQueue::new(2);
+        assert!(a.push(Token::data(1)));
+        let _ = a.pop();
+        assert_eq!(a, b, "same contents, different histories");
     }
 }

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use tia_isa::IsaError;
+use tia_trace::{EventKind, QueueDir, RingTracer, TraceEvent, Tracer};
 
 use crate::memory::{Memory, ReadPort, SequentialWritePort, WritePort};
 use crate::queue::TaggedQueue;
@@ -129,6 +130,10 @@ pub struct System<P> {
     sinks: Vec<StreamSink>,
     links: Vec<Link>,
     cycle: u64,
+    /// Fabric-level event tracer: records a `QueueOp` for every token
+    /// moved over a PE channel endpoint. `None` (the default) costs one
+    /// branch per transferred token.
+    tracer: Option<RingTracer>,
 }
 
 impl<P: ProcessingElement> System<P> {
@@ -144,7 +149,25 @@ impl<P: ProcessingElement> System<P> {
             sinks: Vec::new(),
             links: Vec::new(),
             cycle: 0,
+            tracer: None,
         }
+    }
+
+    /// Starts recording fabric channel traffic into a ring tracer with
+    /// the default capacity (see [`tia_trace::RingTracer`]).
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(RingTracer::with_default_capacity());
+    }
+
+    /// Starts recording fabric channel traffic, retaining at most
+    /// `capacity` events.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.tracer = Some(RingTracer::new(capacity));
+    }
+
+    /// Stops tracing and hands back the recorded fabric events.
+    pub fn take_tracer(&mut self) -> Option<RingTracer> {
+        self.tracer.take()
     }
 
     /// Adds a PE, returning its index.
@@ -358,6 +381,33 @@ impl<P: ProcessingElement> System<P> {
                 InputRef::Sink { sink } => self.sinks[sink].input.push(token),
             };
             debug_assert!(accepted, "space was checked before popping");
+            if let Some(tracer) = &mut self.tracer {
+                let cycle = self.cycle;
+                if let OutputRef::Pe { pe, queue } = from {
+                    let occupancy = self.pes[pe].output_queue_mut(queue).occupancy() as u16;
+                    tracer.record(TraceEvent::new(
+                        pe as u16,
+                        cycle,
+                        EventKind::QueueOp {
+                            queue: queue as u16,
+                            dir: QueueDir::Dequeue,
+                            occupancy,
+                        },
+                    ));
+                }
+                if let InputRef::Pe { pe, queue } = to {
+                    let occupancy = self.pes[pe].input_queue_mut(queue).occupancy() as u16;
+                    tracer.record(TraceEvent::new(
+                        pe as u16,
+                        cycle,
+                        EventKind::QueueOp {
+                            queue: queue as u16,
+                            dir: QueueDir::Enqueue,
+                            occupancy,
+                        },
+                    ));
+                }
+            }
         }
     }
 
@@ -506,6 +556,32 @@ mod tests {
         assert_eq!(sys.cycle(), 50);
         // Exactly capacity(out)=2 copies happened, then backpressure.
         assert_eq!(sys.pe(0).copied, 2);
+    }
+
+    #[test]
+    fn fabric_tracing_records_pe_channel_traffic() {
+        let mut sys = chain(4);
+        sys.enable_tracing();
+        sys.run(1_000);
+        let tracer = sys.take_tracer().expect("tracing was enabled");
+        let events: Vec<_> = tracer.events().copied().collect();
+        // Source→PE transfers are enqueues into PE 0's input; PE→sink
+        // transfers are dequeues from PE 0's output.
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            tia_trace::EventKind::QueueOp {
+                dir: tia_trace::QueueDir::Enqueue,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            tia_trace::EventKind::QueueOp {
+                dir: tia_trace::QueueDir::Dequeue,
+                ..
+            }
+        )));
+        assert!(sys.take_tracer().is_none(), "taking the tracer stops it");
     }
 
     #[test]

@@ -4,15 +4,27 @@
 //!
 //! ```text
 //! tia-funcsim [--params params.json] [--hex] [--max-cycles N]
-//!             [--in Q:v1,v2,...] ... <program>
+//!             [--in Q:v1,v2,...] [--stream Q:v1,v2,...@P]
+//!             [--trace-out FILE] [--trace-format chrome|jsonl]
+//!             [--metrics-out FILE] [--cpi-window N] <program>
 //! ```
 //!
 //! `<program>` is assembly (default) or, with `--hex`, the padded
 //! 128-bit instruction images `tia-as` emits. Each `--in Q:...` option
 //! preloads input queue `Q` with a comma-separated token list; a token
-//! is `value` (tag 0) or `tag:value`. On exit the simulator prints the
-//! register file, predicate state, output-queue contents, and the
-//! performance counters.
+//! is `value` (tag 0) or `tag:value`. `--stream Q:...@P` instead
+//! delivers one token to queue `Q` every `P` cycles, modelling a
+//! rate-limited producer (and so exercising genuine stall cycles).
+//! On exit the simulator prints the register file, predicate state,
+//! output-queue contents, and the performance counters.
+//!
+//! Observability: `--trace-out` writes the cycle-level event stream as
+//! a Chrome/Perfetto `trace_event` JSON document (load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) or, with
+//! `--trace-format jsonl`, as one JSON event per line. `--metrics-out`
+//! writes a JSON registry of every counter plus event-derived
+//! histograms (queue occupancy, stall run lengths); `--cpi-window N`
+//! adds a windowed CPI-stack timeline to that document.
 
 use std::fs;
 use std::process::ExitCode;
@@ -20,6 +32,13 @@ use std::process::ExitCode;
 use tia_fabric::{ProcessingElement, Token};
 use tia_isa::{Params, Program, Tag};
 use tia_sim::FuncPe;
+use tia_trace::{chrome, jsonl, CpiTimeline, MetricsRegistry, NullTracer, RingTracer, Tracer};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+}
 
 #[derive(Debug)]
 struct Options {
@@ -28,6 +47,11 @@ struct Options {
     hex: bool,
     max_cycles: u64,
     inputs: Vec<(usize, Vec<Token>)>,
+    streams: Vec<(usize, Vec<Token>, u64)>,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
+    metrics_out: Option<String>,
+    cpi_window: Option<u64>,
 }
 
 fn parse_token(text: &str, params: &Params) -> Result<Token, String> {
@@ -60,6 +84,11 @@ fn parse_args() -> Result<Options, String> {
     let mut hex = false;
     let mut max_cycles = 1_000_000u64;
     let mut raw_inputs: Vec<String> = Vec::new();
+    let mut raw_streams: Vec<String> = Vec::new();
+    let mut trace_out = None;
+    let mut trace_format = TraceFormat::Chrome;
+    let mut metrics_out = None;
+    let mut cpi_window = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--params" => {
@@ -79,9 +108,36 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad cycle count: {e}"))?;
             }
             "--in" => raw_inputs.push(args.next().ok_or("--in needs Q:v1,v2,...")?),
+            "--stream" => raw_streams.push(args.next().ok_or("--stream needs Q:v1,v2,...@P")?),
+            "--trace-out" => trace_out = Some(args.next().ok_or("--trace-out needs a file")?),
+            "--trace-format" => {
+                let format = args.next().ok_or("--trace-format needs chrome|jsonl")?;
+                trace_format = match format.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "jsonl" => TraceFormat::Jsonl,
+                    other => return Err(format!("unknown trace format `{other}`")),
+                };
+            }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().ok_or("--metrics-out needs a file")?)
+            }
+            "--cpi-window" => {
+                let window: u64 = args
+                    .next()
+                    .ok_or("--cpi-window needs a cycle count")?
+                    .parse()
+                    .map_err(|e| format!("bad window size: {e}"))?;
+                if window == 0 {
+                    return Err("--cpi-window must be positive".to_string());
+                }
+                cpi_window = Some(window);
+            }
             "--help" | "-h" => {
                 return Err("usage: tia-funcsim [--params params.json] [--hex] \
-                            [--max-cycles N] [--in Q:v1,v2,...] <program>"
+                            [--max-cycles N] [--in Q:v1,v2,...] \
+                            [--stream Q:v1,v2,...@P] [--trace-out FILE] \
+                            [--trace-format chrome|jsonl] [--metrics-out FILE] \
+                            [--cpi-window N] <program>"
                     .to_string())
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -92,11 +148,10 @@ fn parse_args() -> Result<Options, String> {
             }
         }
     }
-    let mut inputs = Vec::new();
-    for raw in raw_inputs {
+    let parse_queue_tokens = |raw: &str, flag: &str| -> Result<(usize, Vec<Token>), String> {
         let (queue_text, tokens_text) = raw
             .split_once(':')
-            .ok_or_else(|| format!("--in wants Q:v1,v2,... got `{raw}`"))?;
+            .ok_or_else(|| format!("{flag} wants Q:v1,v2,... got `{raw}`"))?;
         let queue: usize = queue_text
             .parse()
             .map_err(|e| format!("bad queue index `{queue_text}`: {e}"))?;
@@ -108,7 +163,28 @@ fn parse_args() -> Result<Options, String> {
             .filter(|t| !t.is_empty())
             .map(|t| parse_token(t, &params))
             .collect::<Result<Vec<Token>, String>>()?;
-        inputs.push((queue, tokens));
+        Ok((queue, tokens))
+    };
+    let mut inputs = Vec::new();
+    for raw in raw_inputs {
+        inputs.push(parse_queue_tokens(&raw, "--in")?);
+    }
+    let mut streams = Vec::new();
+    for raw in raw_streams {
+        let (spec, period_text) = raw
+            .rsplit_once('@')
+            .ok_or_else(|| format!("--stream wants Q:v1,v2,...@P got `{raw}`"))?;
+        let period: u64 = period_text
+            .parse()
+            .map_err(|e| format!("bad stream period `{period_text}`: {e}"))?;
+        if period == 0 {
+            return Err("stream period must be positive".to_string());
+        }
+        let (queue, tokens) = parse_queue_tokens(spec, "--stream")?;
+        streams.push((queue, tokens, period));
+    }
+    if cpi_window.is_some() && metrics_out.is_none() {
+        return Err("--cpi-window requires --metrics-out".to_string());
     }
     Ok(Options {
         params,
@@ -116,6 +192,11 @@ fn parse_args() -> Result<Options, String> {
         hex,
         max_cycles,
         inputs,
+        streams,
+        trace_out,
+        trace_format,
+        metrics_out,
+        cpi_window,
     })
 }
 
@@ -140,10 +221,15 @@ fn load_program(opts: &Options) -> Result<Program, String> {
     }
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args()?;
-    let program = load_program(&opts)?;
-    let mut pe = FuncPe::new(&opts.params, program).map_err(|e| e.to_string())?;
+/// Runs the program to halt or the cycle limit, draining output queues
+/// and feeding `--stream` producers. Monomorphizes per tracer, so the
+/// untraced path carries no tracing code at all.
+fn simulate<T: Tracer>(
+    opts: &Options,
+    program: Program,
+    tracer: T,
+) -> Result<(FuncPe<T>, Vec<Vec<Token>>), String> {
+    let mut pe = FuncPe::with_tracer(&opts.params, program, tracer).map_err(|e| e.to_string())?;
     for (queue, tokens) in &opts.inputs {
         for token in tokens {
             if !pe.input_queue_mut(*queue).push(*token) {
@@ -155,10 +241,24 @@ fn run() -> Result<(), String> {
         }
     }
 
+    let mut streams: Vec<(usize, std::vec::IntoIter<Token>, u64)> = opts
+        .streams
+        .iter()
+        .map(|(q, tokens, period)| (*q, tokens.clone().into_iter(), *period))
+        .collect();
     let mut outputs: Vec<Vec<Token>> = vec![Vec::new(); opts.params.num_output_queues];
-    for _ in 0..opts.max_cycles {
+    for cycle in 0..opts.max_cycles {
         if pe.halted() {
             break;
+        }
+        for (queue, tokens, period) in &mut streams {
+            if cycle % *period == 0 {
+                if let Some(&token) = tokens.as_slice().first() {
+                    if pe.input_queue_mut(*queue).push(token) {
+                        let _ = tokens.next();
+                    }
+                }
+            }
         }
         pe.step_cycle();
         for (q, sink) in outputs.iter_mut().enumerate() {
@@ -167,7 +267,10 @@ fn run() -> Result<(), String> {
             }
         }
     }
+    Ok((pe, outputs))
+}
 
+fn print_summary<T: Tracer>(opts: &Options, pe: &FuncPe<T>, outputs: &[Vec<Token>]) {
     println!(
         "{} after {} cycles, {} instructions retired (CPI {:.3})",
         if pe.halted() {
@@ -202,6 +305,61 @@ fn run() -> Result<(), String> {
         pe.counters().dequeues,
         pe.counters().enqueues,
     );
+}
+
+/// Writes trace/metrics artifacts from the recorded event stream.
+fn export_observability(opts: &Options, pe: FuncPe<RingTracer>) -> Result<(), String> {
+    let metrics_counters = *pe.counters();
+    let tracer = pe.into_tracer();
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "tia-funcsim: warning: trace ring overflowed, oldest {} events dropped",
+            tracer.dropped()
+        );
+    }
+    let events = tracer.into_events();
+
+    if let Some(path) = &opts.trace_out {
+        let document = match opts.trace_format {
+            TraceFormat::Chrome => chrome::export(&events, &[(0, "funcsim".to_string())]),
+            TraceFormat::Jsonl => jsonl::export(&events),
+        };
+        fs::write(path, document).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    if let Some(path) = &opts.metrics_out {
+        let mut metrics = MetricsRegistry::new();
+        metrics_counters.register_into(&mut metrics);
+        metrics.record_events(&events);
+        let mut doc = serde::Serialize::to_value(&metrics);
+        if let Some(window) = opts.cpi_window {
+            let timeline = CpiTimeline::from_events(&events, window);
+            if let serde::Value::Object(fields) = &mut doc {
+                fields.push((
+                    "cpi_timeline".to_string(),
+                    serde::Serialize::to_value(&timeline),
+                ));
+            }
+        }
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("metrics serialization failed: {e}"))?;
+        fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let program = load_program(&opts)?;
+    let observing = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    if observing {
+        let (pe, outputs) = simulate(&opts, program, RingTracer::with_default_capacity())?;
+        print_summary(&opts, &pe, &outputs);
+        export_observability(&opts, pe)?;
+    } else {
+        let (pe, outputs) = simulate(&opts, program, NullTracer)?;
+        print_summary(&opts, &pe, &outputs);
+    }
     Ok(())
 }
 

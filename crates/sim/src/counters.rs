@@ -6,8 +6,11 @@
 //! predicate writes for Figure 4, queue traffic for the workload
 //! characterization of Table 3).
 
+use serde::Serialize;
+use tia_trace::MetricsRegistry;
+
 /// Event counts accumulated by a functional PE.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct FuncCounters {
     /// Cycles stepped (while not halted).
     pub cycles: u64,
@@ -43,6 +46,19 @@ impl FuncCounters {
         } else {
             self.predicate_writes as f64 / self.retired as f64
         }
+    }
+
+    /// Registers every counter field under its own name in a
+    /// [`MetricsRegistry`], for uniform machine-readable dumps.
+    pub fn register_into(&self, metrics: &mut MetricsRegistry) {
+        metrics.set_counter("cycles", self.cycles);
+        metrics.set_counter("retired", self.retired);
+        metrics.set_counter("idle", self.idle);
+        metrics.set_counter("predicate_writes", self.predicate_writes);
+        metrics.set_counter("dequeues", self.dequeues);
+        metrics.set_counter("enqueues", self.enqueues);
+        metrics.set_counter("scratchpad_accesses", self.scratchpad_accesses);
+        metrics.set_counter("multiplies", self.multiplies);
     }
 
     /// Cycles per retired instruction (≥ 1 for the functional model,

@@ -11,10 +11,17 @@ use tia_fabric::{ProcessingElement, TaggedQueue, Token};
 use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredState, Program, SrcOperand, Word,
 };
+use tia_trace::{EventKind, NullTracer, QueueDir, StallClass, Tracer};
 
 use crate::counters::FuncCounters;
 
 /// A functional triggered PE.
+///
+/// The type parameter selects the tracing backend; the default
+/// [`NullTracer`] compiles every emission site away. Use
+/// [`FuncPe::with_tracer`] with a [`tia_trace::RingTracer`] to record
+/// the per-cycle event stream (issues, retires, idle cycles, queue
+/// operations).
 ///
 /// # Examples
 ///
@@ -40,7 +47,7 @@ use crate::counters::FuncCounters;
 /// # Ok::<(), tia_isa::IsaError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct FuncPe {
+pub struct FuncPe<T: Tracer = NullTracer> {
     params: Params,
     program: Program,
     regs: Vec<Word>,
@@ -51,16 +58,30 @@ pub struct FuncPe {
     halted: bool,
     counters: FuncCounters,
     trace: Option<Vec<u16>>,
+    pe_id: u16,
+    tracer: T,
 }
 
 impl FuncPe {
-    /// Creates a PE with the given program loaded.
+    /// Creates an untraced PE with the given program loaded.
     ///
     /// # Errors
     ///
     /// Returns an [`IsaError`] when `params` or `program` fail
     /// validation.
     pub fn new(params: &Params, program: Program) -> Result<Self, IsaError> {
+        Self::with_tracer(params, program, NullTracer)
+    }
+}
+
+impl<T: Tracer> FuncPe<T> {
+    /// Creates a PE recording cycle-level events into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] when `params` or `program` fail
+    /// validation.
+    pub fn with_tracer(params: &Params, program: Program, tracer: T) -> Result<Self, IsaError> {
         params.validate()?;
         program.validate(params)?;
         Ok(FuncPe {
@@ -76,9 +97,27 @@ impl FuncPe {
             halted: false,
             counters: FuncCounters::new(),
             trace: None,
+            pe_id: 0,
+            tracer,
             params: params.clone(),
             program,
         })
+    }
+
+    /// Sets the PE id stamped on every emitted trace event (defaults
+    /// to 0; assign distinct ids when tracing a multi-PE system).
+    pub fn set_pe_id(&mut self, pe_id: u16) {
+        self.pe_id = pe_id;
+    }
+
+    /// The tracing backend.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the PE, returning the tracer and its recorded events.
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// The parameter assignment this PE was built with.
@@ -235,10 +274,38 @@ impl FuncPe {
         self.counters.cycles += 1;
         let Some(slot) = self.triggered_slot() else {
             self.counters.idle += 1;
+            if T::ENABLED {
+                // The functional model has no pipeline, so every idle
+                // cycle is a trigger-resolution failure.
+                self.tracer.emit(
+                    self.pe_id,
+                    self.counters.cycles,
+                    EventKind::Stall {
+                        class: StallClass::NotTriggered,
+                    },
+                );
+            }
             return None;
         };
+        if T::ENABLED {
+            self.tracer.emit(
+                self.pe_id,
+                self.counters.cycles,
+                EventKind::Issue {
+                    slot: slot as u16,
+                    depth: 1,
+                },
+            );
+        }
         let instruction = self.program.instructions()[slot].clone();
         self.execute(&instruction);
+        if T::ENABLED {
+            self.tracer.emit(
+                self.pe_id,
+                self.counters.cycles,
+                EventKind::Retire { slot: slot as u16 },
+            );
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(slot as u16);
         }
@@ -286,6 +353,17 @@ impl FuncPe {
             let popped = self.inputs[q.index()].pop();
             debug_assert!(popped.is_some(), "eligibility guarantees a token");
             self.counters.dequeues += 1;
+            if T::ENABLED {
+                self.tracer.emit(
+                    self.pe_id,
+                    self.counters.cycles,
+                    EventKind::QueueOp {
+                        queue: q.index() as u16,
+                        dir: QueueDir::Dequeue,
+                        occupancy: self.inputs[q.index()].occupancy() as u16,
+                    },
+                );
+            }
         }
 
         // Destination write.
@@ -296,6 +374,17 @@ impl FuncPe {
                 let accepted = self.outputs[q.index()].push(Token::new(i.out_tag, result));
                 debug_assert!(accepted, "eligibility guarantees space");
                 self.counters.enqueues += 1;
+                if T::ENABLED {
+                    self.tracer.emit(
+                        self.pe_id,
+                        self.counters.cycles,
+                        EventKind::QueueOp {
+                            queue: q.index() as u16,
+                            dir: QueueDir::Enqueue,
+                            occupancy: self.outputs[q.index()].occupancy() as u16,
+                        },
+                    );
+                }
             }
             DstOperand::Pred(p) => {
                 self.preds.set(p, result & 1 == 1);
@@ -320,7 +409,7 @@ impl FuncPe {
     }
 }
 
-impl ProcessingElement for FuncPe {
+impl<T: Tracer> ProcessingElement for FuncPe<T> {
     fn step(&mut self) {
         self.step_cycle();
     }
@@ -477,6 +566,44 @@ mod tests {
         let t = pe.output_queue(2).peek().unwrap();
         assert_eq!(t.tag.value(), 3);
         assert_eq!(t.data, 7);
+    }
+
+    #[test]
+    fn ring_tracer_captures_issues_retires_and_idle_cycles() {
+        use tia_trace::RingTracer;
+        let params = Params::default();
+        let source = "when %p == XXXXXXXX with %i0.0: add %r0, %r0, %i0; deq %i0;";
+        let program = assemble(source, &params).expect("assembles");
+        let mut traced = FuncPe::with_tracer(&params, program.clone(), RingTracer::new(1 << 10))
+            .expect("valid program");
+        traced.set_pe_id(3);
+        // One idle cycle, then one firing, then idle again.
+        assert_eq!(traced.step_cycle(), None);
+        assert!(traced.input_queue_mut(0).push(Token::data(5)));
+        assert_eq!(traced.step_cycle(), Some(0));
+        assert_eq!(traced.step_cycle(), None);
+
+        let events: Vec<_> = traced.tracer().events().copied().collect();
+        assert!(events.iter().all(|e| e.pe == 3));
+        assert_eq!(events.iter().filter(|e| e.is_issue()).count(), 1);
+        assert_eq!(events.iter().filter(|e| e.is_stall()).count(), 2);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::QueueOp {
+                queue: 0,
+                dir: QueueDir::Dequeue,
+                occupancy: 0,
+            }
+        )));
+
+        // The untraced model runs bit-identically.
+        let mut plain = FuncPe::new(&params, program).expect("valid program");
+        assert_eq!(plain.step_cycle(), None);
+        assert!(plain.input_queue_mut(0).push(Token::data(5)));
+        assert_eq!(plain.step_cycle(), Some(0));
+        assert_eq!(plain.step_cycle(), None);
+        assert_eq!(plain.counters(), traced.counters());
+        assert_eq!(plain.reg(0), traced.reg(0));
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Chrome / Perfetto `trace_event` JSON export.
+//!
+//! The output loads directly in `chrome://tracing` or
+//! [ui.perfetto.dev](https://ui.perfetto.dev). Mapping:
+//!
+//! - each PE becomes a *process* (`pid` = PE id) named via metadata;
+//! - each pipeline concern becomes a *thread* (track) inside that
+//!   process: `issue`, `stall`, `speculation`, `predictor`, `queues`;
+//! - issues and stalls are `"X"` complete events (1 cycle = 1 µs of
+//!   trace time), with consecutive same-class stall cycles coalesced
+//!   into one slice whose duration is the run length;
+//! - quashes, flushes, and predictor outcomes are `"i"` instant
+//!   events;
+//! - queue occupancy is a `"C"` counter track, so Perfetto draws the
+//!   fill level over time.
+
+use serde::Value;
+
+use crate::event::{EventKind, QueueDir, TraceEvent};
+
+/// Track (thread) ids within each PE's process.
+const TRACK_ISSUE: u64 = 0;
+const TRACK_STALL: u64 = 1;
+const TRACK_SPECULATION: u64 = 2;
+const TRACK_PREDICTOR: u64 = 3;
+const TRACK_QUEUES: u64 = 4;
+
+/// Builder for one Chrome trace document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Value>,
+}
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn string(s: impl Into<String>) -> Value {
+    Value::String(s.into())
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a PE as a named process with its standard tracks.
+    /// Call once per PE before (or after) adding events.
+    pub fn add_pe(&mut self, pe: u16, label: &str) {
+        self.events.push(metadata_event(
+            "process_name",
+            pe,
+            None,
+            &format!("PE {pe}: {label}"),
+        ));
+        for (tid, name) in [
+            (TRACK_ISSUE, "issue"),
+            (TRACK_STALL, "stall"),
+            (TRACK_SPECULATION, "speculation"),
+            (TRACK_PREDICTOR, "predictor"),
+            (TRACK_QUEUES, "queues"),
+        ] {
+            self.events
+                .push(metadata_event("thread_name", pe, Some(tid), name));
+        }
+    }
+
+    /// Converts a cycle-ordered event stream into trace slices.
+    /// Consecutive same-class stalls on one PE coalesce into a single
+    /// slice.
+    pub fn add_events(&mut self, events: &[TraceEvent]) {
+        // pe -> (stall class name, start cycle, run length)
+        let mut open_stalls: Vec<(u16, (&'static str, u64, u64))> = Vec::new();
+        for event in events {
+            if let EventKind::Stall { class } = event.kind {
+                let name = class.name();
+                match open_stalls.iter_mut().find(|(pe, _)| *pe == event.pe) {
+                    Some((_, (open_name, start, run)))
+                        if *open_name == name && *start + *run == event.cycle =>
+                    {
+                        *run += 1;
+                        continue;
+                    }
+                    Some(entry) => {
+                        let (_, (open_name, start, run)) = *entry;
+                        self.events
+                            .push(complete_event(open_name, entry.0, TRACK_STALL, start, run));
+                        entry.1 = (name, event.cycle, 1);
+                        continue;
+                    }
+                    None => {
+                        open_stalls.push((event.pe, (name, event.cycle, 1)));
+                        continue;
+                    }
+                }
+            }
+            // A non-stall event closes any open stall run for its PE.
+            if let Some(idx) = open_stalls.iter().position(|(pe, _)| *pe == event.pe) {
+                let (pe, (name, start, run)) = open_stalls.swap_remove(idx);
+                self.events
+                    .push(complete_event(name, pe, TRACK_STALL, start, run));
+            }
+            match event.kind {
+                EventKind::Issue { slot, depth } => {
+                    let mut e = complete_event(
+                        &format!("issue i{slot}"),
+                        event.pe,
+                        TRACK_ISSUE,
+                        event.cycle,
+                        1,
+                    );
+                    push_args(
+                        &mut e,
+                        vec![
+                            ("slot", Value::UInt(u64::from(slot))),
+                            ("depth", Value::UInt(u64::from(depth))),
+                        ],
+                    );
+                    self.events.push(e);
+                }
+                EventKind::Retire { slot } => {
+                    self.events.push(instant_event(
+                        &format!("retire i{slot}"),
+                        event.pe,
+                        TRACK_ISSUE,
+                        event.cycle,
+                    ));
+                }
+                EventKind::Quash { count } => {
+                    let mut e =
+                        instant_event("quash", event.pe, TRACK_SPECULATION, event.cycle);
+                    push_args(&mut e, vec![("count", Value::UInt(u64::from(count)))]);
+                    self.events.push(e);
+                }
+                EventKind::Flush { depth } => {
+                    let mut e =
+                        instant_event("flush", event.pe, TRACK_SPECULATION, event.cycle);
+                    push_args(&mut e, vec![("depth", Value::UInt(u64::from(depth)))]);
+                    self.events.push(e);
+                }
+                EventKind::PredictorOutcome { slot, correct } => {
+                    let name = if correct { "predict hit" } else { "predict miss" };
+                    let mut e = instant_event(name, event.pe, TRACK_PREDICTOR, event.cycle);
+                    push_args(&mut e, vec![("slot", Value::UInt(u64::from(slot)))]);
+                    self.events.push(e);
+                }
+                EventKind::QueueOp {
+                    queue,
+                    dir,
+                    occupancy,
+                } => {
+                    let dir_name = match dir {
+                        QueueDir::Enqueue => "enq",
+                        QueueDir::Dequeue => "deq",
+                    };
+                    let mut e = counter_event(
+                        &format!("q{queue} occupancy"),
+                        event.pe,
+                        event.cycle,
+                        u64::from(occupancy),
+                    );
+                    push_args_extra(&mut e, vec![("op", string(dir_name))]);
+                    self.events.push(e);
+                }
+                EventKind::Stall { .. } => unreachable!("handled above"),
+            }
+        }
+        for (pe, (name, start, run)) in open_stalls {
+            self.events
+                .push(complete_event(name, pe, TRACK_STALL, start, run));
+        }
+    }
+
+    /// Number of trace records accumulated so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the final JSON document.
+    pub fn to_json(&self) -> String {
+        let doc = object(vec![
+            ("traceEvents", Value::Array(self.events.clone())),
+            ("displayTimeUnit", string("ms")),
+            (
+                "otherData",
+                object(vec![("generator", string("tia-trace"))]),
+            ),
+        ]);
+        serde_json::to_string(&doc).expect("chrome trace serializes infallibly")
+    }
+}
+
+/// One-call export: declare PEs, convert events, render.
+pub fn export(events: &[TraceEvent], pe_labels: &[(u16, String)]) -> String {
+    let mut trace = ChromeTrace::new();
+    for (pe, label) in pe_labels {
+        trace.add_pe(*pe, label);
+    }
+    trace.add_events(events);
+    trace.to_json()
+}
+
+fn base_event(name: &str, ph: &str, pe: u16, tid: u64, cycle: u64) -> Value {
+    object(vec![
+        ("name", string(name)),
+        ("ph", string(ph)),
+        ("ts", Value::UInt(cycle)),
+        ("pid", Value::UInt(u64::from(pe))),
+        ("tid", Value::UInt(tid)),
+    ])
+}
+
+fn complete_event(name: &str, pe: u16, tid: u64, cycle: u64, dur: u64) -> Value {
+    let mut e = base_event(name, "X", pe, tid, cycle);
+    if let Value::Object(entries) = &mut e {
+        entries.push(("dur".to_string(), Value::UInt(dur)));
+    }
+    e
+}
+
+fn instant_event(name: &str, pe: u16, tid: u64, cycle: u64) -> Value {
+    let mut e = base_event(name, "i", pe, tid, cycle);
+    if let Value::Object(entries) = &mut e {
+        entries.push(("s".to_string(), string("t")));
+    }
+    e
+}
+
+fn counter_event(name: &str, pe: u16, cycle: u64, value: u64) -> Value {
+    let mut e = base_event(name, "C", pe, TRACK_QUEUES, cycle);
+    push_args(&mut e, vec![("value", Value::UInt(value))]);
+    e
+}
+
+fn metadata_event(name: &str, pe: u16, tid: Option<u64>, label: &str) -> Value {
+    let mut entries = vec![
+        ("name".to_string(), string(name)),
+        ("ph".to_string(), string("M")),
+        ("pid".to_string(), Value::UInt(u64::from(pe))),
+    ];
+    if let Some(tid) = tid {
+        entries.push(("tid".to_string(), Value::UInt(tid)));
+    }
+    entries.push((
+        "args".to_string(),
+        object(vec![("name", string(label))]),
+    ));
+    Value::Object(entries)
+}
+
+fn push_args(event: &mut Value, args: Vec<(&str, Value)>) {
+    if let Value::Object(entries) = event {
+        entries.push(("args".to_string(), object(args)));
+    }
+}
+
+/// Appends keys into an existing `args` object (creating it if
+/// absent).
+fn push_args_extra(event: &mut Value, args: Vec<(&str, Value)>) {
+    if let Value::Object(entries) = event {
+        if let Some((_, Value::Object(existing))) =
+            entries.iter_mut().find(|(k, _)| k == "args")
+        {
+            existing.extend(args.into_iter().map(|(k, v)| (k.to_string(), v)));
+            return;
+        }
+        entries.push(("args".to_string(), object(args)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallClass;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(0, 0, EventKind::Issue { slot: 1, depth: 1 }),
+            TraceEvent::new(
+                0,
+                1,
+                EventKind::Stall {
+                    class: StallClass::DataHazard,
+                },
+            ),
+            TraceEvent::new(
+                0,
+                2,
+                EventKind::Stall {
+                    class: StallClass::DataHazard,
+                },
+            ),
+            TraceEvent::new(0, 3, EventKind::Issue { slot: 2, depth: 2 }),
+            TraceEvent::new(
+                0,
+                3,
+                EventKind::QueueOp {
+                    queue: 0,
+                    dir: QueueDir::Dequeue,
+                    occupancy: 1,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn export_parses_back_and_has_tracks() {
+        let json = export(&sample_events(), &[(0, "worker".to_string())]);
+        let doc: Value = serde_json::from_str(&json).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("M")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("X")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+    }
+
+    #[test]
+    fn consecutive_stalls_coalesce() {
+        let mut trace = ChromeTrace::new();
+        trace.add_events(&sample_events());
+        let json = trace.to_json();
+        let doc: Value = serde_json::from_str(&json).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("array");
+        let stall_slices: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("data_hazard"))
+            .collect();
+        assert_eq!(stall_slices.len(), 1);
+        assert_eq!(
+            stall_slices[0].get("dur").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(stall_slices[0].get("ts").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,64 @@
+//! JSONL (one JSON object per line) event-stream export.
+//!
+//! The cheapest machine-readable format: each [`TraceEvent`] becomes
+//! one line, so streams can be processed with line-oriented tools
+//! (`grep`, `jq -c`, awk) without loading the whole trace.
+
+use crate::event::TraceEvent;
+
+/// Renders one event as a single JSON line (no trailing newline).
+pub fn line(event: &TraceEvent) -> String {
+    serde_json::to_string(event).expect("trace events serialize infallibly")
+}
+
+/// Renders a whole stream, one event per line, with a trailing
+/// newline after the last event (empty input produces an empty
+/// string).
+pub fn export(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&line(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document back into events, ignoring blank lines.
+/// Used by tests and by downstream tooling that post-processes dumps.
+pub fn import(text: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, StallClass};
+
+    #[test]
+    fn export_import_roundtrip() {
+        let events = vec![
+            TraceEvent::new(0, 1, EventKind::Issue { slot: 4, depth: 1 }),
+            TraceEvent::new(
+                1,
+                2,
+                EventKind::Stall {
+                    class: StallClass::Forbidden,
+                },
+            ),
+            TraceEvent::new(0, 3, EventKind::Quash { count: 2 }),
+        ];
+        let text = export(&events);
+        assert_eq!(text.lines().count(), 3);
+        let back = import(&text).expect("roundtrip");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_string() {
+        assert_eq!(export(&[]), "");
+        assert_eq!(import("").expect("empty ok"), Vec::new());
+    }
+}

@@ -1,0 +1,42 @@
+//! `tia-trace`: cycle-level observability for the TIA simulator stack.
+//!
+//! The paper's evaluation is built on per-PE performance counters in
+//! the FPGA prototype (§3); this crate is the software twin's
+//! equivalent — but at event granularity rather than end-of-run
+//! aggregates, so *when* a stall, quash, or misprediction happened (and
+//! which trigger state caused it) is never lost.
+//!
+//! Three layers:
+//!
+//! 1. **Events** ([`TraceEvent`], [`EventKind`]): typed per-cycle
+//!    records — `Issue`, `Retire`, `Quash`, `Flush`, `Stall` (with a
+//!    cycle-attribution class), `PredictorOutcome`, and `QueueOp` —
+//!    tagged with PE id, cycle, and instruction slot.
+//! 2. **Tracers** ([`Tracer`], [`NullTracer`], [`RingTracer`]): the
+//!    collection API the simulators are generic over. `NullTracer`
+//!    advertises `ENABLED = false` as an associated constant, so every
+//!    emission site compiles to nothing in untraced builds — tracing
+//!    costs zero when off, verified by the `trace_overhead` bench in
+//!    `crates/bench`.
+//! 3. **Sinks** ([`MetricsRegistry`], [`chrome`], [`jsonl`],
+//!    [`CpiTimeline`]): named counters and histograms
+//!    (queue-occupancy, speculation-depth, stall-run-lengths), Chrome /
+//!    Perfetto `trace_event` JSON with one track per PE and per
+//!    pipeline stage, JSONL event streams, and windowed CPI-stack
+//!    timelines.
+//!
+//! See `docs/observability.md` for the event taxonomy and Perfetto
+//! workflow.
+
+pub mod chrome;
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod timeline;
+pub mod tracer;
+
+pub use chrome::ChromeTrace;
+pub use event::{EventKind, QueueDir, StallClass, TraceEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use timeline::{CpiTimeline, CpiWindow};
+pub use tracer::{NullTracer, RingTracer, Tracer};

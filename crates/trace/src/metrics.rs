@@ -1,0 +1,290 @@
+//! A registry of named monotonic counters and histograms.
+//!
+//! Existing aggregate counter structs (`UarchCounters`, `FuncCounters`)
+//! register their fields here so every run can dump one uniform,
+//! machine-readable metrics document; histograms are distilled from
+//! the event stream after the run, keeping the simulator hot path free
+//! of bucket arithmetic.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// A fixed-width histogram of small non-negative integers.
+///
+/// Bucket `i` counts observations of value `i`; values at or above the
+/// bucket count land in the last (overflow) bucket. `min`/`max`/`sum`
+/// track the exact observed values regardless of bucketing.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` value-indexed buckets (the last one
+    /// absorbs overflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts (index = value, last bucket = overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Insertion-ordered registry of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> serde::Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_value()))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, histogram)| (name.clone(), histogram.to_value()))
+            .collect();
+        serde::Value::Object(vec![
+            ("counters".to_string(), serde::Value::Object(counters)),
+            ("histograms".to_string(), serde::Value::Object(histograms)),
+        ])
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or creates) a monotonic counter. Existing counter structs
+    /// call this once per field at end of run.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            entry.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Returns the named histogram, creating it with `buckets` buckets
+    /// on first use.
+    pub fn histogram_mut(&mut self, name: &str, buckets: usize) -> &mut Histogram {
+        if let Some(idx) = self.histograms.iter().position(|(n, _)| n == name) {
+            return &mut self.histograms[idx].1;
+        }
+        self.histograms
+            .push((name.to_string(), Histogram::new(buckets)));
+        &mut self.histograms.last_mut().expect("just pushed").1
+    }
+
+    /// Distils the standard event-derived histograms from a trace:
+    ///
+    /// - `queue_occupancy` — fill level after every queue operation;
+    /// - `speculation_depth` — in-flight depth at every issue;
+    /// - `stall_run_length` — lengths of maximal runs of consecutive
+    ///   stall cycles, per PE (a 10-cycle bubble is one run of 10, not
+    ///   ten runs of 1).
+    pub fn record_events(&mut self, events: &[TraceEvent]) {
+        let mut stall_runs: BTreeMap<u16, u64> = BTreeMap::new();
+        for event in events {
+            match event.kind {
+                EventKind::QueueOp { occupancy, .. } => {
+                    self.histogram_mut("queue_occupancy", 65)
+                        .record(u64::from(occupancy));
+                }
+                EventKind::Issue { depth, .. } => {
+                    self.histogram_mut("speculation_depth", 17)
+                        .record(u64::from(depth));
+                    if let Some(run) = stall_runs.remove(&event.pe) {
+                        self.histogram_mut("stall_run_length", 129).record(run);
+                    }
+                }
+                EventKind::Stall { .. } => {
+                    *stall_runs.entry(event.pe).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        for (_, run) in stall_runs {
+            self.histogram_mut("stall_run_length", 129).record(run);
+        }
+    }
+
+    /// Pretty-printed JSON document of every counter and histogram.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics registry serializes infallibly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{QueueDir, StallClass};
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 2, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_are_set_and_overwritten() {
+        let mut m = MetricsRegistry::new();
+        m.set_counter("cycles", 10);
+        m.set_counter("cycles", 12);
+        m.set_counter("issued", 7);
+        assert_eq!(m.counter("cycles"), Some(12));
+        assert_eq!(m.counter("issued"), Some(7));
+        assert_eq!(m.counter("missing"), None);
+        assert_eq!(m.counters().len(), 2);
+    }
+
+    #[test]
+    fn stall_runs_coalesce_per_pe() {
+        let stall = |pe: u16, cycle: u64| {
+            TraceEvent::new(
+                pe,
+                cycle,
+                EventKind::Stall {
+                    class: StallClass::DataHazard,
+                },
+            )
+        };
+        let issue = |pe: u16, cycle: u64| {
+            TraceEvent::new(pe, cycle, EventKind::Issue { slot: 0, depth: 1 })
+        };
+        // PE 0: run of 2, then issue, then run of 1 left open at the
+        // end; PE 1: run of 3 left open.
+        let events = vec![
+            stall(0, 0),
+            stall(1, 0),
+            stall(0, 1),
+            stall(1, 1),
+            issue(0, 2),
+            stall(1, 2),
+            stall(0, 3),
+        ];
+        let mut m = MetricsRegistry::new();
+        m.record_events(&events);
+        let h = m.histogram("stall_run_length").expect("histogram");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[3], 1);
+        let depth = m.histogram("speculation_depth").expect("histogram");
+        assert_eq!(depth.count(), 1);
+    }
+
+    #[test]
+    fn queue_ops_feed_occupancy() {
+        let events = vec![TraceEvent::new(
+            0,
+            0,
+            EventKind::QueueOp {
+                queue: 1,
+                dir: QueueDir::Enqueue,
+                occupancy: 3,
+            },
+        )];
+        let mut m = MetricsRegistry::new();
+        m.record_events(&events);
+        assert_eq!(m.histogram("queue_occupancy").expect("h").max(), 3);
+    }
+
+    #[test]
+    fn to_json_roundtrips_through_serde_json() {
+        let mut m = MetricsRegistry::new();
+        m.set_counter("cycles", 5);
+        m.histogram_mut("speculation_depth", 4).record(2);
+        let doc: serde_json::Value = serde_json::from_str(&m.to_json()).expect("valid json");
+        assert!(doc.get("counters").is_some());
+        assert!(doc.get("histograms").is_some());
+    }
+}

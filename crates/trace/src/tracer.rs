@@ -1,0 +1,199 @@
+//! The collection API: simulators are generic over a [`Tracer`] and
+//! pay nothing when tracing is off.
+
+use std::collections::VecDeque;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// An event sink a simulator writes into.
+///
+/// The simulators take `T: Tracer` as a type parameter (defaulting to
+/// [`NullTracer`]) and guard every emission site with
+/// `if T::ENABLED { ... }`. Because `ENABLED` is an associated
+/// constant, the branch — and the event construction behind it — is
+/// folded away at compile time for `NullTracer`, making the untraced
+/// hot path bit-identical to a build with no tracing code at all.
+pub trait Tracer {
+    /// Whether this tracer records anything. Emission sites test this
+    /// constant so disabled tracing compiles to no-ops.
+    const ENABLED: bool;
+
+    /// Records one event. Implementations may drop events (e.g. a full
+    /// ring) but must stay O(1) per call.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Convenience wrapper: constructs and records an event when
+    /// enabled. Callers with expensive argument computation should
+    /// still guard with `if T::ENABLED`.
+    #[inline(always)]
+    fn emit(&mut self, pe: u16, cycle: u64, kind: EventKind) {
+        if Self::ENABLED {
+            self.record(TraceEvent::new(pe, cycle, kind));
+        }
+    }
+}
+
+/// The do-nothing tracer: the default everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory event buffer.
+///
+/// When the buffer fills, the *oldest* events are discarded (and
+/// counted in [`RingTracer::dropped`]), so the tail of a long run —
+/// usually the interesting part when debugging a hang or livelock — is
+/// always retained.
+#[derive(Debug, Clone, Default)]
+pub struct RingTracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default ring capacity: roomy enough for every workload in this
+/// repository at test scale, small enough to never matter for memory.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+impl RingTracer {
+    /// A tracer retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring tracer capacity must be positive");
+        RingTracer {
+            events: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A tracer with the default capacity.
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the tracer, returning the retained events oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into_iter().collect()
+    }
+
+    /// Merges retained events from several tracers (e.g. one per PE)
+    /// into a single stream ordered by cycle, then PE id.
+    pub fn merge(tracers: impl IntoIterator<Item = RingTracer>) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = tracers
+            .into_iter()
+            .flat_map(RingTracer::into_events)
+            .collect();
+        all.sort_by_key(|e| (e.cycle, e.pe));
+        all
+    }
+}
+
+impl Tracer for RingTracer {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// A tracer behind a mutable reference records into the referent —
+/// lets a driver lend one ring to a simulator it owns.
+impl<T: Tracer> Tracer for &mut T {
+    const ENABLED: bool = T::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallClass;
+
+    fn stall(cycle: u64) -> TraceEvent {
+        TraceEvent::new(
+            0,
+            cycle,
+            EventKind::Stall {
+                class: StallClass::NotTriggered,
+            },
+        )
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        const { assert!(!NullTracer::ENABLED) };
+        let mut t = NullTracer;
+        t.emit(0, 0, EventKind::Retire { slot: 0 });
+    }
+
+    #[test]
+    fn ring_keeps_newest_events_and_counts_drops() {
+        let mut t = RingTracer::new(3);
+        for cycle in 0..5 {
+            t.record(stall(cycle));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_orders_by_cycle_then_pe() {
+        let mut a = RingTracer::new(8);
+        let mut b = RingTracer::new(8);
+        a.record(TraceEvent::new(1, 5, EventKind::Retire { slot: 0 }));
+        a.record(TraceEvent::new(1, 9, EventKind::Retire { slot: 1 }));
+        b.record(TraceEvent::new(0, 5, EventKind::Retire { slot: 2 }));
+        let merged = RingTracer::merge([a, b]);
+        let keys: Vec<(u64, u16)> = merged.iter().map(|e| (e.cycle, e.pe)).collect();
+        assert_eq!(keys, vec![(5, 0), (5, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn borrowed_tracer_records_into_referent() {
+        fn record_via<T: Tracer>(mut tracer: T) {
+            tracer.emit(2, 1, EventKind::Retire { slot: 3 });
+        }
+        let mut ring = RingTracer::new(4);
+        record_via(&mut ring);
+        assert_eq!(ring.len(), 1);
+    }
+}

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Regenerates every table, figure and ablation of the paper into
 # results/. Pass --test-scale for a fast small-input run.
+#
+# Each experiment writes results/<name>.txt (the human-readable table);
+# binaries that support `--json` also write results/<name>.json with
+# the same data points in machine-readable form. Failures are reported
+# per experiment and the script exits non-zero if any experiment fails.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,12 +32,39 @@ BINS=(
     ablation_queue_capacity
 )
 
+failures=()
+suite_start=$SECONDS
+
+# run_experiment NAME OUTFILE CMD...: runs CMD with stdout captured to
+# OUTFILE, reporting wall-clock time, and records (rather than aborts
+# on) a failure so one broken experiment doesn't hide the rest.
+run_experiment() {
+    local name="$1" outfile="$2"
+    shift 2
+    local start=$SECONDS
+    if "$@" > "$outfile"; then
+        echo "== $name ($((SECONDS - start))s)"
+    else
+        local status=$?
+        echo "== $name FAILED (exit $status, $((SECONDS - start))s)" >&2
+        failures+=("$name")
+    fi
+}
+
 for bin in "${BINS[@]}"; do
-    echo "== $bin"
     # shellcheck disable=SC2086
-    ./target/release/"$bin" $SCALE > "results/$bin.txt"
+    run_experiment "$bin" "results/$bin.txt" \
+        ./target/release/"$bin" $SCALE --json "results/$bin.json"
 done
 
-./target/release/dse_export $SCALE -o results/design_space.json
-./target/release/dump_workload_asm results/asm
-echo "all outputs in results/"
+# shellcheck disable=SC2086
+run_experiment dse_export results/dse_export.txt \
+    ./target/release/dse_export $SCALE -o results/design_space.json
+run_experiment dump_workload_asm results/dump_workload_asm.txt \
+    ./target/release/dump_workload_asm results/asm
+
+if ((${#failures[@]} > 0)); then
+    echo "FAILED experiments (${#failures[@]}): ${failures[*]}" >&2
+    exit 1
+fi
+echo "all outputs in results/ ($((SECONDS - suite_start))s total)"

@@ -1,0 +1,141 @@
+//! Offline stand-in for the subset of `criterion` this workspace
+//! uses: `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, [`Bencher::iter`],
+//! and [`black_box`].
+//!
+//! Instead of criterion's statistical machinery it runs a short warmup
+//! followed by a fixed wall-clock measurement window and reports the
+//! mean time per iteration — adequate for the relative A/B comparisons
+//! the benches in this repository make.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 3;
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 100_000;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), &mut f);
+        self
+    }
+}
+
+/// A named family of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call
+/// [`Bencher::iter`] with the code under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= MEASURE_WINDOW || iterations >= MAX_ITERS {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+
+    /// Mean wall-clock nanoseconds per iteration from the last
+    /// [`Bencher::iter`] run.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.iterations == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iterations as f64
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let nanos = bencher.mean_nanos();
+    let display = if nanos >= 1_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else if nanos >= 1_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else {
+        format!("{nanos:.1} ns")
+    };
+    println!(
+        "{id:<50} time: {display}/iter  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no crate-registry access, so this crate
+//! provides API-compatible [`Serialize`]/[`Deserialize`] traits backed
+//! by a small JSON-shaped data model ([`Value`]) instead of serde's
+//! visitor machinery. The companion `serde_derive` stub generates impls
+//! of these traits for `#[derive(Serialize, Deserialize)]`, and the
+//! `serde_json` stub renders [`Value`] to and from JSON text. The
+//! observable behaviour (externally-tagged enums, `#[serde(default)]`,
+//! `#[serde(deny_unknown_fields)]`) matches real serde for every type
+//! in this repository.
+
+pub mod value;
+
+pub use value::{DeError, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` does not have the expected
+    /// shape (wrong type, missing field, out-of-range number, ...).
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    DeError::new(concat!("expected unsigned integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    DeError::new(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::new("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::new("expected number for f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::new("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array"))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array"))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}

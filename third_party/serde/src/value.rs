@@ -1,0 +1,118 @@
+//! The JSON-shaped data model behind the stub `serde` traits.
+
+use std::fmt;
+
+/// A self-describing value: the intermediate form every
+/// `Serialize`/`Deserialize` impl goes through.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// maps), which keeps serialized output deterministic and
+/// golden-file-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value (`None` for non-objects and
+    /// missing keys) — mirrors `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|entries| find(entries, key))
+    }
+}
+
+/// Finds `key` in an object's association list.
+pub fn find<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A deserialization failure: the value did not match the expected
+/// shape.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to a crate registry, so this
+//! proc-macro crate re-implements `#[derive(Serialize, Deserialize)]`
+//! for exactly the shapes this workspace uses: non-generic structs
+//! (named, tuple/newtype, unit) and non-generic enums whose variants
+//! are unit, tuple, or struct-like, serialized in serde's
+//! externally-tagged representation. It parses the raw
+//! [`proc_macro::TokenStream`] by hand (no `syn`/`quote`) and emits the
+//! impl as formatted source text.
+//!
+//! Supported container attributes: `#[serde(default)]` and
+//! `#[serde(deny_unknown_fields)]`. Anything else is rejected loudly at
+//! compile time rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// The parsed shape of a `#[derive]` input item.
+struct Item {
+    name: String,
+    /// Lifetime parameters (e.g. `["'a"]`). Type parameters are
+    /// rejected at parse time; lifetimes are fine for `Serialize`.
+    lifetimes: Vec<String>,
+    /// Container-level `#[serde(...)]` flags (`default`,
+    /// `deny_unknown_fields`).
+    attrs: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("serde stub derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("serde stub derive emitted invalid Deserialize impl")
+}
+
+fn ident_of(tree: &TokenTree) -> String {
+    match tree {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive expected an identifier, found `{other}`"),
+    }
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Extracts flags from a `#[serde(...)]` attribute body, given the
+/// token stream inside the outer `[...]` brackets.
+fn collect_serde_attr(stream: TokenStream, attrs: &mut Vec<String>) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // a doc comment, #[derive], #[default], ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    for tree in args.stream() {
+        match &tree {
+            TokenTree::Ident(id) => {
+                let flag = id.to_string();
+                if flag != "default" && flag != "deny_unknown_fields" {
+                    panic!("serde stub derive does not support #[serde({flag})]");
+                }
+                attrs.push(flag);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde stub derive cannot parse serde attribute token `{other}`"),
+        }
+    }
+}
+
+/// Advances past any `#[...]` attributes, harvesting serde flags.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut Vec<String>) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            collect_serde_attr(g.stream(), attrs);
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Advances past an optional visibility qualifier (`pub`,
+/// `pub(crate)`, `pub(in ...)`).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a type (or other expression) up to a top-level `,`,
+/// tracking `<...>` nesting so commas inside generics don't split.
+fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i64;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut ignored = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i, &mut ignored);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(ident_of(&tokens[i]));
+        i += 1; // field name
+        i += 1; // `:`
+        i = skip_until_comma(&tokens, i);
+    }
+    if !ignored.is_empty() {
+        panic!("serde stub derive does not support field-level serde attributes");
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = Vec::new();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_until_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = Vec::new();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]);
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut attrs = Vec::new();
+        let mut i = skip_attrs(&tokens, 0, &mut attrs);
+        i = skip_vis(&tokens, i);
+        let keyword = ident_of(&tokens[i]);
+        i += 1;
+        let name = ident_of(&tokens[i]);
+        i += 1;
+        let mut lifetimes = Vec::new();
+        if matches!(&tokens.get(i), Some(t) if is_punct(t, '<')) {
+            i += 1;
+            while i < tokens.len() && !is_punct(&tokens[i], '>') {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '\'' => {
+                        let label = ident_of(&tokens[i + 1]);
+                        lifetimes.push(format!("'{label}"));
+                        i += 2;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                    _ => panic!(
+                        "serde stub derive does not support type-generic type `{name}` \
+                         (only lifetime parameters)"
+                    ),
+                }
+            }
+            i += 1; // `>`
+        }
+        let kind = match keyword.as_str() {
+            "struct" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Kind::Unit,
+            },
+            "enum" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream()))
+                }
+                _ => panic!("serde stub derive found an enum `{name}` without a body"),
+            },
+            other => panic!("serde stub derive expected struct or enum, found `{other}`"),
+        };
+        Item {
+            name,
+            lifetimes,
+            attrs,
+            kind,
+        }
+    }
+
+    /// `""` for non-generic items, `"<'a, 'b>"` otherwise — used for
+    /// both the impl generics and the self type.
+    fn generics(&self) -> String {
+        if self.lifetimes.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.lifetimes.join(", "))
+        }
+    }
+
+    fn has_attr(&self, flag: &str) -> bool {
+        self.attrs.iter().any(|a| a == flag)
+    }
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let mut body = String::new();
+        match &self.kind {
+            Kind::Unit => body.push_str("::serde::Value::Null"),
+            Kind::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)"),
+            Kind::Tuple(n) => {
+                body.push_str("::serde::Value::Array(::std::vec![");
+                for idx in 0..*n {
+                    let _ = write!(body, "::serde::Serialize::to_value(&self.{idx}),");
+                }
+                body.push_str("])");
+            }
+            Kind::Named(fields) => {
+                body.push_str("::serde::Value::Object(::std::vec![");
+                for f in fields {
+                    let _ = write!(
+                        body,
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    );
+                }
+                body.push_str("])");
+            }
+            Kind::Enum(variants) => {
+                body.push_str("match self {");
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            let _ = write!(
+                                body,
+                                "{name}::{vname} => ::serde::Value::String(\
+                                 ::std::string::String::from(\"{vname}\")),"
+                            );
+                        }
+                        VariantKind::Tuple(1) => {
+                            let _ = write!(
+                                body,
+                                "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_value(__f0))]),"
+                            );
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|idx| format!("__f{idx}")).collect();
+                            let _ = write!(
+                                body,
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec![",
+                                binders.join(", ")
+                            );
+                            for b in &binders {
+                                let _ = write!(body, "::serde::Serialize::to_value({b}),");
+                            }
+                            body.push_str("]))]),");
+                        }
+                        VariantKind::Named(fields) => {
+                            let _ = write!(
+                                body,
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![",
+                                fields.join(", ")
+                            );
+                            for f in fields {
+                                let _ = write!(
+                                    body,
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                );
+                            }
+                            body.push_str("]))]),");
+                        }
+                    }
+                }
+                body.push('}');
+            }
+        }
+        let generics = self.generics();
+        format!(
+            "#[automatically_derived]\n\
+             #[allow(clippy::all)]\n\
+             impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}\n"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        assert!(
+            self.lifetimes.is_empty(),
+            "serde stub derive cannot deserialize borrowed type `{name}`"
+        );
+        let body = match &self.kind {
+            Kind::Unit => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+            Kind::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Kind::Tuple(n) => {
+                let mut s = format!(
+                    "{{ let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected array for {name}\"))?;\
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"wrong tuple length for {name}\")); }}\
+                     ::std::result::Result::Ok({name}("
+                );
+                for idx in 0..*n {
+                    let _ = write!(s, "::serde::Deserialize::from_value(&__arr[{idx}])?,");
+                }
+                s.push_str(")) }");
+                s
+            }
+            Kind::Named(fields) => self.deserialize_named(name, fields),
+            Kind::Enum(variants) => Self::deserialize_enum(name, variants),
+        };
+        format!(
+            "#[automatically_derived]\n\
+             #[allow(clippy::all)]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+             }}\n"
+        )
+    }
+
+    fn deserialize_named(&self, name: &str, fields: &[String]) -> String {
+        let mut s = format!(
+            "{{ let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::DeError::new(\"expected object for {name}\"))?;"
+        );
+        if self.has_attr("deny_unknown_fields") {
+            let arms = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            let _ = write!(
+                s,
+                "for (__k, _) in __obj.iter() {{ match __k.as_str() {{ {arms} => {{}}, \
+                 __other => return ::std::result::Result::Err(::serde::DeError::new(\
+                 &format!(\"unknown field `{{__other}}` in {name}\"))), }} }}"
+            );
+        }
+        if self.has_attr("default") {
+            s.push_str(&format!(
+                "let mut __out: {name} = ::std::default::Default::default();"
+            ));
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "if let ::std::option::Option::Some(__x) = \
+                     ::serde::value::find(__obj, \"{f}\") \
+                     {{ __out.{f} = ::serde::Deserialize::from_value(__x)?; }}"
+                );
+            }
+            s.push_str("::std::result::Result::Ok(__out) }");
+        } else {
+            let _ = write!(s, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "{f}: match ::serde::value::find(__obj, \"{f}\") {{ \
+                     ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"missing field `{f}` in {name}\")), }},"
+                );
+            }
+            s.push_str("}) }");
+        }
+        s
+    }
+
+    fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+        let mut unit_arms = String::new();
+        let mut tagged_arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => {
+                    let _ = write!(
+                        unit_arms,
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    );
+                }
+                VariantKind::Tuple(1) => {
+                    let _ = write!(
+                        tagged_arms,
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    );
+                }
+                VariantKind::Tuple(n) => {
+                    let mut arm = format!(
+                        "\"{vname}\" => {{ let __arr = __inner.as_array().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected array for {name}::{vname}\"))?;\
+                         if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::new(\"wrong tuple length for {name}::{vname}\")); }}\
+                         ::std::result::Result::Ok({name}::{vname}("
+                    );
+                    for idx in 0..*n {
+                        let _ = write!(arm, "::serde::Deserialize::from_value(&__arr[{idx}])?,");
+                    }
+                    arm.push_str(")) }");
+                    tagged_arms.push_str(&arm);
+                }
+                VariantKind::Named(fields) => {
+                    let mut arm = format!(
+                        "\"{vname}\" => {{ let __obj = __inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected object for {name}::{vname}\"))?;\
+                         ::std::result::Result::Ok({name}::{vname} {{"
+                    );
+                    for f in fields {
+                        let _ = write!(
+                            arm,
+                            "{f}: match ::serde::value::find(__obj, \"{f}\") {{ \
+                             ::std::option::Option::Some(__x) => \
+                             ::serde::Deserialize::from_value(__x)?, \
+                             ::std::option::Option::None => return \
+                             ::std::result::Result::Err(::serde::DeError::new(\
+                             \"missing field `{f}` in {name}::{vname}\")), }},"
+                        );
+                    }
+                    arm.push_str("}) }");
+                    tagged_arms.push_str(&arm);
+                }
+            }
+        }
+        format!(
+            "match __v {{\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                     &format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                 }},\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\
+                     let (__tag, __inner) = &__entries[0];\
+                     match __tag.as_str() {{\
+                         {tagged_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         &format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                     }}\
+                 }},\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\
+                 \"expected string or single-key object for {name}\")),\
+             }}"
+        )
+    }
+}
