@@ -1,0 +1,71 @@
+//! Criterion bench: trigger-stage cost per cycle as the static
+//! program grows, with the slot-readiness cache on (`cached`) and off
+//! (`full`), in the two steady states a fabric PE lives in:
+//!
+//! * `idle` — every slot waits on input-queue tokens that never
+//!   arrive (the dominant state of a PE awaiting fabric traffic).
+//!   Nothing issues, so queue state is provably unchanged between
+//!   cycles and every slot's readiness is served from the cache; the
+//!   `full` variant re-evaluates every queue condition every cycle.
+//! * `busy` — one slot issues a perpetual counter every cycle while
+//!   the rest are rejected on predicates alone. Predicate-keyed cache
+//!   entries survive the issue traffic; this variant mostly checks
+//!   the cache is not a tax when the PE is saturated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_asm::assemble;
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_isa::Params;
+
+const CYCLES_PER_ITER: u32 = 1024;
+
+/// Every slot blocks on a tagged token that never arrives.
+fn idle_source(slots: usize) -> String {
+    let mut s = String::new();
+    for i in 0..slots {
+        let q = i % 4;
+        s.push_str(&format!(
+            "when %p == XXXXXXX0 with %i{q}.1: nop; deq %i{q};\n"
+        ));
+    }
+    s
+}
+
+/// Slot 0 issues every cycle; the rest never pass the predicate check.
+fn busy_source(slots: usize) -> String {
+    let mut s = String::from("when %p == XXXXXXX0: add %r0, %r0, 1;\n");
+    for _ in 1..slots {
+        s.push_str("when %p == XXXXXXX1: nop;\n");
+    }
+    s
+}
+
+fn bench_trigger_phase(c: &mut Criterion) {
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_DX);
+    for (scenario, source_of) in [
+        ("idle", idle_source as fn(usize) -> String),
+        ("busy", busy_source),
+    ] {
+        let mut group = c.benchmark_group(format!("trigger_phase_{scenario}"));
+        for slots in [1usize, 2, 4, 8, 16] {
+            let program = assemble(&source_of(slots), &params).expect("bench program assembles");
+            for (label, cache) in [("cached", true), ("full", false)] {
+                let mut pe = UarchPe::new(&params, config, program.clone()).expect("PE builds");
+                pe.set_trigger_cache(cache);
+                group.bench_function(format!("{slots}slots_{label}"), |b| {
+                    b.iter(|| {
+                        for _ in 0..CYCLES_PER_ITER {
+                            pe.step_cycle();
+                        }
+                        pe.counters().cycles
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_trigger_phase);
+criterion_main!(benches);

@@ -10,15 +10,7 @@
 
 use tia_bench::{run_uarch_workload, scale_from_args, Table};
 use tia_core::{CpiStack, Pipeline, UarchConfig};
-use tia_workloads::{Scale, ALL_WORKLOADS};
-
-fn average(config: UarchConfig, scale: Scale) -> CpiStack {
-    let stacks: Vec<CpiStack> = ALL_WORKLOADS
-        .iter()
-        .map(|&k| run_uarch_workload(k, config, scale).counters.cpi_stack())
-        .collect();
-    CpiStack::average(&stacks)
-}
+use tia_workloads::{WorkloadKind, ALL_WORKLOADS};
 
 fn main() {
     let scale = scale_from_args();
@@ -31,19 +23,35 @@ fn main() {
         "quashed",
         "no trig.",
     ]);
+    let mut variants: Vec<(Pipeline, u8)> = Vec::new();
     for pipeline in [Pipeline::T_DX1_X2, Pipeline::T_D_X, Pipeline::T_D_X1_X2] {
         for depth in 1..=4u8 {
-            let config = UarchConfig::with_nested(pipeline, depth);
-            let s = average(config, scale);
-            t.row_owned(vec![
-                pipeline.to_string(),
-                depth.to_string(),
-                format!("{:.3}", s.total()),
-                format!("{:.3}", s.forbidden),
-                format!("{:.3}", s.quashed),
-                format!("{:.3}", s.not_triggered),
-            ]);
+            variants.push((pipeline, depth));
         }
+    }
+    // One simulation per (variant, workload) cell across the pool;
+    // suite averages fall out of the ordered merge.
+    let cells: Vec<((Pipeline, u8), WorkloadKind)> = variants
+        .iter()
+        .flat_map(|&v| ALL_WORKLOADS.iter().map(move |&k| (v, k)))
+        .collect();
+    let stacks = tia_par::par_map(&cells, |&((pipeline, depth), kind)| {
+        let config = UarchConfig::with_nested(pipeline, depth);
+        run_uarch_workload(kind, config, scale).counters.cpi_stack()
+    });
+    let averages: Vec<CpiStack> = stacks
+        .chunks(ALL_WORKLOADS.len())
+        .map(CpiStack::average)
+        .collect();
+    for (&(pipeline, depth), s) in variants.iter().zip(&averages) {
+        t.row_owned(vec![
+            pipeline.to_string(),
+            depth.to_string(),
+            format!("{:.3}", s.total()),
+            format!("{:.3}", s.forbidden),
+            format!("{:.3}", s.quashed),
+            format!("{:.3}", s.not_triggered),
+        ]);
     }
     print!("{}", t.render());
     println!();

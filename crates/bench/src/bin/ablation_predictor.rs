@@ -21,11 +21,20 @@ fn main() {
         "not-taken CPI",
     ]);
     let mut avg = [0.0f64; 4];
-    for kind in ALL_WORKLOADS {
+    // All (workload, predictor) pairs are independent simulations.
+    let pairs: Vec<(tia_workloads::WorkloadKind, PredictorKind)> = ALL_WORKLOADS
+        .iter()
+        .flat_map(|&kind| PredictorKind::ALL.iter().map(move |&p| (kind, p)))
+        .collect();
+    let counters = tia_par::par_map(&pairs, |&(kind, predictor)| {
+        let config = UarchConfig::with_predictor(Pipeline::T_D_X1_X2, predictor);
+        run_uarch_workload(kind, config, scale).counters
+    });
+    let predictors = PredictorKind::ALL.len();
+    for (w, kind) in ALL_WORKLOADS.iter().enumerate() {
         let mut cells = vec![kind.name().to_string()];
-        for (i, predictor) in PredictorKind::ALL.iter().enumerate() {
-            let config = UarchConfig::with_predictor(Pipeline::T_D_X1_X2, *predictor);
-            let c = run_uarch_workload(kind, config, scale).counters;
+        for i in 0..predictors {
+            let c = counters[w * predictors + i];
             if i < 2 {
                 let acc = c.prediction_accuracy();
                 cells.push(if acc.is_nan() {

@@ -35,15 +35,26 @@ fn main() {
         "+Q accounting CPI",
         "padded (reject buffer) CPI",
     ]);
-    for capacity in [2usize, 3, 4, 6, 8, 12, 16] {
-        let base = UarchConfig::base(Pipeline::T_D_X1_X2);
-        let q = UarchConfig::with_q(Pipeline::T_D_X1_X2);
-        let padded = UarchConfig::with_padding(Pipeline::T_D_X1_X2);
+    let disciplines = [
+        UarchConfig::base(Pipeline::T_D_X1_X2),
+        UarchConfig::with_q(Pipeline::T_D_X1_X2),
+        UarchConfig::with_padding(Pipeline::T_D_X1_X2),
+    ];
+    // Every (capacity, discipline) point is an independent run of the
+    // merge worker; sweep them across the pool.
+    let points: Vec<(usize, UarchConfig)> = [2usize, 3, 4, 6, 8, 12, 16]
+        .iter()
+        .flat_map(|&capacity| disciplines.iter().map(move |&config| (capacity, config)))
+        .collect();
+    let cpis = tia_par::par_map(&points, |&(capacity, config)| {
+        run(WorkloadKind::Merge, config, capacity, scale)
+    });
+    for (chunk, cpi_row) in points.chunks(disciplines.len()).zip(cpis.chunks(3)) {
         t.row_owned(vec![
-            capacity.to_string(),
-            format!("{:.3}", run(WorkloadKind::Merge, base, capacity, scale)),
-            format!("{:.3}", run(WorkloadKind::Merge, q, capacity, scale)),
-            format!("{:.3}", run(WorkloadKind::Merge, padded, capacity, scale)),
+            chunk[0].0.to_string(),
+            format!("{:.3}", cpi_row[0]),
+            format!("{:.3}", cpi_row[1]),
+            format!("{:.3}", cpi_row[2]),
         ]);
     }
     print!("{}", t.render());

@@ -1,0 +1,98 @@
+//! Measures serial vs parallel wall clock for the full `bst`-backed
+//! design-space exploration and writes the numbers to `BENCH_dse.json`
+//! (or the path given with `-o`), cross-checking that every parallel
+//! run returns results bit-identical to the serial sweep.
+//!
+//! ```text
+//! cargo run --release -p tia-bench --bin dse_bench [--test-scale] [-o BENCH_dse.json]
+//! ```
+
+use std::time::Instant;
+
+use tia_bench::{bst_activity_source, scale_from_args};
+use tia_core::UarchConfig;
+use tia_energy::dse::{explore, par_explore_with};
+
+#[derive(serde::Serialize)]
+struct ParallelRun {
+    workers: usize,
+    seconds: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    host_threads: usize,
+    scale: String,
+    design_points: usize,
+    serial_seconds: f64,
+    parallel: Vec<ParallelRun>,
+    bit_identical: bool,
+    note: String,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let output = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "-o" || a == "--output")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_dse.json".to_string())
+    };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let source = bst_activity_source(scale);
+
+    // Warm caches (page-in, allocator) before timing anything.
+    let _ = par_explore_with(1, &source);
+
+    let start = Instant::now();
+    let mut measure = |config: &UarchConfig| source(config);
+    let serial = explore(&mut measure);
+    let serial_seconds = start.elapsed().as_secs_f64();
+
+    let mut parallel = Vec::new();
+    let mut bit_identical = true;
+    for workers in [1usize, 2, 4] {
+        let start = Instant::now();
+        let points = par_explore_with(workers, &source);
+        let seconds = start.elapsed().as_secs_f64();
+        bit_identical &= points == serial;
+        parallel.push(ParallelRun {
+            workers,
+            seconds,
+            speedup_vs_serial: serial_seconds / seconds,
+        });
+        eprintln!(
+            "par_explore {workers}w: {seconds:.2}s ({:.2}x vs serial {serial_seconds:.2}s)",
+            serial_seconds / seconds
+        );
+    }
+
+    let report = Report {
+        host_threads,
+        scale: format!("{scale:?}"),
+        design_points: serial.len(),
+        serial_seconds,
+        parallel,
+        bit_identical,
+        note: "Speedups are bounded by the measuring host's core count \
+               (host_threads); on a single-core host all worker counts \
+               degenerate to serial throughput and the figures record \
+               engine overhead, not scaling."
+            .to_string(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&output, json + "\n").expect("write report");
+    eprintln!(
+        "wrote {output} ({} design points, bit_identical = {})",
+        serial.len(),
+        report.bit_identical
+    );
+    assert!(
+        report.bit_identical,
+        "parallel exploration diverged from serial"
+    );
+}

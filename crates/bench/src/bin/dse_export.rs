@@ -8,7 +8,7 @@
 use std::fs;
 
 use tia_bench::{scale_from_args, suite_activity_source};
-use tia_energy::dse::{explore, CachedCpi};
+use tia_energy::dse::par_explore;
 use tia_energy::pareto::pareto_frontier;
 
 fn main() {
@@ -20,8 +20,7 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
 
-    let mut source = CachedCpi::new(suite_activity_source(scale));
-    let points = explore(&mut source);
+    let points = par_explore(&suite_activity_source(scale));
     let frontier = pareto_frontier(&points);
 
     #[derive(serde::Serialize)]

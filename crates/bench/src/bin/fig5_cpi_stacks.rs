@@ -6,7 +6,7 @@
 use serde::Serialize;
 use tia_bench::{json_out_from_args, run_uarch_workload, scale_from_args, write_json, Table};
 use tia_core::{CpiStack, Pipeline, UarchConfig};
-use tia_workloads::ALL_WORKLOADS;
+use tia_workloads::{WorkloadKind, ALL_WORKLOADS};
 
 #[derive(Serialize)]
 struct StackPoint {
@@ -15,16 +15,34 @@ struct StackPoint {
     stack: CpiStack,
 }
 
-fn average_stack(config: UarchConfig, scale: tia_workloads::Scale) -> CpiStack {
-    let stacks: Vec<CpiStack> = ALL_WORKLOADS
-        .iter()
-        .map(|&kind| run_uarch_workload(kind, config, scale).counters.cpi_stack())
-        .collect();
-    CpiStack::average(&stacks)
-}
-
 fn main() {
     let scale = scale_from_args();
+    let mut configs: Vec<UarchConfig> = Vec::new();
+    for pipeline in Pipeline::ALL {
+        if pipeline == Pipeline::TDX {
+            configs.push(UarchConfig::base(Pipeline::TDX));
+        } else {
+            configs.push(UarchConfig::base(pipeline));
+            configs.push(UarchConfig::with_p(pipeline));
+            configs.push(UarchConfig::with_pq(pipeline));
+        }
+    }
+
+    // One simulation per (microarchitecture, workload) cell, fanned
+    // across the worker pool; the ordered merge keeps the averages
+    // bit-identical to the old nested serial loops.
+    let cells: Vec<(UarchConfig, WorkloadKind)> = configs
+        .iter()
+        .flat_map(|&config| ALL_WORKLOADS.iter().map(move |&kind| (config, kind)))
+        .collect();
+    let stacks = tia_par::par_map(&cells, |&(config, kind)| {
+        run_uarch_workload(kind, config, scale).counters.cpi_stack()
+    });
+    let averages: Vec<CpiStack> = stacks
+        .chunks(ALL_WORKLOADS.len())
+        .map(CpiStack::average)
+        .collect();
+
     let mut t = Table::new(&[
         "microarchitecture",
         "CPI",
@@ -37,34 +55,22 @@ fn main() {
     ]);
     let mut points: Vec<StackPoint> = Vec::new();
     println!("Figure 5: CPI stacks (average over the ten workloads).\n");
-    for pipeline in Pipeline::ALL {
-        let variants: &[UarchConfig] = if pipeline == Pipeline::TDX {
-            &[UarchConfig::base(Pipeline::TDX)]
-        } else {
-            &[
-                UarchConfig::base(pipeline),
-                UarchConfig::with_p(pipeline),
-                UarchConfig::with_pq(pipeline),
-            ]
-        };
-        for config in variants {
-            let s = average_stack(*config, scale);
-            points.push(StackPoint {
-                microarchitecture: config.to_string(),
-                cpi: s.total(),
-                stack: s,
-            });
-            t.row_owned(vec![
-                config.to_string(),
-                format!("{:.3}", s.total()),
-                format!("{:.3}", s.retired),
-                format!("{:.3}", s.quashed),
-                format!("{:.3}", s.predicate_hazard),
-                format!("{:.3}", s.data_hazard),
-                format!("{:.3}", s.forbidden),
-                format!("{:.3}", s.not_triggered),
-            ]);
-        }
+    for (config, s) in configs.iter().zip(&averages) {
+        points.push(StackPoint {
+            microarchitecture: config.to_string(),
+            cpi: s.total(),
+            stack: *s,
+        });
+        t.row_owned(vec![
+            config.to_string(),
+            format!("{:.3}", s.total()),
+            format!("{:.3}", s.retired),
+            format!("{:.3}", s.quashed),
+            format!("{:.3}", s.predicate_hazard),
+            format!("{:.3}", s.data_hazard),
+            format!("{:.3}", s.forbidden),
+            format!("{:.3}", s.not_triggered),
+        ]);
     }
     print!("{}", t.render());
     println!();
@@ -73,9 +79,14 @@ fn main() {
     }
 
     // The paper's headline: the two optimizations together reduce the
-    // 4-stage pipeline's CPI by 35%.
-    let base = average_stack(UarchConfig::base(Pipeline::T_D_X1_X2), scale).total();
-    let pq = average_stack(UarchConfig::with_pq(Pipeline::T_D_X1_X2), scale).total();
+    // 4-stage pipeline's CPI by 35%. Both configurations are already
+    // in the table above.
+    let total_of = |wanted: UarchConfig| -> f64 {
+        let i = configs.iter().position(|&c| c == wanted).expect("in table");
+        averages[i].total()
+    };
+    let base = total_of(UarchConfig::base(Pipeline::T_D_X1_X2));
+    let pq = total_of(UarchConfig::with_pq(Pipeline::T_D_X1_X2));
     println!(
         "T|D|X1|X2 CPI: base {base:.3} -> +P+Q {pq:.3} ({:.0}% reduction; paper: 35%)",
         100.0 * (1.0 - pq / base)

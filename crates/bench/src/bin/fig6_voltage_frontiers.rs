@@ -2,13 +2,12 @@
 //! voltage in the design space, with `bst`-derived activity as in §3.
 
 use tia_bench::{scale_from_args, suite_activity_source, Table};
-use tia_energy::dse::{explore, CachedCpi, DesignPoint};
+use tia_energy::dse::{par_explore, DesignPoint};
 use tia_energy::pareto::{pareto_frontier, span};
 
 fn main() {
     let scale = scale_from_args();
-    let mut source = CachedCpi::new(suite_activity_source(scale));
-    let points = explore(&mut source);
+    let points = par_explore(&suite_activity_source(scale));
     println!(
         "Figure 6: per-voltage energy-delay frontiers over {} feasible design points.\n",
         points.len()

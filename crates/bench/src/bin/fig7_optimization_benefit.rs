@@ -6,7 +6,7 @@
 
 use serde::Serialize;
 use tia_bench::{json_out_from_args, scale_from_args, suite_activity_source, write_json, Table};
-use tia_energy::dse::{explore, CachedCpi, DesignPoint};
+use tia_energy::dse::{par_explore, DesignPoint};
 use tia_energy::pareto::{frontier_energy_improvement, pareto_frontier};
 
 #[derive(Serialize)]
@@ -42,8 +42,7 @@ fn frontier_points(frontier: &[DesignPoint]) -> Vec<FrontierPoint> {
 
 fn main() {
     let scale = scale_from_args();
-    let mut source = CachedCpi::new(suite_activity_source(scale));
-    let points = explore(&mut source);
+    let points = par_explore(&suite_activity_source(scale));
 
     // The balanced region of Figure 7: delays up to 10 ns/instruction.
     let balanced: Vec<DesignPoint> = points

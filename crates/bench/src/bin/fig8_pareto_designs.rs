@@ -3,13 +3,12 @@
 //! comparison against 65 nm CPUs and GPUs.
 
 use tia_bench::{scale_from_args, suite_activity_source, Table};
-use tia_energy::dse::{explore, CachedCpi};
+use tia_energy::dse::par_explore;
 use tia_energy::pareto::{density_context, pareto_frontier, span};
 
 fn main() {
     let scale = scale_from_args();
-    let mut source = CachedCpi::new(suite_activity_source(scale));
-    let points = explore(&mut source);
+    let points = par_explore(&suite_activity_source(scale));
     let frontier = pareto_frontier(&points);
 
     println!(

@@ -11,23 +11,25 @@
 
 use tia_bench::{scale_from_args, suite_activity_source, Table};
 use tia_core::{Pipeline, UarchConfig};
-use tia_energy::dse::{evaluate, CpiSource};
+use tia_energy::dse::evaluate;
 use tia_energy::max_frequency_mhz;
 use tia_energy::tech::VtClass;
 
 fn main() {
     let scale = scale_from_args();
-    let mut source = suite_activity_source(scale);
+    let source = suite_activity_source(scale);
     let vt = VtClass::Standard;
 
     let baseline_config = UarchConfig::base(Pipeline::TDX);
-    let baseline_activity = source.measure(&baseline_config);
+    let config = UarchConfig::with_pq(Pipeline::T_DX);
+    // The two suite measurements are independent; run them together.
+    let measured = tia_par::par_map(&[baseline_config, config], &source);
+    let (baseline_activity, activity) = (measured[0], measured[1]);
+
     let f_tdx = (max_frequency_mhz(&baseline_config, 1.0, vt) / 10.0).floor() * 10.0;
     let baseline = evaluate(&baseline_config, vt, 1.0, f_tdx, baseline_activity)
         .expect("baseline closes at its own fmax");
 
-    let config = UarchConfig::with_pq(Pipeline::T_DX);
-    let activity = source.measure(&config);
     let f_max = (max_frequency_mhz(&config, 1.0, vt) / 10.0).floor() * 10.0;
 
     let mut t = Table::new(&[

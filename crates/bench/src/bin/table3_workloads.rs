@@ -23,14 +23,16 @@ fn main() {
     ]);
     let mut sorted: Vec<WorkloadKind> = ALL_WORKLOADS.to_vec();
     sorted.sort_by_key(|w| w.name());
-    for kind in sorted {
+    // Each workload runs independently on the functional model; fan
+    // them across the pool and emit rows in the sorted order.
+    let rows = tia_par::par_map(&sorted, |&kind| {
         let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
         let mut built = kind
             .build(&params, scale, &mut factory)
             .unwrap_or_else(|e| panic!("{kind}: {e}"));
         let outcome = built.run_to_completion();
         let c = built.system.pe(built.worker).counters();
-        t.row_owned(vec![
+        vec![
             kind.name().to_string(),
             kind.num_pes().to_string(),
             c.retired.to_string(),
@@ -40,7 +42,10 @@ fn main() {
                 Ok(()) => "verified".to_string(),
                 Err(e) => format!("FAILED: {e}"),
             },
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row_owned(row);
     }
     println!("Table 3: the PE-centric benchmark suite (functional model).\n");
     print!("{}", t.render());

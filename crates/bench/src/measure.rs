@@ -47,7 +47,7 @@ pub fn run_uarch_workload(kind: WorkloadKind, config: UarchConfig, scale: Scale)
 /// factors from a run of the binary search tree program", which "had
 /// the most balanced combination of I/O channel use, computation and
 /// memory access delay" (§3).
-pub fn bst_activity_source(scale: Scale) -> impl FnMut(&UarchConfig) -> CpiMeasurement {
+pub fn bst_activity_source(scale: Scale) -> impl Fn(&UarchConfig) -> CpiMeasurement + Sync {
     move |config: &UarchConfig| {
         let run = run_uarch_workload(WorkloadKind::Bst, *config, scale);
         let c = run.counters;
@@ -64,7 +64,7 @@ pub fn bst_activity_source(scale: Scale) -> impl FnMut(&UarchConfig) -> CpiMeasu
 /// Figure 8 instruction latencies imply a suite-level CPI (≈1.6 at
 /// TDX1|X2 +Q), not the memory-serial `bst` CPI, while `bst` remains
 /// the *power activity* reference (§3).
-pub fn suite_activity_source(scale: Scale) -> impl FnMut(&UarchConfig) -> CpiMeasurement {
+pub fn suite_activity_source(scale: Scale) -> impl Fn(&UarchConfig) -> CpiMeasurement + Sync {
     move |config: &UarchConfig| {
         let mut cpi_sum = 0.0;
         let mut issue_sum = 0.0;
@@ -109,7 +109,7 @@ mod tests {
 
     #[test]
     fn bst_activity_is_sane() {
-        let mut source = bst_activity_source(Scale::Test);
+        let source = bst_activity_source(Scale::Test);
         let m = source(&UarchConfig::base(Pipeline::TDX));
         assert!(m.cpi >= 1.0);
         assert!(m.issue_rate > 0.0 && m.issue_rate <= 1.0);

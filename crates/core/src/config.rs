@@ -128,6 +128,17 @@ impl Pipeline {
         self.d_offset() + self.split_dx as u64 + self.split_x as u64
     }
 
+    /// This pipeline's position in [`Pipeline::ALL`] (the Figure 5
+    /// order), computed without a search.
+    pub fn figure_order_index(self) -> usize {
+        // Figure 5 orders the two-stage pipelines TDX1|X2, TD|X, T|DX
+        // rather than by raw register bits, hence the permutation.
+        const ORDER: [usize; 8] = [0, 1, 2, 4, 3, 5, 6, 7];
+        let bits =
+            (self.split_td as usize) << 2 | (self.split_dx as usize) << 1 | self.split_x as usize;
+        ORDER[bits]
+    }
+
     /// The paper's name for this pipeline (e.g. `T|DX1|X2`).
     pub fn name(self) -> &'static str {
         match (self.split_td, self.split_dx, self.split_x) {
@@ -299,6 +310,28 @@ impl UarchConfig {
         v
     }
 
+    /// The number of microarchitectures in the closed
+    /// [`UarchConfig::all`] population.
+    pub const DENSE_COUNT: usize = 32;
+
+    /// This configuration's position in [`UarchConfig::all`], or
+    /// `None` for configurations outside the closed 32-member
+    /// population (nested speculation, non-default predictors,
+    /// padded output queues). The sweep harnesses use this as a
+    /// perfect-hash memo-table key, keeping `HashMap` hashing (which
+    /// walks the whole struct per lookup) out of the DSE inner loop.
+    pub fn dense_index(&self) -> Option<usize> {
+        if self.speculation_depth != 1
+            || self.predictor != PredictorKind::TwoBit
+            || self.padded_output_queues
+        {
+            return None;
+        }
+        let feature =
+            (self.effective_queue_status as usize) << 1 | self.predicate_prediction as usize;
+        Some(self.pipeline.figure_order_index() * 4 + feature)
+    }
+
     /// The paper's suffix notation (``""``, ``" +P"``, ``" +Q"``,
     /// ``" +P+Q"``).
     pub fn feature_suffix(&self) -> &'static str {
@@ -369,6 +402,28 @@ mod tests {
         let mut set = std::collections::HashSet::new();
         for c in &all {
             assert!(set.insert(c.to_string()));
+        }
+    }
+
+    #[test]
+    fn dense_index_enumerates_the_population_in_order() {
+        for (i, config) in UarchConfig::all().iter().enumerate() {
+            assert_eq!(config.dense_index(), Some(i), "{config}");
+        }
+        assert_eq!(UarchConfig::all().len(), UarchConfig::DENSE_COUNT);
+        // Configurations outside the closed population have no slot.
+        assert_eq!(UarchConfig::with_nested(Pipeline::T_DX, 2).dense_index(), None);
+        assert_eq!(
+            UarchConfig::with_predictor(Pipeline::T_DX, PredictorKind::OneBit).dense_index(),
+            None
+        );
+        assert_eq!(UarchConfig::with_padding(Pipeline::T_DX).dense_index(), None);
+    }
+
+    #[test]
+    fn figure_order_index_matches_the_all_array() {
+        for (i, p) in Pipeline::ALL.iter().enumerate() {
+            assert_eq!(p.figure_order_index(), i, "{p}");
         }
     }
 

@@ -78,6 +78,59 @@ enum SlotStatus {
     NotReady,
 }
 
+/// Trigger-stage facts about one slot that never change after program
+/// load, precomputed so the per-cycle scan touches a flat array
+/// instead of chasing into the [`Instruction`].
+#[derive(Debug, Clone, Copy)]
+struct SlotGate {
+    /// The slot's valid bit.
+    valid: bool,
+    /// The trigger's predicate pattern.
+    pattern: tia_isa::PredPattern,
+    /// Every predicate bit the slot reads in its trigger or writes
+    /// (trigger-encoded update or datapath destination) — the §5.1
+    /// hazard footprint.
+    touched: u32,
+}
+
+/// One slot's memoized trigger-readiness (§5.4 fast path): the status
+/// from the last evaluation plus the dirty-tracking keys that decide
+/// whether it is still current.
+///
+/// * The **predicate key** (`preds_bits`, `pending_masked`) captures
+///   everything a *predicate-rejected* slot read: the architectural
+///   predicate state and the in-flight predicate writes overlapping
+///   the slot's footprint. Most slots in a large trigger program fail
+///   here, so they are revalidated by two word compares — no queue or
+///   in-flight state is consulted.
+/// * Statuses that consulted queue occupancies, tag checks, in-flight
+///   accounting or the register interlock are `queue_dependent`: they
+///   additionally require the PE's [`UarchPe::queue_epoch`] to be
+///   unchanged, which holds only across cycles with an idle pipeline
+///   and no queue traffic (internal or from the fabric).
+#[derive(Debug, Clone, Copy)]
+struct SlotCacheEntry {
+    status: SlotStatus,
+    preds_bits: u32,
+    pending_masked: u32,
+    queue_epoch: u64,
+    queue_dependent: bool,
+    valid: bool,
+}
+
+impl SlotCacheEntry {
+    fn invalid() -> Self {
+        SlotCacheEntry {
+            status: SlotStatus::NotReady,
+            preds_bits: 0,
+            pending_masked: 0,
+            queue_epoch: 0,
+            queue_dependent: false,
+            valid: false,
+        }
+    }
+}
+
 /// A cycle-level triggered PE running one of the 32 microarchitecture
 /// variants.
 ///
@@ -132,6 +185,22 @@ pub struct UarchPe<T: Tracer = NullTracer> {
     trace: Option<Vec<u16>>,
     pe_id: u16,
     tracer: T,
+    /// Per-slot static trigger facts (see [`SlotGate`]).
+    slot_gates: Vec<SlotGate>,
+    /// Per-slot memoized readiness (see [`SlotCacheEntry`]).
+    slot_cache: Vec<SlotCacheEntry>,
+    /// Generation counter over every queue-or-pipeline-visible state:
+    /// bumped after any cycle that had work in flight and whenever
+    /// queue traffic (internal or external) is detected, invalidating
+    /// `queue_dependent` cache entries.
+    queue_epoch: u64,
+    /// Last observed sum of all queue modification counters, for
+    /// detecting fabric pushes/pops between cycles.
+    queue_fingerprint: u64,
+    /// Whether the memoized trigger fast path is consulted (on by
+    /// default; [`UarchPe::set_trigger_cache`] disables it for A/B
+    /// benchmarking and differential testing).
+    trigger_cache_enabled: bool,
 }
 
 impl UarchPe {
@@ -162,6 +231,16 @@ impl<T: Tracer> UarchPe<T> {
     ) -> Result<Self, IsaError> {
         params.validate()?;
         program.validate(params)?;
+        let slot_gates: Vec<SlotGate> = program
+            .instructions()
+            .iter()
+            .map(|i| SlotGate {
+                valid: i.valid,
+                pattern: i.trigger.predicates,
+                touched: i.trigger.predicates.read_set() | i.predicate_write_set(),
+            })
+            .collect();
+        let slot_cache = vec![SlotCacheEntry::invalid(); slot_gates.len()];
         Ok(UarchPe {
             regs: vec![0; params.num_regs],
             preds: PredState::new(),
@@ -195,7 +274,24 @@ impl<T: Tracer> UarchPe<T> {
             params: params.clone(),
             config,
             program,
+            slot_gates,
+            slot_cache,
+            queue_epoch: 0,
+            queue_fingerprint: 0,
+            trigger_cache_enabled: true,
         })
+    }
+
+    /// Enables (or disables) the memoized trigger-readiness fast path.
+    /// On by default; disabling forces full re-evaluation of every
+    /// slot every cycle — architecturally identical by construction
+    /// (debug builds assert agreement on every cache hit), useful for
+    /// A/B benchmarking and differential tests.
+    pub fn set_trigger_cache(&mut self, enable: bool) {
+        self.trigger_cache_enabled = enable;
+        for entry in &mut self.slot_cache {
+            *entry = SlotCacheEntry::invalid();
+        }
     }
 
     /// Sets the PE id stamped on every emitted trace event (defaults
@@ -295,9 +391,19 @@ impl<T: Tracer> UarchPe<T> {
         // necessary — and execute results land at the *end* of the
         // cycle, visible to the scheduler (and the fabric) from the
         // next. Phases therefore run trigger → decode → commit.
+        let busy = !self.in_flight.is_empty();
         let class = self.trigger_phase();
         self.decode_phase();
         self.commit_phase();
+        // Any cycle with work in flight (pre-existing or just issued)
+        // may have moved queue/in-flight/speculation state in its
+        // decode and commit phases — and the register interlock is
+        // time-dependent while instructions are in flight — so
+        // queue-dependent cached trigger statuses from this cycle must
+        // not survive into the next.
+        if busy || class == CycleClass::Issued {
+            self.queue_epoch += 1;
+        }
         match class {
             CycleClass::Issued => {}
             CycleClass::PredicateHazard => self.counters.pred_hazard_cycles += 1,
@@ -683,14 +789,18 @@ impl<T: Tracer> UarchPe<T> {
         let mut effective = true;
 
         // A queue read (operand or dequeue) needs an available token.
-        let mut needs: Vec<usize> = instruction
-            .input_operands()
-            .map(|q| q.index())
-            .chain(instruction.dequeues.iter().map(|q| q.index()))
-            .collect();
-        needs.sort_unstable();
-        needs.dedup();
-        for q in needs {
+        // Queue indices are bounded at 16 (`Params::validate`), so a
+        // word of bits dedups the read set without allocating.
+        let mut need_mask: u32 = 0;
+        for q in instruction.input_operands() {
+            need_mask |= 1 << q.index();
+        }
+        for q in &instruction.dequeues {
+            need_mask |= 1 << q.index();
+        }
+        while need_mask != 0 {
+            let q = need_mask.trailing_zeros() as usize;
+            need_mask &= need_mask - 1;
             let occupancy = self.inputs[q].occupancy();
             let pending = self.pending_dequeues(q);
             if pending > 0 {
@@ -776,16 +886,17 @@ impl<T: Tracer> UarchPe<T> {
         })
     }
 
-    /// Evaluates one instruction slot's issue status.
-    fn slot_status(&self, slot: usize) -> SlotStatus {
-        let instruction = self.instruction(slot);
-        if !instruction.valid {
-            return SlotStatus::NotReady;
+    /// Evaluates one instruction slot's issue status against current
+    /// state, consulting queue/in-flight/speculation state only when
+    /// the predicate gate passes. Returns the status and whether that
+    /// queue-side state was consulted (the dirty-tracking class of the
+    /// result — see [`SlotCacheEntry`]).
+    fn compute_slot_status(&self, slot: usize, pending_preds: u32) -> (SlotStatus, bool) {
+        let gate = self.slot_gates[slot];
+        if !gate.valid {
+            return (SlotStatus::NotReady, false);
         }
-
-        let pending_preds = self.pending_predicates();
-        let pattern = instruction.trigger.predicates;
-        let touched = pattern.read_set() | instruction.predicate_write_set();
+        let pattern = gate.pattern;
 
         // Predicate readiness.
         let pred_blocked = if self.config.predicate_prediction {
@@ -793,16 +904,35 @@ impl<T: Tracer> UarchPe<T> {
             // become forbidden-instruction restrictions instead.
             false
         } else {
-            touched & pending_preds != 0
+            gate.touched & pending_preds != 0
         };
-        // Would the pattern match, for every possible resolution of
-        // the pending bits?
-        let stable_on = pattern.on_set() & !pending_preds;
-        let stable_off = pattern.off_set() & !pending_preds;
-        let stable_match =
-            (self.preds.bits() & stable_on) == stable_on && (self.preds.bits() & stable_off) == 0;
-        let full_match = pattern.matches(self.preds);
 
+        if pred_blocked {
+            // Would the pattern match, for every possible resolution
+            // of the pending bits?
+            let stable_on = pattern.on_set() & !pending_preds;
+            let stable_off = pattern.off_set() & !pending_preds;
+            let stable_match = (self.preds.bits() & stable_on) == stable_on
+                && (self.preds.bits() & stable_off) == 0;
+            if !stable_match {
+                return (SlotStatus::NotReady, false);
+            }
+            // Count it as a predicate hazard only if the rest of the
+            // trigger could plausibly fire once the bits resolve.
+            let instruction = self.instruction(slot);
+            let (_, queue_effective) = self.queue_conditions(instruction);
+            let status = if queue_effective && !self.register_interlock(instruction) {
+                SlotStatus::BlockedPred
+            } else {
+                SlotStatus::NotReady
+            };
+            return (status, true);
+        }
+        if !pattern.matches(self.preds) {
+            return (SlotStatus::NotReady, false);
+        }
+
+        let instruction = self.instruction(slot);
         let (queue_conservative, queue_effective) = self.queue_conditions(instruction);
         let queue_ok = if self.config.effective_queue_status {
             queue_effective
@@ -820,36 +950,84 @@ impl<T: Tracer> UarchPe<T> {
                 && instruction.writes_predicate()
                 && self.spec_stack.len() >= self.config.speculation_depth.max(1) as usize);
 
-        if pred_blocked {
-            // Count it as a predicate hazard only if the rest of the
-            // trigger could plausibly fire once the bits resolve.
-            return if stable_match && queue_effective && !data_blocked {
-                SlotStatus::BlockedPred
+        if forbidden {
+            let status = if queue_effective && !data_blocked {
+                SlotStatus::BlockedForbidden
             } else {
                 SlotStatus::NotReady
             };
-        }
-        if !full_match {
-            return SlotStatus::NotReady;
-        }
-        if forbidden && queue_effective && !data_blocked {
-            return SlotStatus::BlockedForbidden;
-        }
-        if forbidden {
-            return SlotStatus::NotReady;
+            return (status, true);
         }
         if !queue_ok {
-            return if queue_effective {
+            let status = if queue_effective {
                 // Only the conservative accounting blocks it.
                 SlotStatus::BlockedQueueConservative
             } else {
                 SlotStatus::NotReady
             };
+            return (status, true);
         }
         if data_blocked {
-            return SlotStatus::BlockedData;
+            return (SlotStatus::BlockedData, true);
         }
-        SlotStatus::Eligible
+        (SlotStatus::Eligible, true)
+    }
+
+    /// One slot's status through the memoized fast path: reuse the
+    /// last evaluation when its dirty-tracking keys show the inputs
+    /// unchanged, otherwise re-evaluate and refresh the cache. In
+    /// debug builds every cache hit is cross-checked against full
+    /// re-evaluation.
+    fn slot_status_fast(&mut self, slot: usize, pending_preds: u32) -> SlotStatus {
+        if self.trigger_cache_enabled {
+            let entry = self.slot_cache[slot];
+            if entry.valid
+                && entry.preds_bits == self.preds.bits()
+                && entry.pending_masked == (pending_preds & self.slot_gates[slot].touched)
+                && (!entry.queue_dependent || entry.queue_epoch == self.queue_epoch)
+            {
+                #[cfg(debug_assertions)]
+                {
+                    let (fresh, _) = self.compute_slot_status(slot, pending_preds);
+                    debug_assert_eq!(
+                        fresh, entry.status,
+                        "trigger fast path diverges from full re-evaluation at slot {slot}"
+                    );
+                }
+                return entry.status;
+            }
+        }
+        let (status, queue_dependent) = self.compute_slot_status(slot, pending_preds);
+        // A queue-dependent entry cannot hit while work is in flight —
+        // the epoch is bumped at the end of every busy cycle — so
+        // storing one would be pure overhead on a saturated PE.
+        if self.trigger_cache_enabled && (!queue_dependent || self.in_flight.is_empty()) {
+            self.slot_cache[slot] = SlotCacheEntry {
+                status,
+                preds_bits: self.preds.bits(),
+                pending_masked: pending_preds & self.slot_gates[slot].touched,
+                queue_epoch: self.queue_epoch,
+                queue_dependent,
+                valid: true,
+            };
+        }
+        status
+    }
+
+    /// Detects queue traffic (from the fabric or any external driver)
+    /// since the last trigger evaluation and advances the queue epoch
+    /// accordingly.
+    fn refresh_queue_epoch(&mut self) {
+        let fingerprint: u64 = self
+            .inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .map(TaggedQueue::version)
+            .fold(0u64, u64::wrapping_add);
+        if fingerprint != self.queue_fingerprint {
+            self.queue_fingerprint = fingerprint;
+            self.queue_epoch += 1;
+        }
     }
 
     /// The trigger stage: evaluate all triggers, issue at most one
@@ -861,23 +1039,30 @@ impl<T: Tracer> UarchPe<T> {
         if self.config.predicate_prediction {
             self.try_early_confirmation();
         }
-        let mut statuses = Vec::with_capacity(self.program.len());
+        self.refresh_queue_epoch();
+        let pending_preds = self.pending_predicates();
+        // Stall-class priority accumulator (pred > forbidden > data),
+        // replacing the per-cycle status vector.
+        let mut best_rank = 0u8;
         for slot in 0..self.program.len() {
-            let status = self.slot_status(slot);
+            let status = self.slot_status_fast(slot, pending_preds);
             if status == SlotStatus::Eligible {
                 self.issue(slot);
                 return CycleClass::Issued;
             }
-            statuses.push(status);
+            let rank = match status {
+                SlotStatus::BlockedPred => 3,
+                SlotStatus::BlockedForbidden => 2,
+                SlotStatus::BlockedData => 1,
+                _ => 0,
+            };
+            best_rank = best_rank.max(rank);
         }
-        if statuses.contains(&SlotStatus::BlockedPred) {
-            CycleClass::PredicateHazard
-        } else if statuses.contains(&SlotStatus::BlockedForbidden) {
-            CycleClass::Forbidden
-        } else if statuses.contains(&SlotStatus::BlockedData) {
-            CycleClass::DataHazard
-        } else {
-            CycleClass::NotTriggered
+        match best_rank {
+            3 => CycleClass::PredicateHazard,
+            2 => CycleClass::Forbidden,
+            1 => CycleClass::DataHazard,
+            _ => CycleClass::NotTriggered,
         }
     }
 

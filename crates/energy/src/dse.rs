@@ -10,6 +10,7 @@
 //! their critical-path limit.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -65,10 +66,17 @@ where
 
 /// A memoizing wrapper so each microarchitecture is simulated once per
 /// sweep.
+///
+/// The 32 configurations of [`UarchConfig::all`] occupy a precomputed
+/// dense-index array ([`UarchConfig::dense_index`]) — a perfect hash,
+/// so the sweep inner loop never hashes a `UarchConfig` (which walks
+/// every struct field per lookup). Configurations outside the closed
+/// population (ablations) fall back to a `HashMap`.
 #[derive(Debug)]
 pub struct CachedCpi<S> {
     source: S,
-    cache: HashMap<UarchConfig, CpiMeasurement>,
+    dense: [Option<CpiMeasurement>; UarchConfig::DENSE_COUNT],
+    overflow: HashMap<UarchConfig, CpiMeasurement>,
 }
 
 impl<S: CpiSource> CachedCpi<S> {
@@ -76,18 +84,92 @@ impl<S: CpiSource> CachedCpi<S> {
     pub fn new(source: S) -> Self {
         CachedCpi {
             source,
-            cache: HashMap::new(),
+            dense: [None; UarchConfig::DENSE_COUNT],
+            overflow: HashMap::new(),
         }
     }
 }
 
 impl<S: CpiSource> CpiSource for CachedCpi<S> {
     fn measure(&mut self, config: &UarchConfig) -> CpiMeasurement {
-        if let Some(m) = self.cache.get(config) {
+        if let Some(i) = config.dense_index() {
+            if let Some(m) = self.dense[i] {
+                return m;
+            }
+            let m = self.source.measure(config);
+            self.dense[i] = Some(m);
+            return m;
+        }
+        if let Some(m) = self.overflow.get(config) {
             return *m;
         }
         let m = self.source.measure(config);
-        self.cache.insert(*config, m);
+        self.overflow.insert(*config, m);
+        m
+    }
+}
+
+/// A shared-state (`&self`) CPI supplier, the parallel counterpart of
+/// [`CpiSource`]: [`par_explore`] fans measurements across threads, so
+/// the source must hand out measurements through a shared reference.
+pub trait SyncCpiSource: Sync {
+    /// The activity measurement for one microarchitecture.
+    fn measure(&self, config: &UarchConfig) -> CpiMeasurement;
+}
+
+impl<F> SyncCpiSource for F
+where
+    F: Fn(&UarchConfig) -> CpiMeasurement + Sync,
+{
+    fn measure(&self, config: &UarchConfig) -> CpiMeasurement {
+        self(config)
+    }
+}
+
+/// A sharded, lock-protected memo table over a [`SyncCpiSource`]: one
+/// mutex per microarchitecture slot, so concurrent measurements of
+/// *different* configurations proceed in parallel while a second
+/// request for the *same* configuration blocks until the first
+/// finishes and then reuses its result (each microarchitecture is
+/// simulated exactly once per sweep, as with [`CachedCpi`]).
+#[derive(Debug)]
+pub struct SharedCpi<S> {
+    source: S,
+    dense: [Mutex<Option<CpiMeasurement>>; UarchConfig::DENSE_COUNT],
+    overflow: Mutex<HashMap<UarchConfig, CpiMeasurement>>,
+}
+
+impl<S: SyncCpiSource> SharedCpi<S> {
+    /// Wraps a source with a parallel-safe memo table.
+    pub fn new(source: S) -> Self {
+        SharedCpi {
+            source,
+            dense: std::array::from_fn(|_| Mutex::new(None)),
+            overflow: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<S: SyncCpiSource> SyncCpiSource for SharedCpi<S> {
+    fn measure(&self, config: &UarchConfig) -> CpiMeasurement {
+        if let Some(i) = config.dense_index() {
+            let mut slot = self.dense[i].lock().expect("no poisoned shard");
+            if let Some(m) = *slot {
+                return m;
+            }
+            let m = self.source.measure(config);
+            *slot = Some(m);
+            return m;
+        }
+        // Exotic configurations share one lock; they are ablation-only
+        // and never on the 32-way sweep's hot path. The lock is held
+        // across the measurement so a config is still simulated once.
+        let mut overflow = self.overflow.lock().expect("no poisoned overflow table");
+        if let Some(m) = overflow.get(config) {
+            return *m;
+        }
+        let m = self.source.measure(config);
+        overflow.insert(*config, m);
         m
     }
 }
@@ -182,24 +264,76 @@ pub fn frequency_sweep_mhz(vt: VtClass, vdd: f64) -> Vec<f64> {
     freqs
 }
 
+/// The hoisted (VT, VDD, frequency-sweep) operating grid: identical
+/// for every microarchitecture, so [`explore`]/[`par_explore`] build
+/// it once instead of re-allocating and re-sorting the frequency
+/// vector for every (config, VT, VDD) iteration.
+fn operating_grid() -> Vec<(VtClass, f64, Vec<f64>)> {
+    let mut grid = Vec::new();
+    for vt in VtClass::ALL {
+        for &vdd in vt.characterized_voltages() {
+            grid.push((vt, vdd, frequency_sweep_mhz(vt, vdd)));
+        }
+    }
+    grid
+}
+
+/// Evaluates one microarchitecture across the whole operating grid,
+/// in grid order.
+fn sweep_config(
+    config: &UarchConfig,
+    activity: CpiMeasurement,
+    grid: &[(VtClass, f64, Vec<f64>)],
+) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    for (vt, vdd, freqs) in grid {
+        for &freq in freqs {
+            if let Some(p) = evaluate(config, *vt, *vdd, freq, activity) {
+                points.push(p);
+            }
+        }
+    }
+    points
+}
+
 /// Runs the full §3 design-space exploration: all 32
 /// microarchitectures across every characterized (VT, VDD) pair and
 /// frequency sweep. Returns only the feasible (timing-closed) points —
 /// "over 4,000 different design points".
 pub fn explore<S: CpiSource>(source: &mut S) -> Vec<DesignPoint> {
     let mut cached = CachedCpi::new(|c: &UarchConfig| source.measure(c));
+    let grid = operating_grid();
     let mut points = Vec::new();
     for config in UarchConfig::all() {
         let activity = cached.measure(&config);
-        for vt in VtClass::ALL {
-            for &vdd in vt.characterized_voltages() {
-                for freq in frequency_sweep_mhz(vt, vdd) {
-                    if let Some(p) = evaluate(&config, vt, vdd, freq, activity) {
-                        points.push(p);
-                    }
-                }
-            }
-        }
+        points.extend(sweep_config(&config, activity, &grid));
+    }
+    points
+}
+
+/// The parallel [`explore`]: fans the 32 microarchitecture activity
+/// measurements — each one a cycle-accurate simulation, the dominant
+/// cost of a real sweep — and their operating-grid evaluations across
+/// [`tia_par::worker_count`] threads. The returned vector is
+/// **bit-identical to [`explore`], ordering included**: results are
+/// collected per configuration in `UarchConfig::all()` order and the
+/// per-configuration grid walk is the same serial loop.
+pub fn par_explore<S: SyncCpiSource>(source: &S) -> Vec<DesignPoint> {
+    par_explore_with(tia_par::worker_count(), source)
+}
+
+/// [`par_explore`] with an explicit worker count, for scaling studies
+/// (the `dse_scaling` bench measures 1/2/4 workers side by side).
+pub fn par_explore_with<S: SyncCpiSource>(workers: usize, source: &S) -> Vec<DesignPoint> {
+    let configs = UarchConfig::all();
+    let grid = operating_grid();
+    let per_config: Vec<Vec<DesignPoint>> = tia_par::par_map_with(workers, &configs, |config| {
+        let activity = source.measure(config);
+        sweep_config(config, activity, &grid)
+    });
+    let mut points = Vec::with_capacity(per_config.iter().map(Vec::len).sum());
+    for chunk in per_config {
+        points.extend(chunk);
     }
     points
 }
@@ -300,6 +434,38 @@ mod tests {
         }
         assert!(emax / emin > 10.0);
         assert!(dmax / dmin > 50.0);
+    }
+
+    #[test]
+    fn par_explore_is_bit_identical_to_explore() {
+        let mut serial_source = flat_cpi;
+        let serial = explore(&mut serial_source);
+        let parallel = par_explore(&flat_cpi);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a, b, "ordering or values diverge");
+        }
+    }
+
+    #[test]
+    fn shared_cpi_measures_each_config_once_across_threads() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        let shared = SharedCpi::new(|_: &UarchConfig| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            CpiMeasurement::ideal()
+        });
+        let configs: Vec<UarchConfig> = UarchConfig::all()
+            .into_iter()
+            .chain(UarchConfig::all())
+            .collect();
+        tia_par::par_map_with(4, &configs, |c| shared.measure(c));
+        assert_eq!(calls.load(Ordering::Relaxed), 32);
+        // The overflow path memoizes too.
+        let exotic = UarchConfig::with_nested(Pipeline::T_DX, 3);
+        let _ = shared.measure(&exotic);
+        let _ = shared.measure(&exotic);
+        assert_eq!(calls.load(Ordering::Relaxed), 33);
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub mod tech;
 
 pub use area_power::{Component, InstMemMedium};
 pub use critical_path::{critical_path_fo4, max_frequency_mhz};
-pub use dse::{evaluate, explore, CachedCpi, CpiMeasurement, CpiSource, DesignPoint};
+pub use dse::{
+    evaluate, explore, par_explore, par_explore_with, CachedCpi, CpiMeasurement, CpiSource,
+    DesignPoint, SharedCpi, SyncCpiSource,
+};
 pub use pareto::{frontier_energy_improvement, pareto_frontier, span};
 pub use tech::VtClass;

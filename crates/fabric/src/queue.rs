@@ -67,6 +67,7 @@ pub struct TaggedQueue {
     tokens: VecDeque<Token>,
     capacity: usize,
     stats: QueueStats,
+    version: u64,
 }
 
 /// Lifetime traffic statistics for one queue. Cheap enough to keep
@@ -107,12 +108,23 @@ impl TaggedQueue {
             tokens: VecDeque::with_capacity(capacity),
             capacity,
             stats: QueueStats::default(),
+            version: 0,
         }
     }
 
     /// Lifetime traffic statistics.
     pub fn stats(&self) -> QueueStats {
         self.stats
+    }
+
+    /// A monotonically increasing modification counter, bumped by
+    /// every successful [`TaggedQueue::push`], [`TaggedQueue::pop`]
+    /// and [`TaggedQueue::clear`]. Schedulers use it to detect that a
+    /// queue's contents changed between cycles (e.g. a fabric push
+    /// landing between two trigger evaluations) without re-reading the
+    /// contents.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The configured capacity.
@@ -156,6 +168,7 @@ impl TaggedQueue {
             self.tokens.push_back(token);
             self.stats.pushes += 1;
             self.stats.high_water = self.stats.high_water.max(self.tokens.len());
+            self.version += 1;
             true
         }
     }
@@ -165,12 +178,16 @@ impl TaggedQueue {
         let token = self.tokens.pop_front();
         if token.is_some() {
             self.stats.pops += 1;
+            self.version += 1;
         }
         token
     }
 
     /// Removes every token.
     pub fn clear(&mut self) {
+        if !self.tokens.is_empty() {
+            self.version += 1;
+        }
         self.tokens.clear();
     }
 

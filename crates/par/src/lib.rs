@@ -1,0 +1,262 @@
+//! # `tia-par` — a dependency-free parallel-map engine
+//!
+//! The experiment harnesses in this workspace are dominated by
+//! embarrassingly parallel sweeps: the §3 design-space exploration
+//! fans 32 independent cycle-accurate simulations across a
+//! (VT, VDD, frequency) grid, and every figure binary runs an
+//! independent (workload × microarchitecture) matrix. This crate
+//! parallelizes exactly that shape with nothing beyond
+//! [`std::thread::scope`] — the build is offline with vendored
+//! dependencies only, so `rayon` is not an option.
+//!
+//! Properties:
+//!
+//! * **Deterministic, index-ordered results** — [`par_map`] returns
+//!   `results[i] == f(&items[i])` in input order regardless of worker
+//!   count or scheduling, so parallel sweeps stay bit-identical to
+//!   their serial equivalents.
+//! * **Work stealing** — workers claim items from a shared atomic
+//!   cursor in small chunks, so uneven item costs (a 4-deep +P+Q
+//!   pipeline simulates slower than single-cycle TDX) don't leave
+//!   cores idle.
+//! * **Worker-count control** — the `TIA_THREADS` environment
+//!   variable caps the pool ([`worker_count`]); `TIA_THREADS=1`
+//!   degenerates to a serial in-place loop with no threads spawned.
+//! * **Panic propagation** — a panic on any worker is re-raised on
+//!   the caller with its original payload (lowest item index wins, so
+//!   even the failure is deterministic).
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = tia_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The environment variable capping the worker pool size.
+pub const THREADS_ENV: &str = "TIA_THREADS";
+
+/// The worker count [`par_map`] uses: `TIA_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if even that is unavailable). Malformed or zero values of
+/// `TIA_THREADS` are ignored rather than honored as zero — a pool
+/// must always have at least one worker.
+pub fn worker_count() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, returning results in input order.
+/// Equivalent to `items.iter().map(f).collect()` but fanned across
+/// [`worker_count`] scoped threads.
+///
+/// # Panics
+///
+/// Re-raises the panic of the lowest-indexed item whose `f` call
+/// panicked, after all workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(worker_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (still clamped to the
+/// item count; `workers <= 1` runs serially on the caller's thread).
+///
+/// # Panics
+///
+/// Re-raises the panic of the lowest-indexed item whose `f` call
+/// panicked, after all workers have stopped.
+pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        // The degenerate pool: no threads, no atomics, same results.
+        return items.iter().map(f).collect();
+    }
+
+    // Workers claim `chunk`-sized runs of indices from a shared
+    // cursor — cheap dynamic load balancing without per-item atomic
+    // traffic when items are small.
+    let chunk = (items.len() / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    // Each worker accumulates (index, result) pairs locally and
+    // deposits them once at the end, so the lock is uncontended.
+    let deposits: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => local.push((start + i, r)),
+                            Err(payload) => {
+                                panics.lock().unwrap().push((start + i, payload));
+                                // Drain the cursor so every worker
+                                // winds down promptly.
+                                cursor.store(items.len(), Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+                deposits.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+
+    let mut panics = panics.into_inner().unwrap();
+    if !panics.is_empty() {
+        panics.sort_by_key(|(i, _)| *i);
+        resume_unwind(panics.remove(0).1);
+    }
+
+    let mut pairs = deposits.into_inner().unwrap();
+    debug_assert_eq!(pairs.len(), items.len(), "every item produced a result");
+    pairs.sort_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `f` on every item for its side effects, fanned across
+/// [`worker_count`] scoped threads. Ordering of the *calls* is
+/// unspecified (that is the point); use [`par_map`] when results
+/// matter.
+///
+/// # Panics
+///
+/// Propagates worker panics like [`par_map`].
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map(items, |item| f(item));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_index_ordered_at_every_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 4, 7, 16, 64] {
+            let got = par_map_with(workers, &items, |&x| x * 3 + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_item_costs_still_complete() {
+        // Front-loaded heavy items force the chunked cursor to
+        // rebalance; every result must still land at its index.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let got = par_map_with(4, &items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn par_for_each_visits_every_item_once() {
+        let items: Vec<usize> = (0..100).collect();
+        let hits: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
+        par_for_each(&items, |&i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn a_worker_panic_propagates_with_its_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(4, &items, |&x| {
+                if x == 13 {
+                    panic!("unlucky item {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("the panic must propagate to the caller");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("unlucky item 13"), "payload: {message:?}");
+    }
+
+    #[test]
+    fn the_lowest_indexed_panic_wins() {
+        // Run repeatedly: whichever worker panics first, the caller
+        // must always observe the panic of the lowest index.
+        for _ in 0..8 {
+            let items: Vec<u32> = (0..64).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_map_with(4, &items, |&x| {
+                    if x % 17 == 5 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            }))
+            .expect_err("must panic");
+            let message = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(message, "boom at 5");
+        }
+    }
+
+    #[test]
+    fn worker_count_ignores_malformed_env() {
+        // `worker_count` itself reads the process environment; the
+        // parse rules are what we can test hermetically here.
+        assert!(worker_count() >= 1);
+    }
+}

@@ -16,6 +16,14 @@ const WARMUP_ITERS: u32 = 3;
 const MEASURE_WINDOW: Duration = Duration::from_millis(300);
 const MAX_ITERS: u64 = 100_000;
 
+/// Like real criterion, `--test` (as passed by
+/// `cargo bench -- --test`) runs every benchmark exactly once with no
+/// warmup or measurement window — a smoke test that the benches still
+/// execute, cheap enough for CI.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// The benchmark driver handed to `criterion_group!` targets.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -65,6 +73,13 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if test_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed = start.elapsed();
+            self.iterations = 1;
+            return;
+        }
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
