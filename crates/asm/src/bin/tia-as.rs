@@ -1,7 +1,9 @@
 //! `tia-as` — the command-line assembler of the toolchain (Figure 1).
 //!
 //! ```text
-//! tia-as [--params params.json] [--disassemble] [--check] <input> [-o <output>]
+//! tia-as [--params params.json] [--disassemble] [--check]
+//!        [--lint] [--deny-warnings] [--lint-format human|json]
+//!        <input> [-o <output>]
 //! ```
 //!
 //! Assembles triggered-instruction assembly to the padded 128-bit
@@ -9,12 +11,27 @@
 //! (§2.3), one lowercase hex image per line. With `--disassemble` the
 //! input is such an image file and the output is assembly; with
 //! `--check` the input is only validated.
+//!
+//! `--lint` runs the `tia-lint` static analyzer (reachability,
+//! shadowing, +P speculability, queue discipline — see
+//! docs/static-analysis.md) over the program and prints its findings
+//! with source positions; error-level findings fail the run, and
+//! `--deny-warnings` (which implies `--lint`) promotes warnings to
+//! failures too. `--lint-format json` emits the machine-readable
+//! report on stdout instead of human-readable lines on stderr.
 
 use std::fs;
 use std::process::ExitCode;
 
-use tia_asm::{assemble, disassemble};
+use tia_asm::{assemble_with_spans, disassemble};
 use tia_isa::{Params, Program};
+use tia_lint::Span;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Human,
+    Json,
+}
 
 struct Options {
     params: Params,
@@ -22,6 +39,9 @@ struct Options {
     output: Option<String>,
     disassemble: bool,
     check: bool,
+    lint: bool,
+    deny_warnings: bool,
+    lint_format: LintFormat,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,6 +51,9 @@ fn parse_args() -> Result<Options, String> {
     let mut output = None;
     let mut dis = false;
     let mut check = false;
+    let mut lint = false;
+    let mut deny_warnings = false;
+    let mut lint_format = LintFormat::Human;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--params" => {
@@ -44,9 +67,20 @@ fn parse_args() -> Result<Options, String> {
             "-o" | "--output" => output = Some(args.next().ok_or("-o needs a file")?),
             "--disassemble" | "-d" => dis = true,
             "--check" => check = true,
+            "--lint" => lint = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--lint-format" => {
+                let format = args.next().ok_or("--lint-format needs human|json")?;
+                lint_format = match format.as_str() {
+                    "human" => LintFormat::Human,
+                    "json" => LintFormat::Json,
+                    other => return Err(format!("unknown lint format `{other}`")),
+                };
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: tia-as [--params params.json] [--disassemble] [--check] \
+                            [--lint] [--deny-warnings] [--lint-format human|json] \
                             <input> [-o <output>]"
                         .to_string(),
                 )
@@ -65,7 +99,39 @@ fn parse_args() -> Result<Options, String> {
         output,
         disassemble: dis,
         check,
+        // Denying warnings without linting would be a no-op trap.
+        lint: lint || deny_warnings,
+        deny_warnings,
+        lint_format,
     })
+}
+
+/// Runs the analyzer and reports its findings; `Err` when error-level
+/// findings exist, or warning-level ones under `--deny-warnings`.
+fn run_lint(opts: &Options, program: &Program, spans: &[Span]) -> Result<(), String> {
+    let report = tia_lint::lint_program_with_spans(program, &opts.params, spans);
+    match opts.lint_format {
+        LintFormat::Human => {
+            for diagnostic in &report.diagnostics {
+                eprintln!("{}", diagnostic.render(Some(&opts.input)));
+            }
+        }
+        LintFormat::Json => print!("{}", report.to_json()),
+    }
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        Err(format!(
+            "lint failed: {errors} error(s), {warnings} warning(s){}",
+            if opts.deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn images_to_text(program: &Program, params: &Params) -> Result<String, String> {
@@ -99,9 +165,24 @@ fn run() -> Result<(), String> {
 
     let rendered = if opts.disassemble {
         let program = text_to_program(&text, &opts.params)?;
+        if opts.lint {
+            // Images carry no source positions; lint without spans.
+            run_lint(&opts, &program, &[])?;
+        }
         disassemble(&program, &opts.params)
     } else {
-        let program = assemble(&text, &opts.params).map_err(|e| e.to_string())?;
+        let (program, positions) =
+            assemble_with_spans(&text, &opts.params).map_err(|e| e.to_string())?;
+        if opts.lint {
+            let spans: Vec<Span> = positions
+                .iter()
+                .map(|p| Span {
+                    line: p.line,
+                    column: p.column,
+                })
+                .collect();
+            run_lint(&opts, &program, &spans)?;
+        }
         if opts.check {
             eprintln!(
                 "{}: {} instruction(s), {} bits each ({} padded)",
@@ -110,6 +191,10 @@ fn run() -> Result<(), String> {
                 opts.params.layout().total_bits(),
                 opts.params.layout().padded_bits()
             );
+            return Ok(());
+        }
+        if opts.lint && opts.lint_format == LintFormat::Json && opts.output.is_none() {
+            // The JSON report owns stdout; don't interleave images.
             return Ok(());
         }
         images_to_text(&program, &opts.params)?

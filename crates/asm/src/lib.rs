@@ -39,4 +39,4 @@ pub mod parser;
 
 pub use disasm::disassemble;
 pub use error::{AsmError, SourcePos};
-pub use parser::assemble;
+pub use parser::{assemble, assemble_with_spans};

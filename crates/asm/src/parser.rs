@@ -51,6 +51,21 @@ use crate::lexer::{tokenize, Token, TokenKind};
 /// # Ok::<(), tia_asm::AsmError>(())
 /// ```
 pub fn assemble(source: &str, params: &Params) -> Result<Program, AsmError> {
+    assemble_with_spans(source, params).map(|(program, _)| program)
+}
+
+/// Assembles like [`assemble`], also returning the source position of
+/// each instruction's first token (the `when` keyword). Diagnostic
+/// tooling (`tia-lint`) maps analysis findings back to these spans.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for syntax errors and for instructions that
+/// fail ISA validation.
+pub fn assemble_with_spans(
+    source: &str,
+    params: &Params,
+) -> Result<(Program, Vec<SourcePos>), AsmError> {
     let tokens = tokenize(source)?;
     let mut parser = Parser {
         tokens,
@@ -58,13 +73,15 @@ pub fn assemble(source: &str, params: &Params) -> Result<Program, AsmError> {
         params,
     };
     let mut program = Program::empty();
+    let mut spans = Vec::new();
     while !parser.at_end() {
+        spans.push(parser.pos());
         program.push(parser.instruction()?);
     }
     program
         .validate(params)
         .map_err(|e| AsmError::new(SourcePos { line: 1, column: 1 }, e.to_string()))?;
-    Ok(program)
+    Ok((program, spans))
 }
 
 struct Parser<'p> {

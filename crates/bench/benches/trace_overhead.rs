@@ -26,8 +26,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
 
     group.bench_function("null_tracer", |b| {
         b.iter(|| {
-            let mut factory =
-                |p: &Params, prog| UarchPe::with_tracer(p, config, prog, NullTracer);
+            let mut factory = |p: &Params, prog| UarchPe::with_tracer(p, config, prog, NullTracer);
             let mut built = WorkloadKind::Gcd
                 .build(&params, Scale::Test, &mut factory)
                 .expect("build");

@@ -27,7 +27,9 @@ fn main() {
     let mut freq_sum = 0.0;
     let mut acc_sum = 0.0;
     let mut acc_count = 0usize;
-    let runs = tia_par::par_map(&ALL_WORKLOADS, |&kind| run_uarch_workload(kind, config, scale));
+    let runs = tia_par::par_map(&ALL_WORKLOADS, |&kind| {
+        run_uarch_workload(kind, config, scale)
+    });
     for run in &runs {
         let kind = run.kind;
         let c = run.counters;

@@ -119,8 +119,7 @@ fn null_tracer_counters_match_traced_run_bit_for_bit() {
 
     let params = Params::default();
     let config = UarchConfig::with_pq(Pipeline::T_D_X1_X2);
-    let mut factory =
-        |p: &Params, prog| UarchPe::with_tracer(p, config, prog, NullTracer);
+    let mut factory = |p: &Params, prog| UarchPe::with_tracer(p, config, prog, NullTracer);
     let mut built = WorkloadKind::Gcd
         .build(&params, Scale::Test, &mut factory)
         .expect("gcd builds");

@@ -412,12 +412,18 @@ mod tests {
         }
         assert_eq!(UarchConfig::all().len(), UarchConfig::DENSE_COUNT);
         // Configurations outside the closed population have no slot.
-        assert_eq!(UarchConfig::with_nested(Pipeline::T_DX, 2).dense_index(), None);
+        assert_eq!(
+            UarchConfig::with_nested(Pipeline::T_DX, 2).dense_index(),
+            None
+        );
         assert_eq!(
             UarchConfig::with_predictor(Pipeline::T_DX, PredictorKind::OneBit).dense_index(),
             None
         );
-        assert_eq!(UarchConfig::with_padding(Pipeline::T_DX).dense_index(), None);
+        assert_eq!(
+            UarchConfig::with_padding(Pipeline::T_DX).dense_index(),
+            None
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod config;
 pub mod counters;
 pub mod pe;
 pub mod predictor;
+pub mod spec_rules;
 
 pub use config::{Pipeline, PredictorKind, UarchConfig};
 pub use counters::{CpiStack, CycleClass, UarchCounters};

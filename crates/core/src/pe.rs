@@ -943,12 +943,10 @@ impl<T: Tracer> UarchPe<T> {
         // §5.2 restrictions while speculating: pre-retirement side
         // effects (dequeues) always; further predicate writers only
         // when the speculation stack is at its depth limit (the paper
-        // has depth 1 — no nesting; §6 relaxes it).
-        let spec_active = !self.spec_stack.is_empty();
-        let forbidden = (spec_active && instruction.has_dequeue())
-            || (self.config.predicate_prediction
-                && instruction.writes_predicate()
-                && self.spec_stack.len() >= self.config.speculation_depth.max(1) as usize);
+        // has depth 1 — no nesting; §6 relaxes it). The rule itself is
+        // shared with the static analyzer (`tia-lint`).
+        let forbidden =
+            crate::spec_rules::forbidden(instruction, &self.config, self.spec_stack.len());
 
         if forbidden {
             let status = if queue_effective && !data_blocked {

@@ -201,7 +201,13 @@ fn run_differential(
             cycle
         );
         for r in 0..4 {
-            prop_assert_eq!(cached.reg(r), full.reg(r), "r{} diverged at cycle {}", r, cycle);
+            prop_assert_eq!(
+                cached.reg(r),
+                full.reg(r),
+                "r{} diverged at cycle {}",
+                r,
+                cycle
+            );
         }
         for q in 0..4 {
             prop_assert_eq!(
@@ -221,7 +227,12 @@ fn run_differential(
                 cycle
             );
         }
-        prop_assert_eq!(cached.halted(), full.halted(), "halt diverged at cycle {}", cycle);
+        prop_assert_eq!(
+            cached.halted(),
+            full.halted(),
+            "halt diverged at cycle {}",
+            cycle
+        );
         if cached.halted() {
             break;
         }

@@ -264,6 +264,13 @@ impl<P: ProcessingElement> System<P> {
         }
     }
 
+    /// Every channel wired so far, in connection order. Static
+    /// analyzers (`tia-lint`) use this to build the inter-PE channel
+    /// dependency graph without running the system.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
     /// The current cycle count.
     pub fn cycle(&self) -> u64 {
         self.cycle

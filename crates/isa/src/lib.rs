@@ -76,6 +76,7 @@ pub mod op;
 pub mod params;
 pub mod pred;
 pub mod program;
+pub mod spec_rules;
 
 pub use error::IsaError;
 pub use ids::{InputId, OutputId, PredId, RegId, Tag};

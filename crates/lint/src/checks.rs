@@ -1,0 +1,378 @@
+//! The per-program checks: reachability-derived trigger diagnoses,
+//! predicate-update liveness, and channel/queue discipline.
+
+use tia_isa::{Op, Params, PredState, Program};
+
+use crate::diag::{Check, Diagnostic, Level};
+use crate::graph::ReachAnalysis;
+
+/// Surfaces ISA validation failures as error diagnostics. Returns
+/// true when the program is valid (deeper analysis may proceed).
+pub fn validity(program: &Program, params: &Params, out: &mut Vec<Diagnostic>) -> bool {
+    let mut valid = true;
+    for (slot, instruction) in program.instructions().iter().enumerate() {
+        if let Err(e) = instruction.validate(params) {
+            out.push(Diagnostic::slot(
+                Level::Error,
+                Check::InvalidProgram,
+                slot,
+                e.to_string(),
+            ));
+            valid = false;
+        }
+    }
+    if valid {
+        if let Err(e) = program.validate(params) {
+            out.push(Diagnostic::program(
+                Level::Error,
+                Check::InvalidProgram,
+                e.to_string(),
+            ));
+            valid = false;
+        }
+    }
+    valid
+}
+
+/// Unreachable triggers, shadowed triggers, and dead predicate
+/// updates, all derived from the reachable-state graph.
+pub fn triggers(
+    program: &Program,
+    params: &Params,
+    reach: &ReachAnalysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !reach.analyzed {
+        out.push(Diagnostic::program(
+            Level::Info,
+            Check::UnreachableTrigger,
+            format!(
+                "predicate space 2^{} exceeds the exhaustive-analysis limit; \
+                 reachability checks skipped",
+                params.num_preds
+            ),
+        ));
+        return;
+    }
+
+    // Union of predicate bits any trigger pattern reads.
+    let read_union: u32 = program
+        .instructions()
+        .iter()
+        .filter(|i| i.valid)
+        .fold(0, |acc, i| acc | i.trigger.predicates.read_set());
+
+    for (slot, instruction) in program.instructions().iter().enumerate() {
+        if !instruction.valid {
+            continue;
+        }
+        let pattern = instruction.trigger.predicates.to_assembly(params.num_preds);
+        if reach.match_count[slot] == 0 {
+            out.push(Diagnostic::slot(
+                Level::Warning,
+                Check::UnreachableTrigger,
+                slot,
+                format!(
+                    "trigger pattern {pattern} matches none of the {} reachable \
+                     predicate states; this instruction can never fire",
+                    reach.reachable_count
+                ),
+            ));
+            continue;
+        }
+        if let Some(blocker) = reach.shadowed_by[slot] {
+            out.push(Diagnostic::slot(
+                Level::Warning,
+                Check::ShadowedTrigger,
+                slot,
+                format!(
+                    "higher-priority slot {blocker} is unconditionally eligible in \
+                     every reachable state matching {pattern}; this instruction can \
+                     never win the trigger stage"
+                ),
+            ));
+            continue;
+        }
+        let update = instruction.pred_update;
+        if !update.is_none() {
+            let inert = reach.fire_states[slot]
+                .iter()
+                .all(|&s| update.apply(PredState::from_bits(s)).bits() == s);
+            if inert {
+                out.push(Diagnostic::slot(
+                    Level::Warning,
+                    Check::DeadPredUpdate,
+                    slot,
+                    format!(
+                        "predicate update {} never changes the state in any of the \
+                         {} state(s) where this instruction fires",
+                        update.to_assembly(params.num_preds),
+                        reach.fire_states[slot].len()
+                    ),
+                ));
+            } else if update.write_set() & read_union == 0 {
+                out.push(Diagnostic::slot(
+                    Level::Warning,
+                    Check::UnreadPredUpdate,
+                    slot,
+                    format!(
+                        "predicate update {} writes only bits no trigger pattern \
+                         ever reads",
+                        update.to_assembly(params.num_preds)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Channel/queue discipline: tag-guard usage per trigger plus advisory
+/// structural findings (ungated enqueue loops, missing halt).
+pub fn queue_discipline(
+    program: &Program,
+    params: &Params,
+    reach: &ReachAnalysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    let slots = program.instructions();
+
+    // An input queue is tag-multiplexed when the program's checks can
+    // distinguish more than one head-tag value on it: two checks with
+    // different reference tags, or any negated check.
+    let mut checks_per_queue: Vec<Vec<(u32, bool)>> = vec![Vec::new(); params.num_input_queues];
+    for instruction in slots.iter().filter(|i| i.valid) {
+        for check in &instruction.trigger.queue_checks {
+            checks_per_queue[check.queue.index()].push((check.tag.value(), check.negate));
+        }
+    }
+    let multiplexed: Vec<bool> = checks_per_queue
+        .iter()
+        .map(|checks| {
+            let mut tags: Vec<u32> = checks.iter().map(|(t, _)| *t).collect();
+            tags.sort_unstable();
+            tags.dedup();
+            tags.len() > 1 || checks.iter().any(|(_, negate)| *negate)
+        })
+        .collect();
+
+    for (slot, instruction) in slots.iter().enumerate() {
+        if !instruction.valid {
+            continue;
+        }
+        let checked = |q: usize| -> bool {
+            instruction
+                .trigger
+                .queue_checks
+                .iter()
+                .any(|c| c.queue.index() == q)
+        };
+        let mut reads: Vec<usize> = instruction.input_operands().map(|q| q.index()).collect();
+        reads.sort_unstable();
+        reads.dedup();
+        for q in reads {
+            if multiplexed[q] && !checked(q) {
+                let check = if instruction.dequeues.iter().any(|d| d.index() == q) {
+                    Check::UnguardedDequeue
+                } else {
+                    Check::UntaggedRead
+                };
+                let verb = if check == Check::UnguardedDequeue {
+                    "dequeues"
+                } else {
+                    "reads"
+                };
+                out.push(Diagnostic::slot(
+                    Level::Warning,
+                    check,
+                    slot,
+                    format!(
+                        "{verb} tag-multiplexed input queue %i{q} without a tag guard; \
+                         a control token (e.g. an end-of-stream sentinel) would be \
+                         consumed as data"
+                    ),
+                ));
+            }
+        }
+
+        // An enqueue gated by nothing except its predicate pattern,
+        // in a state it never leaves, produces a token every cycle:
+        // the queue fills to `queue_capacity` and the PE wedges unless
+        // the fabric drains it. Advisory — this is exactly how
+        // streaming producers are written on purpose.
+        if let Some(output) = instruction.enqueues() {
+            let ungated = instruction.trigger.queue_checks.is_empty()
+                && instruction.input_operands().next().is_none();
+            if ungated && reach.analyzed {
+                let refires = reach.fire_states[slot].iter().any(|&s| {
+                    instruction
+                        .pred_update
+                        .apply(PredState::from_bits(s))
+                        .bits()
+                        == s
+                });
+                if refires {
+                    out.push(Diagnostic::slot(
+                        Level::Info,
+                        Check::OutputBackpressure,
+                        slot,
+                        format!(
+                            "enqueues %o{} every cycle while its state persists; \
+                             output fills to capacity {} unless a channel drains it",
+                            output.index(),
+                            params.queue_capacity
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    let has_live_halt = slots.iter().enumerate().any(|(slot, i)| {
+        i.valid && i.op == Op::Halt && (!reach.analyzed || !reach.fire_states[slot].is_empty())
+    });
+    if !has_live_halt {
+        out.push(Diagnostic::program(
+            Level::Info,
+            Check::NoHalt,
+            "no reachable halt: the PE runs until its cycle budget expires \
+             (normal for streaming PEs)",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::{
+        DstOperand, InputId, Instruction, OutputId, PredPattern, PredUpdate, QueueCheck,
+        SrcOperand, Tag, Trigger,
+    };
+
+    fn analyze(program: &Program, params: &Params) -> Vec<Diagnostic> {
+        let reach = ReachAnalysis::explore(program, params);
+        let mut out = Vec::new();
+        triggers(program, params, &reach, &mut out);
+        queue_discipline(program, params, &reach, &mut out);
+        out
+    }
+
+    #[test]
+    fn untagged_read_of_multiplexed_queue_warns() {
+        let params = Params::default();
+        let q0 = InputId::new(0, &params).unwrap();
+        let mut program = Program::empty();
+        // Slot 0 distinguishes tags on %i0; slot 1 reads it blind.
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::ANY,
+                queue_checks: vec![QueueCheck {
+                    queue: q0,
+                    tag: Tag::new(1, &params).unwrap(),
+                    negate: false,
+                }],
+            },
+            op: Op::Halt,
+            ..Instruction::default()
+        });
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::ANY,
+                queue_checks: vec![QueueCheck {
+                    queue: q0,
+                    tag: Tag::ZERO,
+                    negate: true,
+                }],
+            },
+            op: Op::Mov,
+            srcs: [SrcOperand::Input(q0), SrcOperand::None],
+            dst: DstOperand::Reg(tia_isa::RegId::new(0, &params).unwrap()),
+            ..Instruction::default()
+        });
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger::default(),
+            op: Op::Mov,
+            srcs: [SrcOperand::Input(q0), SrcOperand::None],
+            dst: DstOperand::Output(OutputId::new(0, &params).unwrap()),
+            dequeues: vec![q0],
+            ..Instruction::default()
+        });
+        let diags = analyze(&program, &params);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == Check::UnguardedDequeue && d.slot == Some(2)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn single_tag_queues_do_not_warn() {
+        let params = Params::default();
+        let q0 = InputId::new(0, &params).unwrap();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::ANY,
+                queue_checks: vec![QueueCheck {
+                    queue: q0,
+                    tag: Tag::ZERO,
+                    negate: false,
+                }],
+            },
+            op: Op::Mov,
+            srcs: [SrcOperand::Input(q0), SrcOperand::None],
+            dst: DstOperand::Output(OutputId::new(0, &params).unwrap()),
+            dequeues: vec![q0],
+            ..Instruction::default()
+        });
+        let diags = analyze(&program, &params);
+        assert!(diags
+            .iter()
+            .all(|d| d.check != Check::UntaggedRead && d.check != Check::UnguardedDequeue));
+    }
+
+    #[test]
+    fn dead_update_detected() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        // Fires only in the reset state; forces bits that are already
+        // zero there, so the update is inert — and the slot loops.
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::new(0, 0b11).unwrap(),
+                queue_checks: Vec::new(),
+            },
+            op: Op::Nop,
+            pred_update: PredUpdate::new(0, 0b11).unwrap(),
+            ..Instruction::default()
+        });
+        let diags = analyze(&program, &params);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == Check::DeadPredUpdate && d.slot == Some(0)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_instructions_become_error_diagnostics() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            op: Op::Add, // two sources required, none given
+            ..Instruction::default()
+        });
+        let mut out = Vec::new();
+        assert!(!validity(&program, &params, &mut out));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].level, Level::Error);
+        assert_eq!(out[0].check, Check::InvalidProgram);
+    }
+}

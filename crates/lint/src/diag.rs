@@ -1,0 +1,236 @@
+//! Diagnostics: levels, check identifiers, source spans, and the
+//! machine-readable report.
+
+use std::fmt;
+
+use serde::Value;
+
+/// Diagnostic severity.
+///
+/// `Error` findings make `tia-as --lint` fail; `Warning` findings fail
+/// only under `--deny-warnings`; `Info` findings are annotations (for
+/// example the exact slots that will force predictor stalls) and never
+/// gate anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Advisory annotation.
+    Info,
+    /// Probable programming mistake; the program still runs.
+    Warning,
+    /// The program is invalid or certain to misbehave.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warning => "warning",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The individual checks the analyzer performs. Each maps to a stable
+/// kebab-case identifier in JSON output (see docs/static-analysis.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Check {
+    /// ISA validation failure surfaced through the lint interface.
+    InvalidProgram,
+    /// Trigger pattern matches no reachable predicate state.
+    UnreachableTrigger,
+    /// A higher-priority trigger claims every reachable matching state.
+    ShadowedTrigger,
+    /// Trigger-encoded predicate update never changes the state.
+    DeadPredUpdate,
+    /// Update writes only predicate bits no trigger ever reads.
+    UnreadPredUpdate,
+    /// Reads a tag-multiplexed queue without a tag guard.
+    UntaggedRead,
+    /// Dequeues a tag-multiplexed queue the trigger never tag-tested.
+    UnguardedDequeue,
+    /// Ungated enqueue loop: output fills to capacity unless drained.
+    OutputBackpressure,
+    /// Program has no reachable `halt` (advisory; normal for
+    /// streaming PEs).
+    NoHalt,
+    /// Slot forces forbidden-instruction stalls under +P (§5.2).
+    SpecStall,
+    /// Program consumes an input queue no channel feeds.
+    UnconnectedInput,
+    /// Program produces into an output queue no channel drains.
+    UnconnectedOutput,
+    /// Channel dependency cycle that can deadlock under conservative
+    /// (non-+Q) queue accounting.
+    ChannelDeadlock,
+}
+
+impl Check {
+    /// The stable kebab-case identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::InvalidProgram => "invalid-program",
+            Check::UnreachableTrigger => "unreachable-trigger",
+            Check::ShadowedTrigger => "shadowed-trigger",
+            Check::DeadPredUpdate => "dead-pred-update",
+            Check::UnreadPredUpdate => "unread-pred-update",
+            Check::UntaggedRead => "untagged-read",
+            Check::UnguardedDequeue => "unguarded-dequeue",
+            Check::OutputBackpressure => "output-backpressure",
+            Check::NoHalt => "no-halt",
+            Check::SpecStall => "spec-stall",
+            Check::UnconnectedInput => "unconnected-input",
+            Check::UnconnectedOutput => "unconnected-output",
+            Check::ChannelDeadlock => "channel-deadlock",
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A source location (1-based), decoupled from `tia_asm::SourcePos` so
+/// the analyzer does not depend on the assembler crate (the assembler's
+/// `tia-as` binary depends on *this* crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Which check fired.
+    pub check: Check,
+    /// PE index, for system-level findings.
+    pub pe: Option<usize>,
+    /// Instruction slot (priority index) the finding is anchored to.
+    pub slot: Option<usize>,
+    /// Source span of the slot, when the program came from assembly.
+    pub span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A program-level finding anchored to an instruction slot.
+    pub fn slot(level: Level, check: Check, slot: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            level,
+            check,
+            pe: None,
+            slot: Some(slot),
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// A finding not anchored to any slot.
+    pub fn program(level: Level, check: Check, message: impl Into<String>) -> Self {
+        Diagnostic {
+            level,
+            check,
+            pe: None,
+            slot: None,
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// Renders for terminal output:
+    /// `file:line:col: level[check]: message` (pieces omitted when
+    /// unknown).
+    pub fn render(&self, file: Option<&str>) -> String {
+        let mut out = String::new();
+        if let Some(file) = file {
+            out.push_str(file);
+            out.push(':');
+        }
+        if let Some(span) = self.span {
+            out.push_str(&format!("{}:{}: ", span.line, span.column));
+        } else if file.is_some() {
+            out.push(' ');
+        }
+        out.push_str(&format!("{}[{}]: ", self.level, self.check));
+        if let Some(pe) = self.pe {
+            out.push_str(&format!("pe {pe}: "));
+        }
+        if let Some(slot) = self.slot {
+            out.push_str(&format!("slot {slot}: "));
+        }
+        out.push_str(&self.message);
+        out
+    }
+
+    /// The machine-readable form (see docs/static-analysis.md for the
+    /// schema).
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("level".to_string(), Value::String(self.level.name().into())),
+            ("check".to_string(), Value::String(self.check.name().into())),
+        ];
+        if let Some(pe) = self.pe {
+            fields.push(("pe".to_string(), Value::UInt(pe as u64)));
+        }
+        if let Some(slot) = self.slot {
+            fields.push(("slot".to_string(), Value::UInt(slot as u64)));
+        }
+        if let Some(span) = self.span {
+            fields.push(("line".to_string(), Value::UInt(span.line as u64)));
+            fields.push(("column".to_string(), Value::UInt(span.column as u64)));
+        }
+        fields.push(("message".to_string(), Value::String(self.message.clone())));
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_every_known_piece() {
+        let mut d = Diagnostic::slot(Level::Warning, Check::ShadowedTrigger, 3, "never wins");
+        d.span = Some(Span { line: 7, column: 2 });
+        let text = d.render(Some("prog.tia"));
+        assert_eq!(
+            text,
+            "prog.tia:7:2: warning[shadowed-trigger]: slot 3: never wins"
+        );
+    }
+
+    #[test]
+    fn json_value_carries_stable_names() {
+        let d = Diagnostic::program(Level::Error, Check::InvalidProgram, "boom");
+        let Value::Object(fields) = d.to_value() else {
+            panic!("expected object")
+        };
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "check" && matches!(v, Value::String(s) if s == "invalid-program")));
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "level" && matches!(v, Value::String(s) if s == "error")));
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error > Level::Warning);
+        assert!(Level::Warning > Level::Info);
+    }
+}

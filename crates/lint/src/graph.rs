@@ -1,0 +1,283 @@
+//! Reachable predicate-state graph by abstract interpretation.
+//!
+//! A triggered PE's entire control state is its predicate register
+//! file — at the paper's 8 predicates, at most 256 states — so the
+//! reachable state space can be enumerated exhaustively from the reset
+//! state (all bits 0). Datapath predicate writes and input-channel
+//! contents are treated as nondeterministic: a write forks both bit
+//! values, and queue-conditioned triggers *may* fire in any state
+//! their pattern matches. The result is an over-approximation of every
+//! predicate state the PE (speculating or not) can observe, which is
+//! what makes "this trigger matches no reachable state" a sound
+//! diagnosis.
+//!
+//! Shadowing uses the dual, *must*, direction: a higher-priority slot
+//! counts as a guaranteed blocker in a state only when no transient
+//! pipeline condition (queue status, register interlock, predicate
+//! hazard, §5.2 forbidden rules) can ever keep it out of the way while
+//! the lower-priority slot fires.
+
+use tia_isa::{DstOperand, Instruction, Params, PredState, Program};
+
+/// Predicate-space size limit for exhaustive exploration: `2^16`
+/// states. Above this the analysis reports itself unavailable instead
+/// of degrading silently.
+pub const MAX_EXHAUSTIVE_PREDS: usize = 16;
+
+/// Per-slot guard facts, precomputed once.
+#[derive(Debug, Clone)]
+struct Guard {
+    valid: bool,
+    on_set: u32,
+    off_set: u32,
+    /// Predicate bits the trigger reads or the instruction writes —
+    /// the hazard-tracking set the pipeline calls `touched`.
+    touched: u32,
+    /// Whether the slot can serve as a guaranteed blocker: it has no
+    /// queue checks, no input operands, no register reads, and a
+    /// destination that cannot stall (no output queue, no datapath
+    /// predicate write, so the §5.2 forbidden rules never apply).
+    unconditional: bool,
+    halt: bool,
+}
+
+/// The result of exploring a program's predicate-state space.
+#[derive(Debug, Clone)]
+pub struct ReachAnalysis {
+    /// False when the predicate space exceeds
+    /// [`MAX_EXHAUSTIVE_PREDS`]; every per-state field is then empty
+    /// and checks must degrade conservatively.
+    pub analyzed: bool,
+    /// Number of reachable predicate states.
+    pub reachable_count: usize,
+    /// Per slot: reachable states in which the slot may fire.
+    pub fire_states: Vec<Vec<u32>>,
+    /// Per slot: number of reachable states its pattern matches.
+    pub match_count: Vec<usize>,
+    /// Per slot: a higher-priority slot that claims every reachable
+    /// matching state (set only when the slot matches somewhere but
+    /// can never fire).
+    pub shadowed_by: Vec<Option<usize>>,
+}
+
+impl ReachAnalysis {
+    /// Explores the reachable predicate-state graph of `program`.
+    pub fn explore(program: &Program, params: &Params) -> Self {
+        let slots = program.instructions();
+        let n = slots.len();
+        if params.num_preds > MAX_EXHAUSTIVE_PREDS {
+            return ReachAnalysis {
+                analyzed: false,
+                reachable_count: 0,
+                fire_states: vec![Vec::new(); n],
+                match_count: vec![0; n],
+                shadowed_by: vec![None; n],
+            };
+        }
+
+        let guards: Vec<Guard> = slots.iter().map(Guard::of).collect();
+        // Bits any datapath predicate destination can leave pending in
+        // the pipeline; only these participate in predicate hazards.
+        let datapath_bits: u32 = slots
+            .iter()
+            .filter(|i| i.valid)
+            .filter_map(|i| i.dst.predicate())
+            .fold(0, |acc, p| acc | (1 << p.index()));
+
+        let num_states = 1usize << params.num_preds;
+        let mut reachable = vec![false; num_states];
+        let mut fire_states = vec![Vec::new(); n];
+        let mut match_count = vec![0usize; n];
+        let mut first_blocker = vec![None; n];
+        let mut ever_fired = vec![false; n];
+
+        let mut work = vec![0u32];
+        reachable[0] = true;
+        while let Some(state) = work.pop() {
+            let pred_state = PredState::from_bits(state);
+            // Guaranteed blockers seen so far in this state, in
+            // priority order: (slot, touched set).
+            let mut blockers: Vec<(usize, u32)> = Vec::new();
+            for (slot, guard) in guards.iter().enumerate() {
+                if !guard.valid || !guard.matches(state) {
+                    continue;
+                }
+                match_count[slot] += 1;
+                // A higher-priority blocker wins unless a predicate
+                // hazard could transiently park it while this slot
+                // stays unblocked — impossible exactly when every
+                // datapath-writable bit the blocker touches is also
+                // touched by this slot.
+                let blocked_by = blockers
+                    .iter()
+                    .find(|(_, touched)| touched & datapath_bits & !guards[slot].touched == 0)
+                    .map(|(j, _)| *j);
+                if let Some(j) = blocked_by {
+                    if first_blocker[slot].is_none() {
+                        first_blocker[slot] = Some(j);
+                    }
+                } else {
+                    fire_states[slot].push(state);
+                    ever_fired[slot] = true;
+                    if !guard.halt {
+                        let instruction = &slots[slot];
+                        let base = instruction.pred_update.apply(pred_state).bits();
+                        let successors: [Option<u32>; 2] = match instruction.dst {
+                            DstOperand::Pred(p) => {
+                                let bit = 1u32 << p.index();
+                                [Some(base | bit), Some(base & !bit)]
+                            }
+                            _ => [Some(base), None],
+                        };
+                        for next in successors.into_iter().flatten() {
+                            if !reachable[next as usize] {
+                                reachable[next as usize] = true;
+                                work.push(next);
+                            }
+                        }
+                    }
+                }
+                if guard.unconditional {
+                    blockers.push((slot, guard.touched));
+                }
+            }
+        }
+
+        let shadowed_by = (0..n)
+            .map(|slot| {
+                if ever_fired[slot] {
+                    None
+                } else {
+                    first_blocker[slot]
+                }
+            })
+            .collect();
+
+        ReachAnalysis {
+            analyzed: true,
+            reachable_count: reachable.iter().filter(|r| **r).count(),
+            fire_states,
+            match_count,
+            shadowed_by,
+        }
+    }
+}
+
+impl Guard {
+    fn of(i: &Instruction) -> Guard {
+        let pattern = i.trigger.predicates;
+        let unconditional = i.valid
+            && i.trigger.queue_checks.is_empty()
+            && i.input_operands().next().is_none()
+            && i.register_reads().next().is_none()
+            && matches!(i.dst, DstOperand::None | DstOperand::Reg(_));
+        Guard {
+            valid: i.valid,
+            on_set: pattern.on_set(),
+            off_set: pattern.off_set(),
+            touched: pattern.read_set() | i.predicate_write_set(),
+            unconditional,
+            halt: i.op == tia_isa::Op::Halt,
+        }
+    }
+
+    fn matches(&self, state: u32) -> bool {
+        (state & self.on_set) == self.on_set && (state & self.off_set) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::{Op, PredPattern, PredUpdate, SrcOperand};
+
+    fn step(pattern: (u32, u32), update: (u32, u32)) -> Instruction {
+        Instruction {
+            valid: true,
+            trigger: tia_isa::Trigger {
+                predicates: PredPattern::new(pattern.0, pattern.1).unwrap(),
+                queue_checks: Vec::new(),
+            },
+            op: Op::Nop,
+            pred_update: PredUpdate::new(update.0, update.1).unwrap(),
+            ..Instruction::default()
+        }
+    }
+
+    #[test]
+    fn phase_machine_reaches_exactly_its_phases() {
+        // 0 → 1 → 2 → halt; predicate bits 0..1 encode the phase.
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(step((0b00, 0b11), (0b01, 0b10)));
+        program.push(step((0b01, 0b10), (0b10, 0b01)));
+        let mut halt = step((0b10, 0b01), (0, 0));
+        halt.op = Op::Halt;
+        program.push(halt);
+        let analysis = ReachAnalysis::explore(&program, &params);
+        assert!(analysis.analyzed);
+        assert_eq!(analysis.reachable_count, 3);
+        for slot in 0..3 {
+            assert_eq!(analysis.fire_states[slot].len(), 1, "slot {slot}");
+            assert!(analysis.shadowed_by[slot].is_none());
+        }
+    }
+
+    #[test]
+    fn datapath_predicate_writes_fork_both_values() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        let mut writer = step((0, 0b110), (0b010, 0));
+        writer.op = Op::Eq;
+        writer.srcs = [SrcOperand::Imm, SrcOperand::Imm];
+        writer.dst = DstOperand::Pred(tia_isa::PredId::new(2, &params).unwrap());
+        program.push(writer);
+        let analysis = ReachAnalysis::explore(&program, &params);
+        // 0b000 (reset) → writer fires → 0b010|0b100 and 0b010.
+        assert!(analysis.analyzed);
+        assert_eq!(analysis.reachable_count, 3);
+    }
+
+    #[test]
+    fn unconditional_higher_slot_blocks_lower_matches() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(step((0, 0), (0, 0))); // when anything: nop (loops forever)
+        program.push(step((0, 0b1), (0b1, 0))); // same reset state, never wins
+        let analysis = ReachAnalysis::explore(&program, &params);
+        assert_eq!(analysis.fire_states[0].len(), 1);
+        assert!(analysis.fire_states[1].is_empty());
+        assert_eq!(analysis.match_count[1], 1);
+        assert_eq!(analysis.shadowed_by[1], Some(0));
+    }
+
+    #[test]
+    fn queue_conditioned_slots_never_count_as_blockers() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        let mut gated = step((0, 0), (0, 0));
+        gated.trigger.queue_checks.push(tia_isa::QueueCheck {
+            queue: tia_isa::InputId::new(0, &params).unwrap(),
+            tag: tia_isa::Tag::ZERO,
+            negate: false,
+        });
+        program.push(gated); // may fire, but only when the queue obliges
+        program.push(step((0, 0b1), (0b1, 0))); // still free to fire
+        let analysis = ReachAnalysis::explore(&program, &params);
+        // The gated slot's ANY pattern matches both reachable states
+        // (0b0 and 0b1); slot 1 fires from reset despite it.
+        assert_eq!(analysis.fire_states[0].len(), 2);
+        assert_eq!(analysis.fire_states[1].len(), 1);
+        assert!(analysis.shadowed_by[1].is_none());
+    }
+
+    #[test]
+    fn oversized_predicate_spaces_degrade_explicitly() {
+        let mut params = Params::default();
+        params.num_preds = 24;
+        let mut program = Program::empty();
+        program.push(step((0, 0), (0, 0)));
+        let analysis = ReachAnalysis::explore(&program, &params);
+        assert!(!analysis.analyzed);
+    }
+}

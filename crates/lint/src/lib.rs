@@ -1,0 +1,286 @@
+//! # tia-lint
+//!
+//! Static analyzer and verifier for triggered-instruction programs
+//! (Repetti et al., "Pipelining a Triggered Processing Element",
+//! MICRO-50, 2017).
+//!
+//! A triggered PE has no program counter: its entire control state is
+//! the predicate register file, and every instruction carries its own
+//! guard. That makes whole-program analysis unusually tractable — the
+//! reachable control space is at most `2^num_preds` states — and this
+//! crate exploits it three ways:
+//!
+//! 1. **Reachability** ([`ReachAnalysis`]): abstract interpretation of
+//!    the predicate-state graph from the reset state, with datapath
+//!    predicate writes and input-channel contents treated as
+//!    nondeterministic. Finds triggers that can never fire
+//!    (`unreachable-trigger`), triggers always beaten by a
+//!    higher-priority slot (`shadowed-trigger`), and predicate updates
+//!    that never change anything (`dead-pred-update`).
+//! 2. **Speculability** ([`SpecSummary`]): classifies every slot
+//!    against the +P forbidden-instruction rules (§5.2) shared with
+//!    the cycle-level pipeline via `tia_isa::spec_rules`, and decides
+//!    whether each restricted slot can actually coincide with an open
+//!    speculation window. Programs with no such slot are certified
+//!    *fully speculable*.
+//! 3. **Channel discipline** ([`lint_program`] queue checks and
+//!    [`lint_system`]): tag-multiplexed queues read without a tag
+//!    guard, dangling channel endpoints, and channel dependency cycles
+//!    that deadlock under conservative (non-+Q) queue accounting.
+//!
+//! Diagnostics ([`Diagnostic`]) carry severity, a stable kebab-case
+//! check identifier, an optional PE/slot anchor, and — when the
+//! program came through `tia-asm` — a source span. They render for
+//! terminals or serialize to JSON (`docs/static-analysis.md` documents
+//! the schema). The `tia-as --lint` and `tia-funcsim --lint` flags and
+//! the workload test suite are the main consumers.
+
+pub mod checks;
+pub mod diag;
+pub mod graph;
+pub mod spec;
+pub mod system;
+
+pub use diag::{Check, Diagnostic, Level, Span};
+pub use graph::{ReachAnalysis, MAX_EXHAUSTIVE_PREDS};
+pub use spec::SpecSummary;
+pub use system::lint_system;
+
+use serde::Value;
+use tia_isa::{Params, Program};
+
+/// The complete result of linting one program.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Findings, in slot order within each pass.
+    pub diagnostics: Vec<Diagnostic>,
+    /// +P speculability classification.
+    pub speculation: SpecSummary,
+    /// Number of reachable predicate states (0 when unanalyzed).
+    pub reachable_states: usize,
+    /// False when the predicate space was too large for exhaustive
+    /// reachability (see [`MAX_EXHAUSTIVE_PREDS`]).
+    pub analyzed: bool,
+}
+
+impl LintReport {
+    /// Number of error-level findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Level::Error)
+    }
+
+    /// Number of warning-level findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Level::Warning)
+    }
+
+    fn count(&self, level: Level) -> usize {
+        self.diagnostics.iter().filter(|d| d.level == level).count()
+    }
+
+    /// True when the report carries no errors and no warnings
+    /// (info-level annotations are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.warning_count() == 0
+    }
+
+    /// The machine-readable report (schema in docs/static-analysis.md).
+    pub fn to_value(&self) -> Value {
+        let classes: Vec<Value> = self
+            .speculation
+            .classes
+            .iter()
+            .map(|c| Value::String(c.describe().to_string()))
+            .collect();
+        let stalls: Vec<Value> = self
+            .speculation
+            .stall_slots
+            .iter()
+            .map(|&s| Value::UInt(s as u64))
+            .collect();
+        Value::Object(vec![
+            (
+                "diagnostics".to_string(),
+                Value::Array(self.diagnostics.iter().map(|d| d.to_value()).collect()),
+            ),
+            (
+                "speculation".to_string(),
+                Value::Object(vec![
+                    (
+                        "fully_speculable".to_string(),
+                        Value::Bool(self.speculation.fully_speculable),
+                    ),
+                    (
+                        "activates_predictor".to_string(),
+                        Value::Bool(self.speculation.activates_predictor),
+                    ),
+                    ("stall_slots".to_string(), Value::Array(stalls)),
+                    ("classes".to_string(), Value::Array(classes)),
+                ]),
+            ),
+            (
+                "reachable_states".to_string(),
+                Value::UInt(self.reachable_states as u64),
+            ),
+            ("analyzed".to_string(), Value::Bool(self.analyzed)),
+            ("errors".to_string(), Value::UInt(self.error_count() as u64)),
+            (
+                "warnings".to_string(),
+                Value::UInt(self.warning_count() as u64),
+            ),
+        ])
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("report serialization is infallible")
+    }
+}
+
+/// Lints a single PE program.
+pub fn lint_program(program: &Program, params: &Params) -> LintReport {
+    let mut diagnostics = Vec::new();
+    if !checks::validity(program, params, &mut diagnostics) {
+        // An invalid program has no trustworthy semantics to analyze.
+        return LintReport {
+            diagnostics,
+            speculation: SpecSummary {
+                classes: Vec::new(),
+                stall_slots: Vec::new(),
+                activates_predictor: false,
+                fully_speculable: false,
+            },
+            reachable_states: 0,
+            analyzed: false,
+        };
+    }
+
+    let reach = ReachAnalysis::explore(program, params);
+    checks::triggers(program, params, &reach, &mut diagnostics);
+    checks::queue_discipline(program, params, &reach, &mut diagnostics);
+    let speculation = spec::classify(program, params, &reach);
+    for &slot in &speculation.stall_slots {
+        let class = speculation.classes[slot];
+        diagnostics.push(Diagnostic::slot(
+            Level::Info,
+            Check::SpecStall,
+            slot,
+            format!(
+                "{}; its trigger can match inside a speculation window, so under +P \
+                 it forces forbidden-instruction stalls (§5.2)",
+                class.describe()
+            ),
+        ));
+    }
+
+    LintReport {
+        diagnostics,
+        speculation,
+        reachable_states: reach.reachable_count,
+        analyzed: reach.analyzed,
+    }
+}
+
+/// Lints a program assembled from source, attaching per-slot source
+/// spans (`spans[slot]`) to every slot-anchored diagnostic.
+pub fn lint_program_with_spans(program: &Program, params: &Params, spans: &[Span]) -> LintReport {
+    let mut report = lint_program(program, params);
+    for diagnostic in &mut report.diagnostics {
+        if let Some(slot) = diagnostic.slot {
+            diagnostic.span = spans.get(slot).copied();
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::{Instruction, Op, PredPattern, PredUpdate, Trigger};
+
+    fn step(pattern: (u32, u32), update: (u32, u32), op: Op) -> Instruction {
+        Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::new(pattern.0, pattern.1).unwrap(),
+                queue_checks: Vec::new(),
+            },
+            op,
+            pred_update: PredUpdate::new(update.0, update.1).unwrap(),
+            ..Instruction::default()
+        }
+    }
+
+    /// 0 → 1 → halt, plus one slot whose pattern is unreachable.
+    fn phase_program() -> Program {
+        let mut program = Program::empty();
+        program.push(step((0b00, 0b11), (0b01, 0b00), Op::Nop));
+        program.push(step((0b01, 0b10), (0b10, 0b01), Op::Nop));
+        program.push(step((0b10, 0b01), (0, 0), Op::Halt));
+        program.push(step((0b11, 0b00), (0, 0), Op::Nop)); // unreachable
+        program
+    }
+
+    #[test]
+    fn report_summarizes_reachability_and_speculation() {
+        let params = Params::default();
+        let report = lint_program(&phase_program(), &params);
+        assert!(report.analyzed);
+        assert_eq!(report.reachable_states, 3);
+        assert!(report.speculation.fully_speculable);
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.is_clean());
+        assert_eq!(report.diagnostics[0].check, Check::UnreachableTrigger);
+        assert_eq!(report.diagnostics[0].slot, Some(3));
+    }
+
+    #[test]
+    fn spans_attach_by_slot() {
+        let params = Params::default();
+        let spans: Vec<Span> = (0..4)
+            .map(|i| Span {
+                line: 10 + i,
+                column: 1,
+            })
+            .collect();
+        let report = lint_program_with_spans(&phase_program(), &params, &spans);
+        let finding = &report.diagnostics[0];
+        assert_eq!(finding.slot, Some(3));
+        assert_eq!(
+            finding.span,
+            Some(Span {
+                line: 13,
+                column: 1
+            })
+        );
+    }
+
+    #[test]
+    fn json_report_round_trips_through_the_parser() {
+        let params = Params::default();
+        let report = lint_program(&phase_program(), &params);
+        let json = report.to_json();
+        let value = serde_json::from_str(&json).expect("report JSON parses");
+        let Value::Object(fields) = value else {
+            panic!("expected object");
+        };
+        assert!(fields.iter().any(|(k, _)| k == "diagnostics"));
+        assert!(fields.iter().any(|(k, _)| k == "speculation"));
+    }
+
+    #[test]
+    fn invalid_programs_report_errors_and_skip_analysis() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            op: Op::Add,
+            ..Instruction::default()
+        });
+        let report = lint_program(&program, &params);
+        assert!(report.error_count() > 0);
+        assert!(!report.analyzed);
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,197 @@
+//! +P speculability classification (§4.1/§5.2).
+//!
+//! Classifies every slot against the forbidden-instruction rules the
+//! pipeline enforces while a predicate speculation is unconfirmed, and
+//! decides whether those restrictions can ever actually bite: a
+//! restricted slot only forces predictor stalls if its trigger can
+//! match inside some speculation window. Programs with no such slot
+//! are certified *fully speculable* — under +P they never spend a
+//! cycle in the forbidden stall class.
+
+use tia_isa::spec_rules::{restriction, SpecRestriction};
+use tia_isa::{DstOperand, Params, PredState, Program};
+
+use crate::graph::ReachAnalysis;
+
+/// The speculability summary attached to every [`crate::LintReport`].
+#[derive(Debug, Clone)]
+pub struct SpecSummary {
+    /// Per-slot §5.2 classification.
+    pub classes: Vec<SpecRestriction>,
+    /// Slots whose restriction can coincide with an open speculation
+    /// window, forcing forbidden-instruction stalls under +P at the
+    /// paper's nesting depth of 1.
+    pub stall_slots: Vec<usize>,
+    /// Whether the program ever activates the predictor (has a
+    /// reachable datapath predicate writer).
+    pub activates_predictor: bool,
+    /// True when no slot can ever hit a §5.2 forbidden stall.
+    pub fully_speculable: bool,
+}
+
+/// Classifies `program` against the +P restrictions using the
+/// reachability analysis to decide which restrictions can actually
+/// coincide with a speculation window.
+pub fn classify(program: &Program, params: &Params, reach: &ReachAnalysis) -> SpecSummary {
+    let slots = program.instructions();
+    let classes: Vec<SpecRestriction> = slots.iter().map(restriction).collect();
+
+    // Writers that can actually fire open speculation windows.
+    let live_writer = |slot: usize| {
+        slots[slot].valid
+            && matches!(slots[slot].dst, DstOperand::Pred(_))
+            && (!reach.analyzed || !reach.fire_states[slot].is_empty())
+    };
+    let activates_predictor = (0..slots.len()).any(live_writer);
+    if !activates_predictor {
+        return SpecSummary {
+            classes,
+            stall_slots: Vec::new(),
+            activates_predictor,
+            fully_speculable: true,
+        };
+    }
+
+    let stall_slots: Vec<usize> = if !reach.analyzed {
+        // No state graph: every restricted slot may stall.
+        (0..slots.len())
+            .filter(|&s| slots[s].valid && classes[s].is_restricted())
+            .collect()
+    } else {
+        // Speculation-window states: for each firing state of each
+        // writer, the post-update state with the speculated bit in
+        // either polarity.
+        let mut window_states: Vec<u32> = Vec::new();
+        for (slot, instruction) in slots.iter().enumerate() {
+            if !live_writer(slot) {
+                continue;
+            }
+            let DstOperand::Pred(p) = instruction.dst else {
+                continue;
+            };
+            let bit = 1u32 << p.index();
+            for &state in &reach.fire_states[slot] {
+                let base = instruction
+                    .pred_update
+                    .apply(PredState::from_bits(state))
+                    .bits();
+                window_states.push(base | bit);
+                window_states.push(base & !bit);
+            }
+        }
+        window_states.sort_unstable();
+        window_states.dedup();
+
+        (0..slots.len())
+            .filter(|&s| {
+                slots[s].valid
+                    && classes[s].is_restricted()
+                    && window_states
+                        .iter()
+                        .any(|&w| slots[s].trigger.predicates.matches(PredState::from_bits(w)))
+            })
+            .collect()
+    };
+
+    let fully_speculable = stall_slots.is_empty();
+    let _ = params;
+    SpecSummary {
+        classes,
+        stall_slots,
+        activates_predictor,
+        fully_speculable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::{Instruction, Op, PredId, PredPattern, PredUpdate, SrcOperand, Trigger};
+
+    fn pattern(on: u32, off: u32) -> Trigger {
+        Trigger {
+            predicates: PredPattern::new(on, off).unwrap(),
+            queue_checks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn programs_without_writers_are_fully_speculable() {
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            trigger: pattern(0, 0b1),
+            op: Op::Nop,
+            pred_update: PredUpdate::new(0b1, 0).unwrap(),
+            ..Instruction::default()
+        });
+        let reach = ReachAnalysis::explore(&program, &params);
+        let spec = classify(&program, &params, &reach);
+        assert!(spec.fully_speculable);
+        assert!(!spec.activates_predictor);
+        assert!(spec.stall_slots.is_empty());
+    }
+
+    #[test]
+    fn writer_that_retriggers_in_its_own_window_stalls() {
+        // A gcd-style loop: the writer's pattern matches the window
+        // state, so at depth 1 it blocks on its own speculation.
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            trigger: pattern(0, 0b10), // p1 == 0
+            op: Op::Eq,
+            srcs: [SrcOperand::Imm, SrcOperand::Imm],
+            dst: DstOperand::Pred(PredId::new(0, &params).unwrap()),
+            ..Instruction::default()
+        });
+        let reach = ReachAnalysis::explore(&program, &params);
+        let spec = classify(&program, &params, &reach);
+        assert!(spec.activates_predictor);
+        assert!(!spec.fully_speculable);
+        assert_eq!(spec.stall_slots, vec![0]);
+    }
+
+    #[test]
+    fn restricted_slot_outside_every_window_does_not_stall() {
+        // Writer fires only with p2 == 0 and forces p2 high, so its
+        // window always has p2 == 1... and the dequeuing slot requires
+        // p2 == 0, outside every window state.
+        let params = Params::default();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            trigger: pattern(0, 0b100),
+            op: Op::Eq,
+            srcs: [SrcOperand::Imm, SrcOperand::Imm],
+            dst: DstOperand::Pred(PredId::new(0, &params).unwrap()),
+            pred_update: PredUpdate::new(0b100, 0).unwrap(),
+            ..Instruction::default()
+        });
+        // Reachable states now include p2 == 1 ones where a dequeue
+        // slot lives; it cannot overlap the writer's window only if
+        // its pattern excludes them. The window states all have
+        // p2 == 1, so require p2 == 0:
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: PredPattern::new(0, 0b100).unwrap(),
+                queue_checks: vec![tia_isa::QueueCheck {
+                    queue: tia_isa::InputId::new(0, &params).unwrap(),
+                    tag: tia_isa::Tag::ZERO,
+                    negate: false,
+                }],
+            },
+            op: Op::Nop,
+            dequeues: vec![tia_isa::InputId::new(0, &params).unwrap()],
+            ..Instruction::default()
+        });
+        let reach = ReachAnalysis::explore(&program, &params);
+        let spec = classify(&program, &params, &reach);
+        assert!(spec.activates_predictor);
+        assert_eq!(spec.classes[1], SpecRestriction::Dequeue);
+        assert!(spec.fully_speculable, "stall slots: {:?}", spec.stall_slots);
+    }
+}

@@ -1,0 +1,375 @@
+//! System-level checks over a fabric description: channel
+//! connectivity and deadlock cycles.
+//!
+//! The deadlock check builds the inter-PE channel dependency graph.
+//! Nodes are channels (fabric [`Link`]s); there is an edge A → B when
+//! producing a token onto B can require first consuming a token from A:
+//!
+//! * inside a PE, when some instruction enqueues B's source queue while
+//!   its trigger checks, reads, or dequeues A's destination queue;
+//! * through a memory read port, from the address-request channel to
+//!   the data-response channel.
+//!
+//! Under conservative accounting — no credit for queue capacity or for
+//! tokens in flight, i.e. without the +Q occupancy extension — any
+//! cycle in this graph can wedge: every channel on the cycle waits for
+//! a token that can only be produced after its own. Each strongly
+//! connected component with a cycle is reported once.
+
+use tia_fabric::{InputRef, Link, OutputRef};
+use tia_isa::{Params, Program};
+
+use crate::diag::{Check, Diagnostic, Level};
+
+/// Renders a channel endpoint the way workload builders talk about
+/// them.
+fn describe_output(r: OutputRef) -> String {
+    match r {
+        OutputRef::Pe { pe, queue } => format!("pe{pe}.%o{queue}"),
+        OutputRef::ReadData { port } => format!("read-port{port}.data"),
+        OutputRef::Source { source } => format!("source{source}"),
+    }
+}
+
+fn describe_input(r: InputRef) -> String {
+    match r {
+        InputRef::Pe { pe, queue } => format!("pe{pe}.%i{queue}"),
+        InputRef::ReadAddr { port } => format!("read-port{port}.addr"),
+        InputRef::WriteAddr { port } => format!("write-port{port}.addr"),
+        InputRef::WriteData { port } => format!("write-port{port}.data"),
+        InputRef::SeqWriteData { port } => format!("seq-write-port{port}.data"),
+        InputRef::Sink { sink } => format!("sink{sink}"),
+    }
+}
+
+fn describe_link(link: &Link) -> String {
+    format!(
+        "{} -> {}",
+        describe_output(link.from),
+        describe_input(link.to)
+    )
+}
+
+/// Lints a whole fabric: `programs[pe]` is the program loaded into PE
+/// `pe`, and `links` is the channel list (see
+/// `tia_fabric::System::links`).
+///
+/// Produces `unconnected-input` / `unconnected-output` warnings for
+/// queues a program uses without a channel behind them, and
+/// `channel-deadlock` warnings for dependency cycles.
+pub fn lint_system(programs: &[Program], params: &Params, links: &[Link]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let _ = params;
+
+    for (pe, program) in programs.iter().enumerate() {
+        let slots = program.instructions();
+        let mut inputs_used: Vec<usize> = Vec::new();
+        let mut outputs_used: Vec<usize> = Vec::new();
+        for instruction in slots.iter().filter(|i| i.valid) {
+            for check in &instruction.trigger.queue_checks {
+                inputs_used.push(check.queue.index());
+            }
+            inputs_used.extend(instruction.input_operands().map(|q| q.index()));
+            inputs_used.extend(instruction.dequeues.iter().map(|q| q.index()));
+            if let Some(o) = instruction.enqueues() {
+                outputs_used.push(o.index());
+            }
+        }
+        inputs_used.sort_unstable();
+        inputs_used.dedup();
+        outputs_used.sort_unstable();
+        outputs_used.dedup();
+
+        for q in inputs_used {
+            let fed = links.iter().any(|l| l.to == InputRef::Pe { pe, queue: q });
+            if !fed {
+                out.push(Diagnostic {
+                    level: Level::Warning,
+                    check: Check::UnconnectedInput,
+                    pe: Some(pe),
+                    slot: None,
+                    span: None,
+                    message: format!(
+                        "program waits on input queue %i{q} but no channel feeds it; \
+                         triggers gated on it can never fire"
+                    ),
+                });
+            }
+        }
+        for q in outputs_used {
+            let drained = links
+                .iter()
+                .any(|l| l.from == OutputRef::Pe { pe, queue: q });
+            if !drained {
+                out.push(Diagnostic {
+                    level: Level::Warning,
+                    check: Check::UnconnectedOutput,
+                    pe: Some(pe),
+                    slot: None,
+                    span: None,
+                    message: format!(
+                        "program enqueues output queue %o{q} but no channel drains it; \
+                         the queue fills and the PE wedges"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Dependency edges between links.
+    let n = links.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (pe, program) in programs.iter().enumerate() {
+        for instruction in program.instructions().iter().filter(|i| i.valid) {
+            let Some(output) = instruction.enqueues() else {
+                continue;
+            };
+            let Some(out_link) = links.iter().position(|l| {
+                l.from
+                    == OutputRef::Pe {
+                        pe,
+                        queue: output.index(),
+                    }
+            }) else {
+                continue;
+            };
+            let mut waits: Vec<usize> = instruction
+                .trigger
+                .queue_checks
+                .iter()
+                .map(|c| c.queue.index())
+                .chain(instruction.input_operands().map(|q| q.index()))
+                .chain(instruction.dequeues.iter().map(|q| q.index()))
+                .collect();
+            waits.sort_unstable();
+            waits.dedup();
+            for q in waits {
+                if let Some(in_link) = links
+                    .iter()
+                    .position(|l| l.to == InputRef::Pe { pe, queue: q })
+                {
+                    edges[in_link].push(out_link);
+                }
+            }
+        }
+    }
+    for (a, link_a) in links.iter().enumerate() {
+        if let InputRef::ReadAddr { port } = link_a.to {
+            for (b, link_b) in links.iter().enumerate() {
+                if link_b.from == (OutputRef::ReadData { port }) {
+                    edges[a].push(b);
+                }
+            }
+        }
+    }
+
+    for cycle in find_cycles(&edges) {
+        let path: Vec<String> = cycle.iter().map(|&i| describe_link(&links[i])).collect();
+        out.push(Diagnostic {
+            level: Level::Warning,
+            check: Check::ChannelDeadlock,
+            pe: None,
+            slot: None,
+            span: None,
+            message: format!(
+                "channel dependency cycle under conservative (non-+Q) accounting: \
+                 every token on the cycle waits for one produced after it \
+                 [{}]",
+                path.join("; ")
+            ),
+        });
+    }
+
+    out
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative);
+/// returns each component that contains a cycle (size > 1, or a
+/// self-edge), nodes in discovery order.
+fn find_cycles(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut cycles = Vec::new();
+
+    // Explicit DFS state: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, child)) = call.last() {
+            if child == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if child < edges[v].len() {
+                let w = edges[v][child];
+                call.last_mut().expect("non-empty").1 += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.reverse();
+                    let cyclic = component.len() > 1 || edges[component[0]].contains(&component[0]);
+                    if cyclic {
+                        cycles.push(component);
+                    }
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    // Tarjan emits components in reverse topological order; report in
+    // link order instead so diagnostics are stable.
+    cycles.sort_by_key(|c| c.iter().copied().min());
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_isa::{
+        DstOperand, InputId, Instruction, Op, OutputId, QueueCheck, SrcOperand, Tag, Trigger,
+    };
+
+    /// `when %i0.0: mov %o0, %i0; deq %i0` — the canonical relay.
+    fn relay(params: &Params) -> Program {
+        let q0 = InputId::new(0, params).unwrap();
+        let mut program = Program::empty();
+        program.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                queue_checks: vec![QueueCheck {
+                    queue: q0,
+                    tag: Tag::ZERO,
+                    negate: false,
+                }],
+                ..Trigger::default()
+            },
+            op: Op::Mov,
+            srcs: [SrcOperand::Input(q0), SrcOperand::None],
+            dst: DstOperand::Output(OutputId::new(0, params).unwrap()),
+            dequeues: vec![q0],
+            ..Instruction::default()
+        });
+        program
+    }
+
+    fn pe_link(from_pe: usize, from_q: usize, to_pe: usize, to_q: usize) -> Link {
+        Link {
+            from: OutputRef::Pe {
+                pe: from_pe,
+                queue: from_q,
+            },
+            to: InputRef::Pe {
+                pe: to_pe,
+                queue: to_q,
+            },
+        }
+    }
+
+    #[test]
+    fn two_pe_ping_pong_deadlocks() {
+        let params = Params::default();
+        let programs = vec![relay(&params), relay(&params)];
+        let links = vec![pe_link(0, 0, 1, 0), pe_link(1, 0, 0, 0)];
+        let diags = lint_system(&programs, &params, &links);
+        let deadlocks: Vec<_> = diags
+            .iter()
+            .filter(|d| d.check == Check::ChannelDeadlock)
+            .collect();
+        assert_eq!(deadlocks.len(), 1, "{diags:?}");
+        assert!(deadlocks[0].message.contains("pe0.%o0 -> pe1.%i0"));
+        assert!(deadlocks[0].message.contains("pe1.%o0 -> pe0.%i0"));
+    }
+
+    #[test]
+    fn feed_forward_chain_is_clean() {
+        let params = Params::default();
+        let programs = vec![relay(&params), relay(&params)];
+        let links = vec![
+            Link {
+                from: OutputRef::Source { source: 0 },
+                to: InputRef::Pe { pe: 0, queue: 0 },
+            },
+            pe_link(0, 0, 1, 0),
+            Link {
+                from: OutputRef::Pe { pe: 1, queue: 0 },
+                to: InputRef::Sink { sink: 0 },
+            },
+        ];
+        let diags = lint_system(&programs, &params, &links);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn self_feedback_loop_deadlocks() {
+        let params = Params::default();
+        let programs = vec![relay(&params)];
+        let links = vec![pe_link(0, 0, 0, 0)];
+        let diags = lint_system(&programs, &params, &links);
+        assert!(
+            diags.iter().any(|d| d.check == Check::ChannelDeadlock),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_queues_are_reported() {
+        let params = Params::default();
+        let programs = vec![relay(&params)];
+        let diags = lint_system(&programs, &params, &[]);
+        assert!(diags
+            .iter()
+            .any(|d| d.check == Check::UnconnectedInput && d.pe == Some(0)));
+        assert!(diags
+            .iter()
+            .any(|d| d.check == Check::UnconnectedOutput && d.pe == Some(0)));
+    }
+
+    #[test]
+    fn read_port_round_trip_closes_a_cycle() {
+        // PE sends addresses out of %o0 into a read port, and the data
+        // comes back on %i0 — but the address-generating instruction
+        // itself waits on %i0, so the very first address can never be
+        // produced without a data token that needs an address first.
+        let params = Params::default();
+        let programs = vec![relay(&params)];
+        let links = vec![
+            Link {
+                from: OutputRef::Pe { pe: 0, queue: 0 },
+                to: InputRef::ReadAddr { port: 0 },
+            },
+            Link {
+                from: OutputRef::ReadData { port: 0 },
+                to: InputRef::Pe { pe: 0, queue: 0 },
+            },
+        ];
+        let diags = lint_system(&programs, &params, &links);
+        assert!(
+            diags.iter().any(|d| d.check == Check::ChannelDeadlock),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Differential property test: the static analyzer's verdicts hold up
+//! against the cycle-accurate pipeline.
+//!
+//! For each random program the test checks two one-way implications:
+//!
+//! 1. **Soundness of unreachability.** A slot the lint marks
+//!    unreachable or shadowed must never appear in the retirement
+//!    trace of a 10 000-cycle [`UarchPe`] run, under any pipeline
+//!    configuration and any external queue traffic. (The reachability
+//!    analysis is *may-fire*: it over-approximates, so a flagged slot
+//!    is a guarantee, not a heuristic.)
+//! 2. **Cleanliness is benign.** A lint-clean program must run those
+//!    same 10 000 cycles without tripping any pipeline invariant.
+//!    This binary compiles with `debug_assertions`, so the PE's
+//!    internal cross-checks (trigger-cache audits, scoreboard checks)
+//!    are live — a panic anywhere fails the property.
+
+use proptest::prelude::*;
+use tia_asm::assemble;
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_fabric::{ProcessingElement, Token};
+use tia_isa::{Params, Tag};
+use tia_lint::{lint_program, Check};
+
+/// SplitMix64 — one seed from the proptest strategy drives the whole
+/// program + traffic schedule, so failures reproduce from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// A random but well-formed program over predicate bits p0..p2, all
+/// four input queues, both output queues, registers r0..r3 and tags
+/// 0/1. Biased toward narrow patterns and sparse updates so that a
+/// healthy fraction of generated programs contain genuinely
+/// unreachable or shadowed slots for implication 1 to bite on.
+fn random_program(rng: &mut Rng) -> String {
+    let slots = 2 + rng.below(6);
+    let mut src = String::new();
+    for _ in 0..slots {
+        let mut pattern = String::from("XXXXX");
+        for _ in 0..3 {
+            pattern.push(match rng.below(3) {
+                0 => 'X',
+                1 => '0',
+                _ => '1',
+            });
+        }
+
+        let queue = if rng.chance(1, 2) {
+            Some((rng.below(4), rng.below(2)))
+        } else {
+            None
+        };
+        let with = match queue {
+            Some((q, tag)) => format!(" with %i{q}.{tag}"),
+            None => String::new(),
+        };
+
+        let reg_src = format!("%r{}", rng.below(4));
+        let source = match queue {
+            Some((q, _)) if rng.chance(2, 3) => format!("%i{q}"),
+            _ => reg_src,
+        };
+        let op = match rng.below(8) {
+            0 => format!("add %r{}, {source}, {};", rng.below(4), rng.below(16)),
+            1 => format!("sub %r{}, {source}, {};", rng.below(4), rng.below(16)),
+            2 => format!("mov %r{}, {source};", rng.below(4)),
+            3 | 4 => format!(
+                "add %o{}.{}, {source}, {};",
+                rng.below(2),
+                rng.below(2),
+                rng.below(16)
+            ),
+            5 | 6 => format!("ult %p{}, {source}, {};", rng.below(3), rng.below(24)),
+            _ => "nop;".to_string(),
+        };
+        let pred_dst: Option<u64> = if op.starts_with("ult") {
+            Some(op.as_bytes()["ult %p".len()] as u64 - b'0' as u64)
+        } else {
+            None
+        };
+
+        let set = if rng.chance(2, 3) {
+            let mut update = String::from("ZZZZZ");
+            for bit in (0..3u64).rev() {
+                let free = pred_dst != Some(bit);
+                update.push(match rng.below(3) {
+                    0 if free => '0',
+                    1 if free => '1',
+                    _ => 'Z',
+                });
+            }
+            if update.chars().all(|c| c == 'Z') {
+                String::new()
+            } else {
+                format!(" set %p = {update};")
+            }
+        } else {
+            String::new()
+        };
+
+        let deq = match queue {
+            Some((q, _)) if rng.chance(3, 4) => format!(" deq %i{q};"),
+            _ => String::new(),
+        };
+
+        src.push_str(&format!("when %p == {pattern}{with}: {op}{set}{deq}\n"));
+    }
+    if rng.chance(1, 4) {
+        src.push_str("when %p == XXXXX111: halt;\n");
+    }
+    src
+}
+
+fn configs_under_test() -> Vec<UarchConfig> {
+    vec![
+        UarchConfig::base(Pipeline::TDX),
+        UarchConfig::with_p(Pipeline::T_DX),
+        UarchConfig::with_pq(Pipeline::T_D_X1_X2),
+        UarchConfig::with_nested(Pipeline::T_D_X1_X2, 3),
+    ]
+}
+
+/// Runs `source` for 10 000 cycles under `config` with random external
+/// traffic and checks both implications against `flagged` (the
+/// lint-unreachable/shadowed slot set).
+fn run_and_check(
+    config: UarchConfig,
+    source: &str,
+    flagged: &[u16],
+    traffic_seed: u64,
+) -> Result<(), TestCaseError> {
+    let params = Params::default();
+    let program = match assemble(source, &params) {
+        Ok(p) => p,
+        Err(e) => return Err(TestCaseError::fail(format!("{e}\nprogram:\n{source}"))),
+    };
+    let mut pe = UarchPe::new(&params, config, program).expect("PE builds");
+    pe.record_trace(true);
+
+    let mut rng = Rng(traffic_seed);
+    for _ in 0..10_000u32 {
+        if rng.chance(1, 3) {
+            let q = rng.below(4) as usize;
+            let tag = Tag::new(rng.below(2) as u32, &params).expect("tag in range");
+            // A rejected push just means the queue was full this cycle.
+            let _ = pe
+                .input_queue_mut(q)
+                .push(Token::new(tag, rng.below(100) as u32));
+        }
+        if rng.chance(1, 4) {
+            pe.output_queue_mut(rng.below(2) as usize).pop();
+        }
+        pe.step_cycle();
+        if pe.halted() {
+            break;
+        }
+    }
+
+    for &slot in pe.trace() {
+        if flagged.contains(&slot) {
+            return Err(TestCaseError::fail(format!(
+                "lint-flagged slot {slot} retired under {config:?}\nprogram:\n{source}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn lint_verdicts_agree_with_the_pipeline(seed in any::<u64>()) {
+        let mut rng = Rng(seed);
+        let source = random_program(&mut rng);
+        let traffic_seed = rng.next();
+
+        let params = Params::default();
+        let program = match assemble(&source, &params) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("{e}\nprogram:\n{source}"))),
+        };
+        let report = lint_program(&program, &params);
+        prop_assert!(report.analyzed, "default params are always exhaustively analyzable");
+        prop_assert_eq!(report.error_count(), 0, "generated programs are well-formed");
+
+        let flagged: Vec<u16> = report
+            .diagnostics
+            .iter()
+            .filter(|d| {
+                matches!(d.check, Check::UnreachableTrigger | Check::ShadowedTrigger)
+            })
+            .filter_map(|d| d.slot.map(|s| s as u16))
+            .collect();
+
+        for config in configs_under_test() {
+            run_and_check(config, &source, &flagged, traffic_seed)?;
+        }
+    }
+}

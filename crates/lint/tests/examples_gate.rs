@@ -1,0 +1,52 @@
+//! Every shipped assembly example (`examples/asm/*.tia`) must
+//! assemble and pass the lint with no warning- or error-level
+//! findings — the same bar CI's lint-gate step enforces through
+//! `tia-as --lint --deny-warnings`.
+
+use std::path::PathBuf;
+
+use tia_asm::assemble_with_spans;
+use tia_isa::Params;
+use tia_lint::{lint_program_with_spans, Level, Span};
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/asm")
+}
+
+#[test]
+fn all_assembly_examples_are_lint_clean() {
+    let params = Params::default();
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(examples_dir()).expect("examples/asm exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tia") {
+            continue;
+        }
+        seen += 1;
+        let name = path.display();
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (program, positions) = assemble_with_spans(&source, &params)
+            .unwrap_or_else(|e| panic!("{name}: does not assemble: {e}"));
+        let spans: Vec<Span> = positions
+            .iter()
+            .map(|p| Span {
+                line: p.line,
+                column: p.column,
+            })
+            .collect();
+        let report = lint_program_with_spans(&program, &params, &spans);
+        assert!(report.analyzed, "{name}: not exhaustively analyzed");
+        let findings: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.level >= Level::Warning)
+            .map(|d| d.render(None))
+            .collect();
+        assert!(
+            findings.is_empty(),
+            "{name} fails the lint gate:\n{}",
+            findings.join("\n")
+        );
+    }
+    assert!(seen >= 3, "only {seen} .tia examples found — moved?");
+}

@@ -1,0 +1,173 @@
+//! Seeded-defect acceptance tests: each test plants one specific bug
+//! from the issue checklist in an otherwise plausible program and
+//! requires the analyzer to find it — an unreachable trigger, a
+//! shadowed trigger, an instruction forbidden under +P, and a two-PE
+//! channel deadlock.
+
+use tia_asm::assemble_with_spans;
+use tia_fabric::{InputRef, Link, OutputRef};
+use tia_isa::spec_rules::{self, SpecRestriction};
+use tia_isa::{Params, Program};
+use tia_lint::{lint_program, lint_program_with_spans, lint_system, Check, Level, Span};
+
+fn assemble(source: &str, params: &Params) -> (Program, Vec<Span>) {
+    let (program, positions) = assemble_with_spans(source, params).expect("test program assembles");
+    let spans = positions
+        .iter()
+        .map(|p| Span {
+            line: p.line,
+            column: p.column,
+        })
+        .collect();
+    (program, spans)
+}
+
+#[test]
+fn seeded_unreachable_trigger_is_found_with_its_source_line() {
+    let params = Params::default();
+    // The phase machine goes 00 → 01 → halt; phase 10 is never entered,
+    // so the third slot is dead code.
+    let source = "when %p == XXXXXX00: nop; set %p = ZZZZZZ01;
+when %p == XXXXXX01: halt;
+when %p == XXXXXX10: nop;";
+    let (program, spans) = assemble(source, &params);
+    let report = lint_program_with_spans(&program, &params, &spans);
+    let finding = report
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::UnreachableTrigger)
+        .expect("unreachable trigger reported");
+    assert_eq!(finding.level, Level::Warning);
+    assert_eq!(finding.slot, Some(2));
+    assert_eq!(finding.span.map(|s| s.line), Some(3));
+    assert_eq!(report.reachable_states, 2);
+}
+
+#[test]
+fn seeded_shadowed_trigger_names_its_blocker() {
+    let params = Params::default();
+    // Slot 0 is unconditionally eligible in every state (no queue
+    // checks, no operands), so the more specific slot 1 can never win
+    // the priority arbitration.
+    let source = "when %p == XXXXXXXX: nop;
+when %p == XXXXXXX0: halt;";
+    let (program, spans) = assemble(source, &params);
+    let report = lint_program_with_spans(&program, &params, &spans);
+    let finding = report
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::ShadowedTrigger)
+        .expect("shadowed trigger reported");
+    assert_eq!(finding.level, Level::Warning);
+    assert_eq!(finding.slot, Some(1));
+    assert!(finding.message.contains("slot 0"), "{}", finding.message);
+}
+
+#[test]
+fn seeded_forbidden_instruction_is_classified_and_stalls() {
+    let params = Params::default();
+    // A gcd-style loop: the comparison writes %p0 through the datapath
+    // and its own trigger matches again inside the speculation window,
+    // so under +P it is exactly the §5.2 forbidden-instruction case.
+    let source = "when %p == XXXXXXX0: ne %p0, %r0, %r1;
+when %p == XXXXXXX1: halt;";
+    let (program, _) = assemble(source, &params);
+    let report = lint_program(&program, &params);
+
+    assert_eq!(
+        report.speculation.classes[0],
+        SpecRestriction::PredicateWriter
+    );
+    assert!(report.speculation.activates_predictor);
+    assert!(!report.speculation.fully_speculable);
+    assert_eq!(report.speculation.stall_slots, vec![0]);
+    let finding = report
+        .diagnostics
+        .iter()
+        .find(|d| d.check == Check::SpecStall)
+        .expect("spec-stall annotation present");
+    assert_eq!(finding.slot, Some(0));
+
+    // The static verdict must match the shared dynamic rule the
+    // pipeline enforces: with one unconfirmed speculation outstanding,
+    // this instruction may not issue at the paper's depth of 1.
+    let writer = &program.instructions()[0];
+    assert!(spec_rules::forbidden(writer, true, 1, 1));
+    assert!(!spec_rules::forbidden(writer, true, 1, 0));
+}
+
+#[test]
+fn fully_speculable_program_is_certified() {
+    let params = Params::default();
+    // Pure trigger-encoded control flow: no datapath predicate writes,
+    // so +P never opens a window and nothing can stall.
+    let source = "when %p == XXXXXX00: nop; set %p = ZZZZZZ01;
+when %p == XXXXXX01: nop; set %p = ZZZZZZ10;
+when %p == XXXXXX10: halt;";
+    let (program, _) = assemble(source, &params);
+    let report = lint_program(&program, &params);
+    assert!(report.speculation.fully_speculable);
+    assert!(!report.speculation.activates_predictor);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn seeded_two_pe_queue_deadlock_cycle_is_found() {
+    let params = Params::default();
+    // Each PE forwards its input to its output; wiring them head to
+    // tail means neither can ever produce the first token.
+    let relay = "when %p == XXXXXXXX with %i0.0: mov %o0.0, %i0; deq %i0;";
+    let (program, _) = assemble(relay, &params);
+    let programs = vec![program.clone(), program];
+    let links = vec![
+        Link {
+            from: OutputRef::Pe { pe: 0, queue: 0 },
+            to: InputRef::Pe { pe: 1, queue: 0 },
+        },
+        Link {
+            from: OutputRef::Pe { pe: 1, queue: 0 },
+            to: InputRef::Pe { pe: 0, queue: 0 },
+        },
+    ];
+    let diagnostics = lint_system(&programs, &params, &links);
+    let finding = diagnostics
+        .iter()
+        .find(|d| d.check == Check::ChannelDeadlock)
+        .expect("deadlock cycle reported");
+    assert_eq!(finding.level, Level::Warning);
+    assert!(
+        finding.message.contains("pe0.%o0 -> pe1.%i0")
+            && finding.message.contains("pe1.%o0 -> pe0.%i0"),
+        "{}",
+        finding.message
+    );
+
+    // Breaking the cycle (feed PE 0 from a host source instead)
+    // removes the finding.
+    let broken = vec![
+        links[0],
+        Link {
+            from: OutputRef::Source { source: 0 },
+            to: InputRef::Pe { pe: 0, queue: 0 },
+        },
+        Link {
+            from: OutputRef::Pe { pe: 1, queue: 0 },
+            to: InputRef::Sink { sink: 0 },
+        },
+    ];
+    let programs = vec![
+        assemble(
+            "when %p == XXXXXXXX with %i0.0: mov %o0.0, %i0; deq %i0;",
+            &params,
+        )
+        .0,
+        assemble(
+            "when %p == XXXXXXXX with %i0.0: mov %o0.0, %i0; deq %i0;",
+            &params,
+        )
+        .0,
+    ];
+    assert!(lint_system(&programs, &params, &broken)
+        .iter()
+        .all(|d| d.check != Check::ChannelDeadlock));
+}

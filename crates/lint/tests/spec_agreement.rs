@@ -1,0 +1,110 @@
+//! Simulator/analyzer agreement on the +P forbidden-instruction rules.
+//!
+//! The analyzer predicts stalls from the static [`SpecRestriction`]
+//! classification; the pipeline (`tia_core::UarchPe`) enforces the
+//! dynamic rule through `tia_core::spec_rules::forbidden` every cycle.
+//! Both are now thin layers over `tia_isa::spec_rules`, and this test
+//! pins the contract: for **every opcode × destination × dequeue ×
+//! configuration × outstanding-speculation combination** that
+//! validates, the stall outcome derived from the static class equals
+//! the dynamic rule's verdict.
+
+use tia_core::UarchConfig;
+use tia_isa::spec_rules::restriction;
+use tia_isa::{
+    DstOperand, InputId, Instruction, Op, OutputId, Params, PredId, QueueCheck, RegId, SrcOperand,
+    Tag, Trigger, ALL_OPS,
+};
+
+/// Every validating instruction shape for `op`: source arity found by
+/// trial, crossed with each destination kind and the dequeue bit.
+fn variants(op: Op, params: &Params) -> Vec<Instruction> {
+    let q0 = InputId::new(0, params).unwrap();
+    let dsts = [
+        DstOperand::None,
+        DstOperand::Reg(RegId::new(0, params).unwrap()),
+        DstOperand::Output(OutputId::new(0, params).unwrap()),
+        DstOperand::Pred(PredId::new(0, params).unwrap()),
+    ];
+    let src_sets = [
+        [SrcOperand::None, SrcOperand::None],
+        [SrcOperand::Imm, SrcOperand::None],
+        [SrcOperand::Imm, SrcOperand::Imm],
+        [SrcOperand::Input(q0), SrcOperand::None],
+        [SrcOperand::Input(q0), SrcOperand::Imm],
+    ];
+    let mut out = Vec::new();
+    for dst in dsts {
+        for srcs in src_sets {
+            for dequeue in [false, true] {
+                let instruction = Instruction {
+                    valid: true,
+                    trigger: Trigger {
+                        queue_checks: vec![QueueCheck {
+                            queue: q0,
+                            tag: Tag::ZERO,
+                            negate: false,
+                        }],
+                        ..Trigger::default()
+                    },
+                    op,
+                    srcs,
+                    dst,
+                    dequeues: if dequeue { vec![q0] } else { Vec::new() },
+                    ..Instruction::default()
+                };
+                if instruction.validate(params).is_ok() {
+                    out.push(instruction);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_opcode_and_config_agrees_with_the_pipeline_rule() {
+    let mut params = Params::default();
+    // Scratchpad ops (lsw/ssw) only validate on a PE that has one.
+    params.scratchpad_words = 64;
+    let pipeline = tia_core::Pipeline::T_D_X1_X2;
+    let configs = [
+        UarchConfig::base(pipeline),
+        UarchConfig::with_p(pipeline),
+        UarchConfig::with_pq(pipeline),
+        UarchConfig::with_nested(pipeline, 2),
+        UarchConfig::with_nested(pipeline, 4),
+    ];
+
+    let mut checked = 0usize;
+    for op in ALL_OPS {
+        let shapes = variants(op, &params);
+        assert!(!shapes.is_empty(), "{op:?}: no validating shape found");
+        for instruction in &shapes {
+            let class = restriction(instruction);
+            for config in configs {
+                let depth = (config.speculation_depth.max(1)) as usize;
+                for outstanding in 0..=depth + 1 {
+                    let predicted = (outstanding > 0 && class.restricts_dequeue())
+                        || (config.predicate_prediction
+                            && class.restricts_writer()
+                            && outstanding >= depth);
+                    let dynamic =
+                        tia_core::spec_rules::forbidden(instruction, &config, outstanding);
+                    assert_eq!(
+                        predicted,
+                        dynamic,
+                        "{op:?} dst={:?} deq={} config={config:?} outstanding={outstanding}: \
+                         static class {class:?} disagrees with the pipeline rule",
+                        instruction.dst,
+                        instruction.has_dequeue(),
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    // 42 opcodes, several shapes each, 5 configs, up to 6 outstanding
+    // counts — make sure the cross product didn't silently collapse.
+    assert!(checked > 5_000, "only {checked} combinations checked");
+}

@@ -223,10 +223,7 @@ mod tests {
             })
         }))
         .expect_err("the panic must propagate to the caller");
-        let message = caught
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(message.contains("unlucky item 13"), "payload: {message:?}");
     }
 
@@ -245,10 +242,7 @@ mod tests {
                 })
             }))
             .expect_err("must panic");
-            let message = caught
-                .downcast_ref::<String>()
-                .cloned()
-                .unwrap_or_default();
+            let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
             assert_eq!(message, "boom at 5");
         }
     }

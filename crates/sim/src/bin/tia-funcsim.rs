@@ -3,11 +3,15 @@
 //! streams and prints its architectural results.
 //!
 //! ```text
-//! tia-funcsim [--params params.json] [--hex] [--max-cycles N]
+//! tia-funcsim [--params params.json] [--hex] [--lint] [--max-cycles N]
 //!             [--in Q:v1,v2,...] [--stream Q:v1,v2,...@P]
 //!             [--trace-out FILE] [--trace-format chrome|jsonl]
 //!             [--metrics-out FILE] [--cpi-window N] <program>
 //! ```
+//!
+//! `--lint` runs the `tia-lint` static analyzer before simulating:
+//! warnings are printed but the run proceeds; error-level findings
+//! abort it (see docs/static-analysis.md).
 //!
 //! `<program>` is assembly (default) or, with `--hex`, the padded
 //! 128-bit instruction images `tia-as` emits. Each `--in Q:...` option
@@ -45,6 +49,7 @@ struct Options {
     params: Params,
     program_path: String,
     hex: bool,
+    lint: bool,
     max_cycles: u64,
     inputs: Vec<(usize, Vec<Token>)>,
     streams: Vec<(usize, Vec<Token>, u64)>,
@@ -82,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
     let mut params = Params::default();
     let mut program_path = None;
     let mut hex = false;
+    let mut lint = false;
     let mut max_cycles = 1_000_000u64;
     let mut raw_inputs: Vec<String> = Vec::new();
     let mut raw_streams: Vec<String> = Vec::new();
@@ -100,6 +106,7 @@ fn parse_args() -> Result<Options, String> {
                 params.validate().map_err(|e| format!("{path}: {e}"))?;
             }
             "--hex" => hex = true,
+            "--lint" => lint = true,
             "--max-cycles" => {
                 max_cycles = args
                     .next()
@@ -118,9 +125,7 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown trace format `{other}`")),
                 };
             }
-            "--metrics-out" => {
-                metrics_out = Some(args.next().ok_or("--metrics-out needs a file")?)
-            }
+            "--metrics-out" => metrics_out = Some(args.next().ok_or("--metrics-out needs a file")?),
             "--cpi-window" => {
                 let window: u64 = args
                     .next()
@@ -133,12 +138,14 @@ fn parse_args() -> Result<Options, String> {
                 cpi_window = Some(window);
             }
             "--help" | "-h" => {
-                return Err("usage: tia-funcsim [--params params.json] [--hex] \
+                return Err(
+                    "usage: tia-funcsim [--params params.json] [--hex] [--lint] \
                             [--max-cycles N] [--in Q:v1,v2,...] \
                             [--stream Q:v1,v2,...@P] [--trace-out FILE] \
                             [--trace-format chrome|jsonl] [--metrics-out FILE] \
                             [--cpi-window N] <program>"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => {
@@ -190,6 +197,7 @@ fn parse_args() -> Result<Options, String> {
         params,
         program_path: program_path.ok_or("no program file given")?,
         hex,
+        lint,
         max_cycles,
         inputs,
         streams,
@@ -200,7 +208,7 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-fn load_program(opts: &Options) -> Result<Program, String> {
+fn load_program(opts: &Options) -> Result<(Program, Vec<tia_lint::Span>), String> {
     let text = fs::read_to_string(&opts.program_path)
         .map_err(|e| format!("cannot read {}: {e}", opts.program_path))?;
     if opts.hex {
@@ -215,9 +223,19 @@ fn load_program(opts: &Options) -> Result<Program, String> {
                     .map_err(|e| format!("line {}: malformed image: {e}", i + 1))?,
             );
         }
-        Program::from_images(&images, &opts.params).map_err(|e| e.to_string())
+        let program = Program::from_images(&images, &opts.params).map_err(|e| e.to_string())?;
+        Ok((program, Vec::new()))
     } else {
-        tia_asm::assemble(&text, &opts.params).map_err(|e| e.to_string())
+        let (program, positions) =
+            tia_asm::assemble_with_spans(&text, &opts.params).map_err(|e| e.to_string())?;
+        let spans = positions
+            .iter()
+            .map(|p| tia_lint::Span {
+                line: p.line,
+                column: p.column,
+            })
+            .collect();
+        Ok((program, spans))
     }
 }
 
@@ -350,7 +368,19 @@ fn export_observability(opts: &Options, pe: FuncPe<RingTracer>) -> Result<(), St
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
-    let program = load_program(&opts)?;
+    let (program, spans) = load_program(&opts)?;
+    if opts.lint {
+        let report = tia_lint::lint_program_with_spans(&program, &opts.params, &spans);
+        for diagnostic in &report.diagnostics {
+            eprintln!("{}", diagnostic.render(Some(&opts.program_path)));
+        }
+        if report.error_count() > 0 {
+            return Err(format!(
+                "lint failed: {} error(s); not simulating",
+                report.error_count()
+            ));
+        }
+    }
     let observing = opts.trace_out.is_some() || opts.metrics_out.is_some();
     if observing {
         let (pe, outputs) = simulate(&opts, program, RingTracer::with_default_capacity())?;

@@ -19,6 +19,8 @@
 //!   design-space exploration.
 //! * [`workloads`] — the ten Table 3 microbenchmarks with golden
 //!   verification.
+//! * [`lint`] — the static analyzer: reachability, shadowing,
+//!   +P speculability certification, and channel-deadlock checks.
 //!
 //! # Examples
 //!
@@ -57,5 +59,6 @@ pub use tia_core as core;
 pub use tia_energy as energy;
 pub use tia_fabric as fabric;
 pub use tia_isa as isa;
+pub use tia_lint as lint;
 pub use tia_sim as sim;
 pub use tia_workloads as workloads;

@@ -88,8 +88,13 @@ impl ChromeTrace {
                     }
                     Some(entry) => {
                         let (_, (open_name, start, run)) = *entry;
-                        self.events
-                            .push(complete_event(open_name, entry.0, TRACK_STALL, start, run));
+                        self.events.push(complete_event(
+                            open_name,
+                            entry.0,
+                            TRACK_STALL,
+                            start,
+                            run,
+                        ));
                         entry.1 = (name, event.cycle, 1);
                         continue;
                     }
@@ -132,19 +137,21 @@ impl ChromeTrace {
                     ));
                 }
                 EventKind::Quash { count } => {
-                    let mut e =
-                        instant_event("quash", event.pe, TRACK_SPECULATION, event.cycle);
+                    let mut e = instant_event("quash", event.pe, TRACK_SPECULATION, event.cycle);
                     push_args(&mut e, vec![("count", Value::UInt(u64::from(count)))]);
                     self.events.push(e);
                 }
                 EventKind::Flush { depth } => {
-                    let mut e =
-                        instant_event("flush", event.pe, TRACK_SPECULATION, event.cycle);
+                    let mut e = instant_event("flush", event.pe, TRACK_SPECULATION, event.cycle);
                     push_args(&mut e, vec![("depth", Value::UInt(u64::from(depth)))]);
                     self.events.push(e);
                 }
                 EventKind::PredictorOutcome { slot, correct } => {
-                    let name = if correct { "predict hit" } else { "predict miss" };
+                    let name = if correct {
+                        "predict hit"
+                    } else {
+                        "predict miss"
+                    };
                     let mut e = instant_event(name, event.pe, TRACK_PREDICTOR, event.cycle);
                     push_args(&mut e, vec![("slot", Value::UInt(u64::from(slot)))]);
                     self.events.push(e);
@@ -250,10 +257,7 @@ fn metadata_event(name: &str, pe: u16, tid: Option<u64>, label: &str) -> Value {
     if let Some(tid) = tid {
         entries.push(("tid".to_string(), Value::UInt(tid)));
     }
-    entries.push((
-        "args".to_string(),
-        object(vec![("name", string(label))]),
-    ));
+    entries.push(("args".to_string(), object(vec![("name", string(label))])));
     Value::Object(entries)
 }
 
@@ -267,9 +271,7 @@ fn push_args(event: &mut Value, args: Vec<(&str, Value)>) {
 /// absent).
 fn push_args_extra(event: &mut Value, args: Vec<(&str, Value)>) {
     if let Value::Object(entries) = event {
-        if let Some((_, Value::Object(existing))) =
-            entries.iter_mut().find(|(k, _)| k == "args")
-        {
+        if let Some((_, Value::Object(existing))) = entries.iter_mut().find(|(k, _)| k == "args") {
             existing.extend(args.into_iter().map(|(k, v)| (k.to_string(), v)));
             return;
         }
@@ -346,10 +348,7 @@ mod tests {
             .filter(|e| e.get("name").and_then(Value::as_str) == Some("data_hazard"))
             .collect();
         assert_eq!(stall_slices.len(), 1);
-        assert_eq!(
-            stall_slices[0].get("dur").and_then(Value::as_u64),
-            Some(2)
-        );
+        assert_eq!(stall_slices[0].get("dur").and_then(Value::as_u64), Some(2));
         assert_eq!(stall_slices[0].get("ts").and_then(Value::as_u64), Some(1));
     }
 }

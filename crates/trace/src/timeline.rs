@@ -135,7 +135,11 @@ mod tests {
     #[test]
     fn to_json_parses_back() {
         let t = CpiTimeline::from_events(
-            &[TraceEvent::new(0, 0, EventKind::Issue { slot: 0, depth: 1 })],
+            &[TraceEvent::new(
+                0,
+                0,
+                EventKind::Issue { slot: 0, depth: 1 },
+            )],
             16,
         );
         let doc: serde_json::Value = serde_json::from_str(&t.to_json()).expect("valid");

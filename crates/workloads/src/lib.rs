@@ -41,6 +41,7 @@ pub mod golden;
 pub mod mean;
 pub mod merge;
 pub mod phases;
+pub mod probe;
 pub mod spec;
 pub mod stream;
 pub mod streamer;
@@ -48,4 +49,5 @@ pub mod string_search;
 pub mod udiv;
 
 pub use build::{Built, PeFactory, WorkloadError};
+pub use probe::ProbePe;
 pub use spec::{Scale, WorkloadKind, ALL_WORKLOADS};

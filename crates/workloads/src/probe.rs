@@ -1,0 +1,83 @@
+//! A non-executing [`ProcessingElement`] that lets tools inspect a
+//! built workload without simulating it.
+//!
+//! Workload builders are generic over a [`crate::PeFactory`], so a
+//! static analyzer can instantiate every PE as a [`ProbePe`] — which
+//! just records its program — and then walk
+//! [`tia_fabric::System::links`] plus the captured programs. The
+//! `lint_gate` integration test uses this to run `tia-lint` over every
+//! shipped workload exactly as wired.
+
+use tia_fabric::{ProcessingElement, TaggedQueue};
+use tia_isa::{IsaError, Params, Program};
+
+/// A PE that holds a program (and real, but never-stepped, queues so
+/// builders may preload tokens) without executing anything.
+#[derive(Debug)]
+pub struct ProbePe {
+    program: Program,
+    inputs: Vec<TaggedQueue>,
+    outputs: Vec<TaggedQueue>,
+}
+
+impl ProbePe {
+    /// Captures `program`. Validates it like a real PE would, so a
+    /// probe build exercises the same error paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the program's validation error, if any.
+    pub fn new(params: &Params, program: Program) -> Result<Self, IsaError> {
+        program.validate(params)?;
+        Ok(ProbePe {
+            program,
+            inputs: (0..params.num_input_queues)
+                .map(|_| TaggedQueue::new(params.queue_capacity))
+                .collect(),
+            outputs: (0..params.num_output_queues)
+                .map(|_| TaggedQueue::new(params.queue_capacity))
+                .collect(),
+        })
+    }
+
+    /// The captured program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl ProcessingElement for ProbePe {
+    fn step(&mut self) {}
+
+    fn input_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+        &mut self.inputs[index]
+    }
+
+    fn output_queue_mut(&mut self, index: usize) -> &mut TaggedQueue {
+        &mut self.outputs[index]
+    }
+
+    fn is_halted(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scale, WorkloadKind};
+
+    #[test]
+    fn probe_build_captures_every_program() {
+        let params = Params::default();
+        let mut factory = |p: &Params, prog| ProbePe::new(p, prog);
+        let built = WorkloadKind::Merge
+            .build(&params, Scale::Test, &mut factory)
+            .expect("merge builds over probes");
+        assert_eq!(built.system.num_pes(), WorkloadKind::Merge.num_pes());
+        for pe in 0..built.system.num_pes() {
+            assert!(!built.system.pe(pe).program().instructions().is_empty());
+        }
+        assert!(!built.system.links().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Tier-1 gate: every shipped workload, built exactly as wired, must
+//! pass `tia-lint` — no error- or warning-level findings in any PE
+//! program or in the fabric graph, beyond the explicit allowlist
+//! below.
+
+use tia_isa::{Params, Program};
+use tia_lint::{Check, Level};
+use tia_workloads::{ProbePe, Scale, WorkloadKind, ALL_WORKLOADS};
+
+/// Findings that are intentional and documented. Each entry is
+/// `(workload, pe, check)`; keep this list short and justified.
+const ALLOWLIST: &[(&str, usize, Check)] = &[];
+
+fn allowed(workload: &str, pe: usize, check: Check) -> bool {
+    ALLOWLIST
+        .iter()
+        .any(|&(w, p, c)| w == workload && p == pe && c == check)
+}
+
+#[test]
+fn all_workloads_pass_the_lint_gate() {
+    let params = Params::default();
+    let mut failures = Vec::new();
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| ProbePe::new(p, prog);
+        let built = kind
+            .build(&params, Scale::Test, &mut factory)
+            .unwrap_or_else(|e| panic!("{kind}: probe build failed: {e}"));
+        let programs: Vec<Program> = (0..built.system.num_pes())
+            .map(|pe| built.system.pe(pe).program().clone())
+            .collect();
+
+        for (pe, program) in programs.iter().enumerate() {
+            let report = tia_lint::lint_program(program, &params);
+            assert!(report.analyzed, "{kind}: pe {pe} not analyzed");
+            for d in &report.diagnostics {
+                if d.level >= Level::Warning && !allowed(kind.name(), pe, d.check) {
+                    failures.push(format!("{kind}: pe {pe}: {}", d.render(None)));
+                }
+            }
+        }
+
+        for d in tia_lint::lint_system(&programs, &params, built.system.links()) {
+            if d.level >= Level::Warning
+                && !allowed(kind.name(), d.pe.unwrap_or(usize::MAX), d.check)
+            {
+                failures.push(format!("{kind}: {}", d.render(None)));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "lint gate failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The paper's single-PE workloads drive Figure 5's speculation
+/// results: the lint's speculability verdict must at least agree that
+/// the predictor activates on each of them (they all branch on
+/// datapath-computed predicates).
+#[test]
+fn single_pe_workloads_activate_the_predictor() {
+    let params = Params::default();
+    for kind in [WorkloadKind::Gcd, WorkloadKind::Mean, WorkloadKind::Bst] {
+        let mut factory = |p: &Params, prog| ProbePe::new(p, prog);
+        let built = kind
+            .build(&params, Scale::Test, &mut factory)
+            .unwrap_or_else(|e| panic!("{kind}: probe build failed: {e}"));
+        let report = tia_lint::lint_program(built.system.pe(built.worker).program(), &params);
+        assert!(
+            report.speculation.activates_predictor,
+            "{kind}: worker never writes a predicate via the datapath?"
+        );
+    }
+}

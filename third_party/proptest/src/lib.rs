@@ -435,14 +435,14 @@ where
 
 /// Everything a proptest file conventionally glob-imports.
 pub mod prelude {
+    /// `prop::sample::select`, `prop::collection::vec`, ... — the crate
+    /// root under its conventional alias.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
-    /// `prop::sample::select`, `prop::collection::vec`, ... — the crate
-    /// root under its conventional alias.
-    pub use crate as prop;
 }
 
 #[macro_export]

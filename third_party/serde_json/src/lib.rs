@@ -400,9 +400,18 @@ mod tests {
         let compact = to_string(&value).expect("write");
         let back: Value = from_str(&compact).expect("reparse");
         assert_eq!(value, back);
-        assert_eq!(value.get("a").and_then(|a| a.as_array()).map(<[Value]>::len), Some(5));
         assert_eq!(
-            value.get("b").and_then(|b| b.get("c")).and_then(Value::as_str),
+            value
+                .get("a")
+                .and_then(|a| a.as_array())
+                .map(<[Value]>::len),
+            Some(5)
+        );
+        assert_eq!(
+            value
+                .get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(Value::as_str),
             Some("d\n\"e\"")
         );
     }
