@@ -2,25 +2,53 @@
 //! plotting (the Figure 6/7/8 scatter data).
 //!
 //! ```text
-//! cargo run --release -p tia-bench --bin dse_export [--test-scale] [-o points.json]
+//! cargo run --release -p tia-bench --bin dse_export \
+//!     [--test-scale] [-o points.json] [--partial partial.json]
 //! ```
+//!
+//! With `--partial PATH`, every finished per-configuration activity
+//! measurement is checkpointed to `PATH` as it completes; re-running
+//! after an interrupt resumes from the file instead of re-simulating,
+//! and produces byte-identical output (see docs/robustness.md).
 
 use std::fs;
+use std::process::ExitCode;
 
 use tia_bench::{scale_from_args, suite_activity_source};
+use tia_energy::checkpoint::CheckpointedCpi;
 use tia_energy::dse::par_explore;
 use tia_energy::pareto::pareto_frontier;
 
-fn main() {
+fn main() -> ExitCode {
     let scale = scale_from_args();
-    let output = {
-        let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flags: &[&str]| {
         args.iter()
-            .position(|a| a == "-o" || a == "--output")
+            .position(|a| flags.contains(&a.as_str()))
             .and_then(|i| args.get(i + 1).cloned())
     };
+    let output = flag_value(&["-o", "--output"]);
+    let partial = flag_value(&["--partial"]);
 
-    let points = par_explore(&suite_activity_source(scale));
+    let points = match partial {
+        Some(path) => {
+            let source = match CheckpointedCpi::resume(suite_activity_source(scale), &path) {
+                Ok(source) => source,
+                Err(e) => {
+                    eprintln!("dse_export: cannot resume from {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if source.measured() > 0 {
+                eprintln!(
+                    "resuming: {} configuration(s) already measured in {path}",
+                    source.measured()
+                );
+            }
+            par_explore(&source)
+        }
+        None => par_explore(&suite_activity_source(scale)),
+    };
     let frontier = pareto_frontier(&points);
 
     #[derive(serde::Serialize)]
@@ -45,4 +73,5 @@ fn main() {
         }
         None => println!("{json}"),
     }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,59 @@
+//! # `tia-ckpt` — checkpoint/restore and the runtime watchdog
+//!
+//! Long design-space sweeps and multi-million-cycle fabric runs need
+//! two robustness primitives that the simulators themselves should not
+//! carry:
+//!
+//! * **Checkpoint/restore** — a versioned [`Snapshot`] envelope around
+//!   the component state types of `tia-fabric` / `tia-sim` /
+//!   `tia-core` ([`tia_fabric::Snapshotable`]), with JSON file I/O, so
+//!   an interrupted run resumes bit-identically.
+//! * **A [`Watchdog`]** — cycle-level liveness monitoring that
+//!   distinguishes a *deadlocked* fabric (no retirement while tokens
+//!   sit in queues, e.g. a circular wait on full/empty channels) from
+//!   a *quiescent* fixed point (no retirement and no tokens anywhere,
+//!   short of `halt`), and terminates the run with a diagnostic state
+//!   dump instead of spinning to the cycle limit.
+//!
+//! See `docs/robustness.md` for the snapshot format, resume semantics
+//! and watchdog tuning guidance.
+//!
+//! # Examples
+//!
+//! Snapshot a functional PE mid-run and resume a fresh one from it:
+//!
+//! ```
+//! use tia_asm::assemble;
+//! use tia_ckpt::Snapshot;
+//! use tia_isa::Params;
+//! use tia_sim::FuncPe;
+//!
+//! let params = Params::default();
+//! let src = "when %p == XXXXXXXX: add %r0, %r0, 1;";
+//! let program = assemble(src, &params).expect("assembles");
+//! let mut pe = FuncPe::new(&params, program.clone())?;
+//! for _ in 0..10 {
+//!     pe.step_cycle();
+//! }
+//!
+//! let snapshot = Snapshot::capture("func-pe", &pe);
+//! let json = snapshot.to_json();
+//!
+//! let mut resumed = FuncPe::new(&params, program)?;
+//! Snapshot::from_json(&json)
+//!     .expect("well-formed")
+//!     .restore_into("func-pe", &mut resumed)
+//!     .expect("same shape");
+//! assert_eq!(resumed.reg(0), 10);
+//! assert_eq!(resumed.counters(), pe.counters());
+//! # Ok::<(), tia_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod snapshot;
+pub mod watchdog;
+
+pub use snapshot::{CkptError, Snapshot, SNAPSHOT_FORMAT_VERSION};
+pub use watchdog::{hang_report, run_guarded, GuardedOutcome, Hang, Progress, Watchdog};

@@ -1,0 +1,262 @@
+//! The versioned snapshot envelope and its file I/O.
+//!
+//! A [`Snapshot`] wraps any [`Snapshotable`] component's state in a
+//! `{format_version, kind, state}` JSON document. The version guards
+//! against loading snapshots written by an incompatible build; the
+//! `kind` string guards against restoring, say, a `tia-funcsim`
+//! checkpoint into a DSE sweep.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize, Value};
+use tia_fabric::{RestoreError, Snapshotable};
+
+/// The snapshot format version this build writes and accepts.
+///
+/// Bump on any change to the serialized shape of a component state
+/// type; loaders reject other versions outright rather than guessing.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// A failure while writing, reading or applying a snapshot.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// The version found in the file.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The snapshot holds a different kind of state than requested.
+    Kind {
+        /// The kind the caller asked for.
+        expected: String,
+        /// The kind recorded in the snapshot.
+        found: String,
+    },
+    /// File I/O failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The snapshot text is not well-formed JSON of the right shape.
+    Json {
+        /// The parse error message.
+        message: String,
+    },
+    /// The state did not fit the restore target.
+    Restore(RestoreError),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Version { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            CkptError::Kind { expected, found } => {
+                write!(f, "expected a `{expected}` snapshot, found `{found}`")
+            }
+            CkptError::Io { path, message } => {
+                write!(f, "checkpoint I/O failed for {}: {message}", path.display())
+            }
+            CkptError::Json { message } => write!(f, "malformed snapshot: {message}"),
+            CkptError::Restore(e) => write!(f, "snapshot does not fit the target: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<RestoreError> for CkptError {
+    fn from(e: RestoreError) -> Self {
+        CkptError::Restore(e)
+    }
+}
+
+/// A versioned, kind-tagged wrapper around a component's serialized
+/// state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The format version ([`SNAPSHOT_FORMAT_VERSION`] at capture).
+    pub format_version: u32,
+    /// What produced this state (e.g. `"tia-funcsim"`, `"system"`).
+    pub kind: String,
+    /// The component state, as produced by
+    /// [`Snapshotable::save_state`] or any `Serialize` state type.
+    pub state: Value,
+}
+
+impl Snapshot {
+    /// Wraps an already-serialized state value.
+    pub fn new(kind: impl Into<String>, state: Value) -> Self {
+        Snapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            kind: kind.into(),
+            state,
+        }
+    }
+
+    /// Captures a [`Snapshotable`] component's current state.
+    pub fn capture<S: Snapshotable + ?Sized>(kind: impl Into<String>, source: &S) -> Self {
+        Snapshot::new(kind, source.save_state())
+    }
+
+    /// Restores this snapshot into `target`, checking the kind first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's kind is not `kind` or when the state
+    /// does not fit `target` (wrong shape or malformed payload).
+    pub fn restore_into<S: Snapshotable + ?Sized>(
+        &self,
+        kind: &str,
+        target: &mut S,
+    ) -> Result<(), CkptError> {
+        self.check_kind(kind)?;
+        target.restore_state(&self.state)?;
+        Ok(())
+    }
+
+    /// Verifies that this snapshot holds `kind` state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Kind`] on mismatch.
+    pub fn check_kind(&self, kind: &str) -> Result<(), CkptError> {
+        if self.kind == kind {
+            Ok(())
+        } else {
+            Err(CkptError::Kind {
+                expected: kind.to_string(),
+                found: self.kind.clone(),
+            })
+        }
+    }
+
+    /// Serializes to pretty-printed JSON (stable field order, so
+    /// identical state produces byte-identical files).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parses a snapshot from JSON, rejecting unsupported versions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a format version other than
+    /// [`SNAPSHOT_FORMAT_VERSION`].
+    pub fn from_json(text: &str) -> Result<Self, CkptError> {
+        let snapshot: Snapshot = serde_json::from_str(text).map_err(|e| CkptError::Json {
+            message: e.to_string(),
+        })?;
+        if snapshot.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(CkptError::Version {
+                found: snapshot.format_version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to `path` atomically (temp file + rename),
+    /// so an interrupt mid-write never leaves a truncated checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the temp file cannot be written or renamed.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        let io = |message: std::io::Error| CkptError::Io {
+            path: path.to_path_buf(),
+            message: message.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, self.to_json()).map_err(io)?;
+        fs::rename(&tmp, path).map_err(io)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed JSON, or an unsupported format
+    /// version.
+    pub fn load(path: &Path) -> Result<Self, CkptError> {
+        let text = fs::read_to_string(path).map_err(|e| CkptError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        Snapshot::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot::new(
+            "test",
+            Value::Object(vec![("x".to_string(), Value::UInt(7))]),
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let s = sample();
+        let back = Snapshot::from_json(&s.to_json()).expect("roundtrip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected() {
+        let mut s = sample();
+        s.format_version = SNAPSHOT_FORMAT_VERSION + 1;
+        let json = serde_json::to_string(&s).expect("serialize");
+        match Snapshot::from_json(&json) {
+            Err(CkptError::Version { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_FORMAT_VERSION + 1);
+                assert_eq!(supported, SNAPSHOT_FORMAT_VERSION);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let s = sample();
+        assert!(s.check_kind("test").is_ok());
+        match s.check_kind("other") {
+            Err(CkptError::Kind { expected, found }) => {
+                assert_eq!(expected, "other");
+                assert_eq!(found, "test");
+            }
+            other => panic!("expected a kind error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_load_are_inverse() {
+        let dir = std::env::temp_dir().join("tia-ckpt-test");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("snapshot_roundtrip.json");
+        let s = sample();
+        s.save(&path).expect("save");
+        let back = Snapshot::load(&path).expect("load");
+        assert_eq!(s, back);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn identical_state_writes_identical_bytes() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::ops::{Add, AddAssign};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use tia_trace::MetricsRegistry;
 
 /// Why the scheduler failed to issue this cycle (or that it issued).
@@ -32,7 +32,7 @@ pub enum CycleClass {
 }
 
 /// Accumulated event counts for a cycle-level PE.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UarchCounters {
     /// Cycles stepped while not halted.
     pub cycles: u64,

@@ -68,5 +68,5 @@ pub mod spec_rules;
 
 pub use config::{Pipeline, PredictorKind, UarchConfig};
 pub use counters::{CpiStack, CycleClass, UarchCounters};
-pub use pe::UarchPe;
+pub use pe::{InFlightState, SpeculationState, UarchPe, UarchPeState};
 pub use predictor::PredicatePredictor;

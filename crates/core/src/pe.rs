@@ -27,7 +27,8 @@
 //! trigger stage); results commit at the end of the final execute
 //! stage and are visible to the scheduler the following cycle.
 
-use tia_fabric::{ProcessingElement, TaggedQueue, Token};
+use serde::{Deserialize, Serialize, Value};
+use tia_fabric::{ProcessingElement, QueueState, RestoreError, Snapshotable, TaggedQueue, Token};
 use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredId, PredState, Program, SrcOperand,
     Word, NUM_SRCS,
@@ -1125,6 +1126,253 @@ impl<T: Tracer> UarchPe<T> {
     }
 }
 
+impl<T: Tracer> UarchPe<T> {
+    /// Captures the complete architectural + microarchitectural state:
+    /// registers, predicates, scratchpad, queues, in-flight
+    /// instructions, the speculation stack, predictor counters,
+    /// performance counters, the retirement trace and the local clock.
+    ///
+    /// The program, parameters and configuration are *not* captured —
+    /// a snapshot restores state into a PE rebuilt from the same
+    /// program — but the configuration and program length are recorded
+    /// so [`UarchPe::restore`] can reject mismatched targets.
+    pub fn snapshot(&self) -> UarchPeState {
+        UarchPeState {
+            config: self.config,
+            program_len: self.program.len(),
+            regs: self.regs.clone(),
+            preds: self.preds,
+            scratchpad: self.scratchpad.clone(),
+            inputs: self.inputs.iter().map(TaggedQueue::snapshot).collect(),
+            outputs: self.outputs.iter().map(TaggedQueue::snapshot).collect(),
+            halted: self.halted,
+            halt_pending: self.halt_pending,
+            in_flight: self
+                .in_flight
+                .iter()
+                .map(|f| InFlightState {
+                    slot: f.slot,
+                    issue_cycle: f.issue_cycle,
+                    spec_level: f.spec_level,
+                    d_done: f.d_done,
+                    spec_resolved_early: f.spec_resolved_early,
+                    queue_operands: f.queue_operands,
+                })
+                .collect(),
+            spec_stack: self
+                .spec_stack
+                .iter()
+                .map(|s| SpeculationState {
+                    bit: s.bit,
+                    predicted: s.predicted,
+                    saved: s.saved,
+                })
+                .collect(),
+            predictor: self.predictor.counters().to_vec(),
+            counters: self.counters,
+            now: self.now,
+            trace: self.trace.clone(),
+            pe_id: self.pe_id,
+        }
+    }
+
+    /// Restores a snapshot into this PE. The PE must have been built
+    /// from the same parameters, configuration and program as the one
+    /// that produced the snapshot; continuation is then bit-identical
+    /// to the original run (the trigger-readiness cache is reset —
+    /// it is architecturally transparent).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's shape (configuration, program length,
+    /// register/scratchpad/queue/predictor sizes) does not match this
+    /// PE, or when an in-flight entry or speculation refers to an
+    /// out-of-range slot or predicate.
+    pub fn restore(&mut self, state: &UarchPeState) -> Result<(), RestoreError> {
+        if state.config != self.config {
+            return Err(RestoreError::invalid(
+                "snapshot was taken under a different microarchitecture configuration",
+            ));
+        }
+        if state.program_len != self.program.len() {
+            return Err(RestoreError::shape(
+                "program length",
+                self.program.len(),
+                state.program_len,
+            ));
+        }
+        let check = |what, expected: usize, found: usize| {
+            if expected == found {
+                Ok(())
+            } else {
+                Err(RestoreError::shape(what, expected, found))
+            }
+        };
+        check("register count", self.regs.len(), state.regs.len())?;
+        check(
+            "scratchpad size",
+            self.scratchpad.len(),
+            state.scratchpad.len(),
+        )?;
+        check("input queue count", self.inputs.len(), state.inputs.len())?;
+        check(
+            "output queue count",
+            self.outputs.len(),
+            state.outputs.len(),
+        )?;
+        check(
+            "predictor bank size",
+            self.predictor.counters().len(),
+            state.predictor.len(),
+        )?;
+        if state.in_flight.iter().any(|f| f.slot >= state.program_len) {
+            return Err(RestoreError::invalid(
+                "in-flight entry refers to an out-of-range slot",
+            ));
+        }
+        if state
+            .spec_stack
+            .iter()
+            .any(|s| s.bit.index() >= self.params.num_preds)
+        {
+            return Err(RestoreError::invalid(
+                "speculation refers to an out-of-range predicate",
+            ));
+        }
+        for (queue, s) in self.inputs.iter_mut().zip(&state.inputs) {
+            queue.restore(s)?;
+        }
+        for (queue, s) in self.outputs.iter_mut().zip(&state.outputs) {
+            queue.restore(s)?;
+        }
+        self.regs.copy_from_slice(&state.regs);
+        self.preds = state.preds;
+        self.scratchpad.copy_from_slice(&state.scratchpad);
+        self.halted = state.halted;
+        self.halt_pending = state.halt_pending;
+        self.in_flight = state
+            .in_flight
+            .iter()
+            .map(|f| InFlight {
+                slot: f.slot,
+                issue_cycle: f.issue_cycle,
+                spec_level: f.spec_level,
+                d_done: f.d_done,
+                spec_resolved_early: f.spec_resolved_early,
+                queue_operands: f.queue_operands,
+            })
+            .collect();
+        self.spec_stack = state
+            .spec_stack
+            .iter()
+            .map(|s| Speculation {
+                bit: s.bit,
+                predicted: s.predicted,
+                saved: s.saved,
+            })
+            .collect();
+        let accepted = self.predictor.restore_counters(&state.predictor);
+        debug_assert!(accepted, "bank size was checked above");
+        self.counters = state.counters;
+        self.now = state.now;
+        self.trace = state.trace.clone();
+        self.pe_id = state.pe_id;
+        // The trigger-readiness cache memoizes pre-snapshot state;
+        // dropping it is always safe (the fast path is architecturally
+        // transparent). Re-seed the fingerprint from the restored
+        // queue versions so external-traffic detection stays exact.
+        for entry in &mut self.slot_cache {
+            *entry = SlotCacheEntry::invalid();
+        }
+        self.queue_epoch += 1;
+        self.queue_fingerprint = self
+            .inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .map(TaggedQueue::version)
+            .fold(0u64, u64::wrapping_add);
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of one in-flight instruction (see the
+/// private pipeline bookkeeping in [`UarchPe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InFlightState {
+    /// The issuing instruction slot.
+    pub slot: usize,
+    /// The cycle the instruction issued.
+    pub issue_cycle: u64,
+    /// Outstanding speculations when it issued.
+    pub spec_level: usize,
+    /// Whether the decode stage has executed.
+    pub d_done: bool,
+    /// Whether the speculation it started confirmed early.
+    pub spec_resolved_early: bool,
+    /// Queue operand values captured in decode.
+    pub queue_operands: [Option<Word>; NUM_SRCS],
+}
+
+/// Serializable snapshot of one outstanding predicate speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeculationState {
+    /// The speculated predicate bit.
+    pub bit: PredId,
+    /// The predicted value.
+    pub predicted: bool,
+    /// Predicate state saved for rollback.
+    pub saved: PredState,
+}
+
+/// Serializable snapshot of a [`UarchPe`], produced by
+/// [`UarchPe::snapshot`] and consumed by [`UarchPe::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UarchPeState {
+    /// The microarchitecture configuration (shape check on restore).
+    pub config: UarchConfig,
+    /// The program's slot count (shape check on restore).
+    pub program_len: usize,
+    /// Data register file.
+    pub regs: Vec<Word>,
+    /// Architectural (possibly speculative) predicate state.
+    pub preds: PredState,
+    /// Scratchpad memory.
+    pub scratchpad: Vec<Word>,
+    /// Input queue states.
+    pub inputs: Vec<QueueState>,
+    /// Output queue states.
+    pub outputs: Vec<QueueState>,
+    /// Whether a `halt` has committed.
+    pub halted: bool,
+    /// Whether a `halt` is in flight.
+    pub halt_pending: bool,
+    /// Instructions between issue and commit, oldest first.
+    pub in_flight: Vec<InFlightState>,
+    /// Outstanding speculations, oldest first.
+    pub spec_stack: Vec<SpeculationState>,
+    /// Predictor counter bank.
+    pub predictor: Vec<u8>,
+    /// Accumulated performance counters.
+    pub counters: UarchCounters,
+    /// The PE's local cycle counter.
+    pub now: u64,
+    /// The retirement trace (`None` when recording is off).
+    pub trace: Option<Vec<u16>>,
+    /// The PE id stamped on trace events.
+    pub pe_id: u16,
+}
+
+impl<T: Tracer> Snapshotable for UarchPe<T> {
+    fn save_state(&self) -> Value {
+        self.snapshot().to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), RestoreError> {
+        let parsed = UarchPeState::from_value(state)?;
+        self.restore(&parsed)
+    }
+}
+
 impl<T: Tracer> ProcessingElement for UarchPe<T> {
     fn step(&mut self) {
         self.step_cycle();
@@ -1140,6 +1388,18 @@ impl<T: Tracer> ProcessingElement for UarchPe<T> {
 
     fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    fn num_input_queues(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn num_output_queues(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn retired_instructions(&self) -> u64 {
+        self.counters.retired
     }
 }
 

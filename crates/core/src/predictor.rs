@@ -82,6 +82,22 @@ impl PredicatePredictor {
     pub fn counter(&self, id: PredId) -> u8 {
         self.counters[id.index()]
     }
+
+    /// The whole counter bank, for checkpointing.
+    pub fn counters(&self) -> &[u8] {
+        &self.counters
+    }
+
+    /// Overwrites the counter bank with checkpointed values. Returns
+    /// `false` (leaving the bank untouched) when the lengths differ.
+    #[must_use = "a rejected restore means the bank sizes differ"]
+    pub fn restore_counters(&mut self, counters: &[u8]) -> bool {
+        if counters.len() != self.counters.len() {
+            return false;
+        }
+        self.counters.copy_from_slice(counters);
+        true
+    }
 }
 
 #[cfg(test)]

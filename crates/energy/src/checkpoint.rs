@@ -1,0 +1,220 @@
+//! Checkpointed CPI measurement for interruptible DSE sweeps.
+//!
+//! The dominant cost of a real design-space sweep is the 32
+//! cycle-accurate activity simulations, not the analytical grid walk.
+//! [`CheckpointedCpi`] persists each finished measurement to a partial
+//! result file (atomically, via the [`tia_ckpt::Snapshot`] envelope),
+//! so an interrupted `run_all_experiments.sh` resumes by re-reading
+//! the file and re-simulating only the configurations it had not yet
+//! finished. Identical inputs produce identical partial files, and a
+//! resumed sweep produces byte-identical final results — measurements
+//! are values, not stateful runs.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use tia_ckpt::{CkptError, Snapshot};
+use tia_core::UarchConfig;
+
+use crate::dse::{CpiMeasurement, SyncCpiSource};
+
+/// The snapshot `kind` tag for DSE partial-result files.
+pub const DSE_PARTIAL_KIND: &str = "tia-dse-partial";
+
+/// One persisted measurement: the configuration (as its canonical JSON
+/// encoding, so the file is self-describing and key comparison never
+/// depends on hash order) and its measured activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseEntry {
+    /// The configuration's canonical JSON encoding.
+    pub key: String,
+    /// Measured cycles per instruction.
+    pub cpi: f64,
+    /// Measured issue rate.
+    pub issue_rate: f64,
+}
+
+fn config_key(config: &UarchConfig) -> String {
+    serde_json::to_string(config).expect("config serialization is infallible")
+}
+
+/// A [`SyncCpiSource`] wrapper that memoizes measurements to a partial
+/// result file, making a sweep resumable after an interrupt.
+///
+/// On construction, any existing partial file at `path` is loaded and
+/// its measurements are reused verbatim; every *new* measurement
+/// rewrites the file (sorted by key, temp-file + rename) as soon as it
+/// finishes. Killing the process at any point therefore loses at most
+/// the measurements still in flight.
+#[derive(Debug)]
+pub struct CheckpointedCpi<S> {
+    source: S,
+    path: PathBuf,
+    memo: Mutex<HashMap<String, CpiMeasurement>>,
+}
+
+impl<S: SyncCpiSource> CheckpointedCpi<S> {
+    /// Wraps `source`, resuming from `path` when it already exists.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an existing file at `path` is unreadable, malformed,
+    /// of an unsupported snapshot version, or not a DSE partial file.
+    pub fn resume(source: S, path: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let path = path.into();
+        let mut memo = HashMap::new();
+        if path.exists() {
+            let snapshot = Snapshot::load(&path)?;
+            snapshot.check_kind(DSE_PARTIAL_KIND)?;
+            let entries =
+                Vec::<DseEntry>::from_value(&snapshot.state).map_err(|e| CkptError::Json {
+                    message: e.to_string(),
+                })?;
+            for entry in entries {
+                memo.insert(
+                    entry.key,
+                    CpiMeasurement {
+                        cpi: entry.cpi,
+                        issue_rate: entry.issue_rate,
+                    },
+                );
+            }
+        }
+        Ok(CheckpointedCpi {
+            source,
+            path,
+            memo: Mutex::new(memo),
+        })
+    }
+
+    /// How many measurements were loaded or taken so far.
+    pub fn measured(&self) -> usize {
+        self.memo.lock().expect("no poisoned memo").len()
+    }
+
+    /// The partial-result file backing this source.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn persist(&self, memo: &HashMap<String, CpiMeasurement>) {
+        let mut entries: Vec<DseEntry> = memo
+            .iter()
+            .map(|(key, m)| DseEntry {
+                key: key.clone(),
+                cpi: m.cpi,
+                issue_rate: m.issue_rate,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let snapshot = Snapshot::new(DSE_PARTIAL_KIND, serde::Serialize::to_value(&entries));
+        if let Err(e) = snapshot.save(&self.path) {
+            // A failed checkpoint write must not kill the sweep — the
+            // run still completes, it just cannot resume from here.
+            eprintln!("warning: could not write DSE checkpoint: {e}");
+        }
+    }
+}
+
+impl<S: SyncCpiSource> SyncCpiSource for CheckpointedCpi<S> {
+    fn measure(&self, config: &UarchConfig) -> CpiMeasurement {
+        let key = config_key(config);
+        if let Some(m) = self.memo.lock().expect("no poisoned memo").get(&key) {
+            return *m;
+        }
+        // Measure outside the lock: each configuration appears once in
+        // a sweep, so duplicated work is not a concern, and holding the
+        // lock would serialize the whole fan-out.
+        let m = self.source.measure(config);
+        let mut memo = self.memo.lock().expect("no poisoned memo");
+        memo.insert(key, m);
+        self.persist(&memo);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::*;
+    use crate::dse::par_explore;
+    use tia_core::Pipeline;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tia-energy-ckpt-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    fn synthetic(config: &UarchConfig) -> CpiMeasurement {
+        CpiMeasurement {
+            cpi: 1.0 + 0.25 * (config.pipeline.depth() as f64 - 1.0),
+            issue_rate: 0.8,
+        }
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_without_remeasuring() {
+        let path = temp_path("resume.json");
+        let _ = std::fs::remove_file(&path);
+
+        // First run: measure only a few configurations, then "die".
+        let calls = AtomicU64::new(0);
+        let counting = |c: &UarchConfig| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(c)
+        };
+        let first = CheckpointedCpi::resume(counting, &path).expect("fresh file");
+        for pipeline in [Pipeline::TDX, Pipeline::T_DX] {
+            let _ = first.measure(&UarchConfig::base(pipeline));
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        drop(first);
+
+        // Second run: the two finished measurements come from the file.
+        let resumed = CheckpointedCpi::resume(counting, &path).expect("partial file loads");
+        assert_eq!(resumed.measured(), 2);
+        let _ = resumed.measure(&UarchConfig::base(Pipeline::TDX));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "no remeasurement");
+        let _ = resumed.measure(&UarchConfig::base(Pipeline::T_D_X));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_sweep_is_bit_identical_to_uninterrupted() {
+        let path = temp_path("identical.json");
+        let _ = std::fs::remove_file(&path);
+
+        let straight = par_explore(&synthetic);
+
+        // Interrupted: persist half the configurations, then restart.
+        let partial = CheckpointedCpi::resume(synthetic, &path).expect("fresh file");
+        for config in UarchConfig::all().into_iter().take(16) {
+            let _ = partial.measure(&config);
+        }
+        drop(partial);
+        let resumed_source = CheckpointedCpi::resume(synthetic, &path).expect("loads");
+        let resumed = par_explore(&resumed_source);
+
+        assert_eq!(straight, resumed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_kind_files_are_rejected() {
+        let path = temp_path("wrong_kind.json");
+        Snapshot::new("something-else", serde::Value::Null)
+            .save(&path)
+            .expect("save");
+        assert!(matches!(
+            CheckpointedCpi::resume(synthetic, &path),
+            Err(CkptError::Kind { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -28,16 +28,18 @@ use crate::dse::DesignPoint;
 /// }
 /// ```
 pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
-    let mut sorted: Vec<DesignPoint> = points.to_vec();
+    // Non-finite coordinates (NaN from a zero-retirement CPI, ±∞ from
+    // a degenerate frequency) can neither dominate nor meaningfully
+    // sit on a frontier; drop them instead of panicking mid-sort.
+    let mut sorted: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| p.ns_per_inst.is_finite() && p.pj_per_inst.is_finite())
+        .copied()
+        .collect();
     sorted.sort_by(|a, b| {
         a.ns_per_inst
-            .partial_cmp(&b.ns_per_inst)
-            .expect("finite delay")
-            .then(
-                a.pj_per_inst
-                    .partial_cmp(&b.pj_per_inst)
-                    .expect("finite energy"),
-            )
+            .total_cmp(&b.ns_per_inst)
+            .then(a.pj_per_inst.total_cmp(&b.pj_per_inst))
     });
     let mut frontier: Vec<DesignPoint> = Vec::new();
     let mut best_energy = f64::INFINITY;
@@ -58,16 +60,29 @@ pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
 
 /// The overall energy and delay span of a point set, as the paper's
 /// headline "71x in energy ... and 225x in delay" (§1).
+///
+/// An empty set (or one with no finite points) has no meaningful
+/// spread; it reports the identity span `(1.0, 1.0)` instead of the
+/// `∞/∞ = NaN` the naive fold would produce. Non-finite coordinates
+/// are ignored, matching [`pareto_frontier`].
 pub fn span(points: &[DesignPoint]) -> (f64, f64) {
     let mut emin = f64::INFINITY;
     let mut emax = 0.0f64;
     let mut dmin = f64::INFINITY;
     let mut dmax = 0.0f64;
+    let mut any = false;
     for p in points {
+        if !(p.pj_per_inst.is_finite() && p.ns_per_inst.is_finite()) {
+            continue;
+        }
+        any = true;
         emin = emin.min(p.pj_per_inst);
         emax = emax.max(p.pj_per_inst);
         dmin = dmin.min(p.ns_per_inst);
         dmax = dmax.max(p.ns_per_inst);
+    }
+    if !any {
+        return (1.0, 1.0);
     }
     (emax / emin, dmax / dmin)
 }
@@ -82,6 +97,12 @@ pub fn frontier_energy_improvement(reference: &[DesignPoint], improved: &[Design
     let mut total = 0.0;
     let mut count = 0usize;
     for r in reference {
+        // A reference point with non-positive or non-finite energy has
+        // no well-defined relative improvement (the division would
+        // yield ±∞ or NaN and poison the mean); skip it.
+        if !r.pj_per_inst.is_finite() || r.pj_per_inst <= 0.0 || !r.ns_per_inst.is_finite() {
+            continue;
+        }
         // Best energy on the improved frontier at delay ≤ r's delay.
         let best = improved
             .iter()
@@ -183,6 +204,74 @@ mod tests {
         assert!(improvement > 0.2, "got {improvement}");
         let none = frontier_energy_improvement(&pareto_frontier(&slow), &pareto_frontier(&slow));
         assert!(none.abs() < 1e-9);
+    }
+
+    fn with_ed(template: DesignPoint, ns: f64, pj: f64) -> DesignPoint {
+        DesignPoint {
+            ns_per_inst: ns,
+            pj_per_inst: pj,
+            ..template
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_have_well_defined_results() {
+        // Empty sets: no frontier, identity span, zero improvement.
+        assert!(pareto_frontier(&[]).is_empty());
+        assert_eq!(span(&[]), (1.0, 1.0));
+        assert_eq!(frontier_energy_improvement(&[], &[]), 0.0);
+
+        let template = evaluate(
+            &UarchConfig::base(Pipeline::T_DX),
+            VtClass::Standard,
+            1.0,
+            200.0,
+            CpiMeasurement::ideal(),
+        )
+        .expect("feasible");
+
+        // NaN coordinates (a zero-retirement run's CPI) must not
+        // panic the frontier sort, land on the frontier, or poison
+        // the span.
+        let points = vec![
+            with_ed(template, f64::NAN, f64::NAN),
+            with_ed(template, 2.0, 10.0),
+            with_ed(template, 4.0, 5.0),
+            with_ed(template, f64::INFINITY, 1.0),
+        ];
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier.len(), 2);
+        assert!(frontier
+            .iter()
+            .all(|p| p.ns_per_inst.is_finite() && p.pj_per_inst.is_finite()));
+        let (e_span, d_span) = span(&points);
+        assert_eq!((e_span, d_span), (2.0, 2.0));
+
+        // An all-non-finite set behaves like an empty one.
+        let bad = vec![with_ed(template, f64::NAN, 1.0)];
+        assert!(pareto_frontier(&bad).is_empty());
+        assert_eq!(span(&bad), (1.0, 1.0));
+    }
+
+    #[test]
+    fn improvement_skips_unusable_reference_points() {
+        let template = evaluate(
+            &UarchConfig::base(Pipeline::T_DX),
+            VtClass::Standard,
+            1.0,
+            200.0,
+            CpiMeasurement::ideal(),
+        )
+        .expect("feasible");
+        // A zero-energy reference point would divide to -∞; it must be
+        // skipped, leaving the one usable comparison (50% better).
+        let reference = vec![with_ed(template, 2.0, 0.0), with_ed(template, 4.0, 10.0)];
+        let improved = vec![with_ed(template, 1.0, 5.0)];
+        let improvement = frontier_energy_improvement(&reference, &improved);
+        assert!((improvement - 0.5).abs() < 1e-12, "got {improvement}");
+        // No usable reference points at all: zero, not NaN.
+        let unusable = vec![with_ed(template, 2.0, f64::NAN)];
+        assert_eq!(frontier_energy_improvement(&unusable, &improved), 0.0);
     }
 
     #[test]

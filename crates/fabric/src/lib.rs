@@ -55,9 +55,12 @@ pub mod stream;
 pub mod system;
 
 pub use memory::{
-    addr_token, Memory, ReadPort, SequentialWritePort, WritePort, DEFAULT_LOAD_LATENCY,
+    addr_token, InFlightLoad, Memory, ReadPort, ReadPortState, SeqWritePortState,
+    SequentialWritePort, WritePort, WritePortState, DEFAULT_LOAD_LATENCY,
 };
 pub use mesh::{Coord, Direction, Mesh, MeshBuilder};
-pub use queue::{QueueStats, TaggedQueue, Token};
-pub use stream::{StreamSink, StreamSource};
-pub use system::{InputRef, Link, OutputRef, ProcessingElement, StopReason, System};
+pub use queue::{QueueState, QueueStats, RestoreError, TaggedQueue, Token};
+pub use stream::{StreamSink, StreamSinkState, StreamSource, StreamSourceState};
+pub use system::{
+    InputRef, Link, OutputRef, ProcessingElement, Snapshotable, StopReason, System, SystemState,
+};

@@ -9,9 +9,10 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
 use tia_isa::{Tag, Word};
 
-use crate::queue::{TaggedQueue, Token};
+use crate::queue::{QueueState, RestoreError, TaggedQueue, Token};
 
 /// The paper's on-chip memory load latency in cycles (§3).
 pub const DEFAULT_LOAD_LATENCY: u32 = 4;
@@ -142,6 +143,71 @@ impl ReadPort {
     pub fn is_idle(&self) -> bool {
         self.addr_in.is_empty() && self.data_out.is_empty() && self.in_flight.is_empty()
     }
+
+    /// Number of loads currently in the latency pipe.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Captures the complete port state: queues, in-flight loads and
+    /// the local cycle counter.
+    pub fn snapshot(&self) -> ReadPortState {
+        ReadPortState {
+            addr_in: self.addr_in.snapshot(),
+            data_out: self.data_out.snapshot(),
+            latency: self.latency,
+            in_flight: self
+                .in_flight
+                .iter()
+                .map(|&(ready, token)| InFlightLoad { ready, token })
+                .collect(),
+            now: self.now,
+        }
+    }
+
+    /// Restores a snapshot taken from a port of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when queue capacities or the configured latency differ.
+    pub fn restore(&mut self, state: &ReadPortState) -> Result<(), RestoreError> {
+        if state.latency != self.latency {
+            return Err(RestoreError::shape(
+                "read-port latency",
+                self.latency as usize,
+                state.latency as usize,
+            ));
+        }
+        self.addr_in.restore(&state.addr_in)?;
+        self.data_out.restore(&state.data_out)?;
+        self.in_flight = state.in_flight.iter().map(|l| (l.ready, l.token)).collect();
+        self.now = state.now;
+        Ok(())
+    }
+}
+
+/// One load travelling through a [`ReadPort`]'s latency pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InFlightLoad {
+    /// Cycle at which the load may retire into `data_out`.
+    pub ready: u64,
+    /// The loaded token (tag threaded from the request).
+    pub token: Token,
+}
+
+/// Serializable snapshot of a [`ReadPort`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadPortState {
+    /// Request queue state.
+    pub addr_in: QueueState,
+    /// Response queue state.
+    pub data_out: QueueState,
+    /// Configured load latency.
+    pub latency: u32,
+    /// Loads in the latency pipe, oldest first.
+    pub in_flight: Vec<InFlightLoad>,
+    /// The port's local cycle counter.
+    pub now: u64,
 }
 
 /// A memory write port: pairs an address token with a data token and
@@ -187,6 +253,38 @@ impl WritePort {
     pub fn is_idle(&self) -> bool {
         self.addr_in.is_empty() && self.data_in.is_empty()
     }
+
+    /// Captures the complete port state.
+    pub fn snapshot(&self) -> WritePortState {
+        WritePortState {
+            addr_in: self.addr_in.snapshot(),
+            data_in: self.data_in.snapshot(),
+            committed: self.committed,
+        }
+    }
+
+    /// Restores a snapshot taken from a port of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when queue capacities differ.
+    pub fn restore(&mut self, state: &WritePortState) -> Result<(), RestoreError> {
+        self.addr_in.restore(&state.addr_in)?;
+        self.data_in.restore(&state.data_in)?;
+        self.committed = state.committed;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`WritePort`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WritePortState {
+    /// Address queue state.
+    pub addr_in: QueueState,
+    /// Data queue state.
+    pub data_in: QueueState,
+    /// Total stores committed.
+    pub committed: u64,
 }
 
 /// A sequential (auto-incrementing) write port: consumes data tokens
@@ -238,6 +336,38 @@ impl SequentialWritePort {
     pub fn is_idle(&self) -> bool {
         self.data_in.is_empty()
     }
+
+    /// Captures the complete port state.
+    pub fn snapshot(&self) -> SeqWritePortState {
+        SeqWritePortState {
+            data_in: self.data_in.snapshot(),
+            next: self.next,
+            committed: self.committed,
+        }
+    }
+
+    /// Restores a snapshot taken from a port of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the queue capacity differs.
+    pub fn restore(&mut self, state: &SeqWritePortState) -> Result<(), RestoreError> {
+        self.data_in.restore(&state.data_in)?;
+        self.next = state.next;
+        self.committed = state.committed;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`SequentialWritePort`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqWritePortState {
+    /// Data queue state.
+    pub data_in: QueueState,
+    /// The next address to be written.
+    pub next: Word,
+    /// Total stores committed.
+    pub committed: u64,
 }
 
 /// Builds an address token (plain-data tag) for a read/write port.

@@ -8,10 +8,11 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
 use tia_isa::{Tag, Word};
 
 /// One tagged data word travelling through the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Token {
     /// The semantic tag.
     pub tag: Tag,
@@ -72,7 +73,11 @@ pub struct TaggedQueue {
 
 /// Lifetime traffic statistics for one queue. Cheap enough to keep
 /// always-on; the trace/metrics layer reads them at end of run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The accounting invariant the metrics layer relies on is
+/// `pushes - pops - cleared == occupancy` at every point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct QueueStats {
     /// Tokens accepted by [`TaggedQueue::push`].
     pub pushes: u64,
@@ -80,8 +85,26 @@ pub struct QueueStats {
     pub pops: u64,
     /// Pushes rejected because the queue was full.
     pub rejected: u64,
+    /// Tokens discarded by [`TaggedQueue::clear`] (flushes), so that
+    /// cleared tokens don't silently break the occupancy invariant.
+    pub cleared: u64,
     /// Highest occupancy ever reached.
     pub high_water: usize,
+}
+
+/// Serializable snapshot of one queue: contents, capacity, lifetime
+/// stats and the modification counter. Produced by
+/// [`TaggedQueue::snapshot`] and consumed by [`TaggedQueue::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueState {
+    /// Queued tokens, head first.
+    pub tokens: Vec<Token>,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Lifetime traffic statistics.
+    pub stats: QueueStats,
+    /// Modification counter (see [`TaggedQueue::version`]).
+    pub version: u64,
 }
 
 /// Equality compares contents and capacity only — two queues that
@@ -183,9 +206,12 @@ impl TaggedQueue {
         token
     }
 
-    /// Removes every token.
+    /// Removes every token, accounting them as flushed in
+    /// [`QueueStats::cleared`] so the `pushes - pops - cleared ==
+    /// occupancy` invariant survives the flush.
     pub fn clear(&mut self) {
         if !self.tokens.is_empty() {
+            self.stats.cleared += self.tokens.len() as u64;
             self.version += 1;
         }
         self.tokens.clear();
@@ -195,7 +221,110 @@ impl TaggedQueue {
     pub fn iter(&self) -> impl Iterator<Item = &Token> {
         self.tokens.iter()
     }
+
+    /// Captures the complete queue state (contents, stats, version).
+    pub fn snapshot(&self) -> QueueState {
+        QueueState {
+            tokens: self.tokens.iter().copied().collect(),
+            capacity: self.capacity,
+            stats: self.stats,
+            version: self.version,
+        }
+    }
+
+    /// Restores a snapshot taken from a queue of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's capacity differs from this queue's
+    /// (snapshots restore state, never topology) or the snapshot holds
+    /// more tokens than fit.
+    pub fn restore(&mut self, state: &QueueState) -> Result<(), RestoreError> {
+        if state.capacity != self.capacity {
+            return Err(RestoreError::shape(
+                "queue capacity",
+                self.capacity,
+                state.capacity,
+            ));
+        }
+        if state.tokens.len() > state.capacity {
+            return Err(RestoreError::invalid("queue holds more tokens than fit"));
+        }
+        self.tokens = state.tokens.iter().copied().collect();
+        self.stats = state.stats;
+        self.version = state.version;
+        Ok(())
+    }
 }
+
+/// Why a snapshot could not be restored into a live component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot's shape (a capacity, count, or length) does not
+    /// match the component it is being restored into.
+    Shape {
+        /// What mismatched.
+        what: &'static str,
+        /// The live component's value.
+        expected: usize,
+        /// The snapshot's value.
+        found: usize,
+    },
+    /// The snapshot is internally inconsistent.
+    Invalid {
+        /// What is wrong.
+        what: &'static str,
+    },
+    /// The serialized value did not parse as the expected state type.
+    Parse {
+        /// The deserializer's message.
+        message: String,
+    },
+}
+
+impl RestoreError {
+    /// Shape mismatch between snapshot and live component.
+    pub fn shape(what: &'static str, expected: usize, found: usize) -> Self {
+        RestoreError::Shape {
+            what,
+            expected,
+            found,
+        }
+    }
+
+    /// Internally inconsistent snapshot.
+    pub fn invalid(what: &'static str) -> Self {
+        RestoreError::Invalid { what }
+    }
+}
+
+impl From<serde::DeError> for RestoreError {
+    fn from(err: serde::DeError) -> Self {
+        RestoreError::Parse {
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Shape {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot shape mismatch: {what} is {found} in the snapshot \
+                 but {expected} in the target"
+            ),
+            RestoreError::Invalid { what } => write!(f, "invalid snapshot: {what}"),
+            RestoreError::Parse { message } => write!(f, "snapshot does not parse: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 #[cfg(test)]
 mod tests {
@@ -268,6 +397,74 @@ mod tests {
         assert_eq!(stats.pops, 2);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.high_water, 2);
+    }
+
+    #[test]
+    fn cleared_tokens_are_accounted() {
+        let invariant = |q: &TaggedQueue| {
+            let s = q.stats();
+            assert_eq!(
+                s.pushes - s.pops - s.cleared,
+                q.occupancy() as u64,
+                "pushes - pops - cleared must equal occupancy"
+            );
+        };
+        let mut q = TaggedQueue::new(4);
+        invariant(&q);
+        for i in 0..3 {
+            assert!(q.push(Token::data(i)));
+            invariant(&q);
+        }
+        assert!(q.pop().is_some());
+        invariant(&q);
+        q.clear();
+        invariant(&q);
+        assert_eq!(q.stats().cleared, 2);
+        // Clearing an empty queue flushes nothing.
+        q.clear();
+        invariant(&q);
+        assert_eq!(q.stats().cleared, 2);
+        // The queue stays usable after a flush.
+        assert!(q.push(Token::data(9)));
+        invariant(&q);
+        assert!(q.pop().is_some());
+        q.clear();
+        invariant(&q);
+        assert_eq!(q.stats().cleared, 2);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut q = TaggedQueue::new(3);
+        assert!(q.push(Token::data(1)));
+        assert!(q.push(Token::data(2)));
+        assert!(q.pop().is_some());
+        q.clear();
+        assert!(q.push(Token::data(7)));
+
+        let state = q.snapshot();
+        let json = serde_json::to_string(&state.to_value()).expect("serializes");
+        let parsed = serde_json::from_str(&json).expect("parses");
+        let state2 = QueueState::from_value(&parsed).expect("deserializes");
+        assert_eq!(state, state2);
+
+        let mut fresh = TaggedQueue::new(3);
+        fresh.restore(&state2).expect("restores");
+        assert_eq!(fresh.snapshot(), state);
+        assert_eq!(fresh.peek().unwrap().data, 7);
+        assert_eq!(fresh.version(), q.version());
+        assert_eq!(fresh.stats(), q.stats());
+    }
+
+    #[test]
+    fn restore_rejects_capacity_mismatch() {
+        let q = TaggedQueue::new(3);
+        let state = q.snapshot();
+        let mut other = TaggedQueue::new(2);
+        assert!(matches!(
+            other.restore(&state),
+            Err(RestoreError::Shape { .. })
+        ));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! a preloaded input buffer; a [`StreamSink`] the role of an output
 //! buffer read back by the host.
 
-use crate::queue::{TaggedQueue, Token};
+use serde::{Deserialize, Serialize};
+
+use crate::queue::{QueueState, RestoreError, TaggedQueue, Token};
 
 /// Injects a fixed token sequence into the fabric, one token per cycle
 /// as space allows.
@@ -47,6 +49,53 @@ impl StreamSource {
     pub fn remaining(&self) -> usize {
         self.pending.len() - self.next
     }
+
+    /// Captures the source's progress through its token sequence.
+    ///
+    /// The pending tokens themselves are workload input data — the
+    /// host reconstructs them on resume — so the snapshot records only
+    /// the cursor and the sequence length (as a consistency check).
+    pub fn snapshot(&self) -> StreamSourceState {
+        StreamSourceState {
+            out: self.out.snapshot(),
+            pending_len: self.pending.len(),
+            next: self.next,
+        }
+    }
+
+    /// Restores a snapshot taken from a source fed the same token
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the queue capacity or sequence length differ, or the
+    /// cursor lies beyond the sequence.
+    pub fn restore(&mut self, state: &StreamSourceState) -> Result<(), RestoreError> {
+        if state.pending_len != self.pending.len() {
+            return Err(RestoreError::shape(
+                "stream-source length",
+                self.pending.len(),
+                state.pending_len,
+            ));
+        }
+        if state.next > state.pending_len {
+            return Err(RestoreError::invalid("stream cursor beyond sequence end"));
+        }
+        self.out.restore(&state.out)?;
+        self.next = state.next;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`StreamSource`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSourceState {
+    /// Output queue state.
+    pub out: QueueState,
+    /// Length of the pending token sequence (consistency check).
+    pub pending_len: usize,
+    /// Index of the next token to stage.
+    pub next: usize,
 }
 
 /// Collects every token arriving on its input endpoint.
@@ -84,6 +133,35 @@ impl StreamSink {
     pub fn words(&self) -> Vec<u32> {
         self.collected.iter().map(|t| t.data).collect()
     }
+
+    /// Captures the complete sink state, including every token
+    /// collected so far.
+    pub fn snapshot(&self) -> StreamSinkState {
+        StreamSinkState {
+            input: self.input.snapshot(),
+            collected: self.collected.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken from a sink of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the queue capacity differs.
+    pub fn restore(&mut self, state: &StreamSinkState) -> Result<(), RestoreError> {
+        self.input.restore(&state.input)?;
+        self.collected = state.collected.clone();
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`StreamSink`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSinkState {
+    /// Input queue state.
+    pub input: QueueState,
+    /// Tokens collected so far, in arrival order.
+    pub collected: Vec<Token>,
 }
 
 #[cfg(test)]

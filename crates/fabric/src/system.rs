@@ -8,17 +8,25 @@
 
 use std::fmt;
 
-use tia_isa::IsaError;
+use serde::{Deserialize, Serialize, Value};
+use tia_isa::{IsaError, Word};
 use tia_trace::{EventKind, QueueDir, RingTracer, TraceEvent, Tracer};
 
-use crate::memory::{Memory, ReadPort, SequentialWritePort, WritePort};
-use crate::queue::TaggedQueue;
-use crate::stream::{StreamSink, StreamSource};
+use crate::memory::{
+    Memory, ReadPort, ReadPortState, SeqWritePortState, SequentialWritePort, WritePort,
+    WritePortState,
+};
+use crate::queue::{RestoreError, TaggedQueue};
+use crate::stream::{StreamSink, StreamSinkState, StreamSource, StreamSourceState};
 
 /// A processing element pluggable into a [`System`].
 ///
 /// The trait deliberately exposes only what the fabric needs: a clock
-/// edge, the PE's channel endpoints, and halt status.
+/// edge, the PE's channel endpoints, and halt status. The progress
+/// probes (`num_input_queues`, `num_output_queues`,
+/// `retired_instructions`) default to zero so minimal PE models keep
+/// working; real PE models override them to make watchdog-style
+/// liveness monitoring meaningful.
 pub trait ProcessingElement {
     /// Advances the PE one cycle.
     fn step(&mut self);
@@ -31,6 +39,42 @@ pub trait ProcessingElement {
 
     /// Whether the PE has retired a `halt` instruction.
     fn is_halted(&self) -> bool;
+
+    /// How many input queues the PE exposes (0 when unknown).
+    fn num_input_queues(&self) -> usize {
+        0
+    }
+
+    /// How many output queues the PE exposes (0 when unknown).
+    fn num_output_queues(&self) -> usize {
+        0
+    }
+
+    /// Total instructions retired so far (0 when the model doesn't
+    /// count retirements).
+    fn retired_instructions(&self) -> u64 {
+        0
+    }
+}
+
+/// A component whose complete state can be captured as a serde
+/// [`Value`] and later restored into an identically-shaped instance.
+///
+/// This is the PE-side hook for whole-[`System`] checkpointing: the
+/// fabric owns the port/stream/memory state, and delegates PE state to
+/// this trait because PE internals are model-specific.
+pub trait Snapshotable {
+    /// Captures the complete state of this component.
+    fn save_state(&self) -> Value;
+
+    /// Restores state captured by [`Snapshotable::save_state`] from a
+    /// component of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value does not parse as this component's state or
+    /// its shape (queue capacities, register counts, ...) differs.
+    fn restore_state(&mut self, state: &Value) -> Result<(), RestoreError>;
 }
 
 /// A producer-side channel endpoint.
@@ -437,6 +481,150 @@ impl<P: ProcessingElement> System<P> {
     pub fn run(&mut self, max_cycles: u64) -> StopReason {
         self.run_until(|sys| sys.all_halted(), max_cycles)
     }
+
+    /// Total tokens buffered anywhere the system can see: PE input and
+    /// output queues (as exposed by
+    /// [`ProcessingElement::num_input_queues`] /
+    /// [`ProcessingElement::num_output_queues`]), memory-port queues
+    /// and in-flight loads, and host stream endpoints. A watchdog uses
+    /// this to distinguish a blocked-but-loaded fabric (deadlock) from
+    /// a fully quiescent one.
+    pub fn buffered_tokens(&mut self) -> u64 {
+        let mut total: u64 = 0;
+        for pe in &mut self.pes {
+            for i in 0..pe.num_input_queues() {
+                total += pe.input_queue_mut(i).occupancy() as u64;
+            }
+            for i in 0..pe.num_output_queues() {
+                total += pe.output_queue_mut(i).occupancy() as u64;
+            }
+        }
+        for port in &self.read_ports {
+            total += (port.addr_in.occupancy() + port.data_out.occupancy() + port.in_flight_len())
+                as u64;
+        }
+        for port in &self.write_ports {
+            total += (port.addr_in.occupancy() + port.data_in.occupancy()) as u64;
+        }
+        for port in &self.seq_write_ports {
+            total += port.data_in.occupancy() as u64;
+        }
+        for source in &self.sources {
+            total += source.out.occupancy() as u64;
+        }
+        for sink in &self.sinks {
+            total += sink.input.occupancy() as u64;
+        }
+        total
+    }
+
+    /// Total instructions retired across all PEs (see
+    /// [`ProcessingElement::retired_instructions`]).
+    pub fn total_retired(&self) -> u64 {
+        self.pes.iter().map(|p| p.retired_instructions()).sum()
+    }
+}
+
+impl<P: ProcessingElement + Snapshotable> System<P> {
+    /// Captures the complete architectural state of the system: cycle
+    /// count, memory contents, every port/stream state, and each PE's
+    /// state via [`Snapshotable`].
+    ///
+    /// The fabric tracer (if any) is deliberately *not* captured:
+    /// trace rings are observability state, not architectural state,
+    /// and a restored run re-arms tracing explicitly.
+    pub fn save_state(&self) -> SystemState {
+        SystemState {
+            cycle: self.cycle,
+            memory: self.memory.words().to_vec(),
+            pes: self.pes.iter().map(|p| p.save_state()).collect(),
+            read_ports: self.read_ports.iter().map(|p| p.snapshot()).collect(),
+            write_ports: self.write_ports.iter().map(|p| p.snapshot()).collect(),
+            seq_write_ports: self.seq_write_ports.iter().map(|p| p.snapshot()).collect(),
+            sources: self.sources.iter().map(|s| s.snapshot()).collect(),
+            sinks: self.sinks.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+
+    /// Restores a snapshot taken from a system with identical topology
+    /// (same PE/port/stream counts and shapes, built by the same
+    /// wiring code).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any component count or shape differs from the
+    /// snapshot.
+    pub fn restore_state(&mut self, state: &SystemState) -> Result<(), RestoreError> {
+        let check = |what, expected: usize, found: usize| {
+            if expected == found {
+                Ok(())
+            } else {
+                Err(RestoreError::shape(what, expected, found))
+            }
+        };
+        check("PE count", self.pes.len(), state.pes.len())?;
+        check("memory size", self.memory.len(), state.memory.len())?;
+        check(
+            "read-port count",
+            self.read_ports.len(),
+            state.read_ports.len(),
+        )?;
+        check(
+            "write-port count",
+            self.write_ports.len(),
+            state.write_ports.len(),
+        )?;
+        check(
+            "seq-write-port count",
+            self.seq_write_ports.len(),
+            state.seq_write_ports.len(),
+        )?;
+        check("source count", self.sources.len(), state.sources.len())?;
+        check("sink count", self.sinks.len(), state.sinks.len())?;
+        for (pe, s) in self.pes.iter_mut().zip(&state.pes) {
+            pe.restore_state(s)?;
+        }
+        self.memory = Memory::from_words(state.memory.clone());
+        for (port, s) in self.read_ports.iter_mut().zip(&state.read_ports) {
+            port.restore(s)?;
+        }
+        for (port, s) in self.write_ports.iter_mut().zip(&state.write_ports) {
+            port.restore(s)?;
+        }
+        for (port, s) in self.seq_write_ports.iter_mut().zip(&state.seq_write_ports) {
+            port.restore(s)?;
+        }
+        for (source, s) in self.sources.iter_mut().zip(&state.sources) {
+            source.restore(s)?;
+        }
+        for (sink, s) in self.sinks.iter_mut().zip(&state.sinks) {
+            sink.restore(s)?;
+        }
+        self.cycle = state.cycle;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a whole [`System`]: everything needed to
+/// resume a run bit-identically on an identically-wired system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemState {
+    /// The system cycle count.
+    pub cycle: u64,
+    /// The data memory contents.
+    pub memory: Vec<Word>,
+    /// Per-PE state, as produced by [`Snapshotable::save_state`].
+    pub pes: Vec<Value>,
+    /// Read-port states.
+    pub read_ports: Vec<ReadPortState>,
+    /// Write-port states.
+    pub write_ports: Vec<WritePortState>,
+    /// Sequential-write-port states.
+    pub seq_write_ports: Vec<SeqWritePortState>,
+    /// Stream-source states.
+    pub sources: Vec<StreamSourceState>,
+    /// Stream-sink states.
+    pub sinks: Vec<StreamSinkState>,
 }
 
 impl fmt::Display for StopReason {

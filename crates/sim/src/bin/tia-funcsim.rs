@@ -29,14 +29,30 @@
 //! writes a JSON registry of every counter plus event-derived
 //! histograms (queue occupancy, stall run lengths); `--cpi-window N`
 //! adds a windowed CPI-stack timeline to that document.
+//!
+//! Robustness (see docs/robustness.md): `--checkpoint-every N
+//! --checkpoint-out PATH` writes a resumable snapshot every `N` cycles
+//! (atomically, so an interrupt never leaves a truncated file);
+//! `--resume PATH` continues a run from such a snapshot — re-invoke
+//! with the *same* program, parameters and input options, and the
+//! continuation is bit-identical to the uninterrupted run.
+//! `--watchdog N` aborts with a diagnostic state dump when `N` cycles
+//! pass without an instruction retiring (deadlock or quiescence short
+//! of `halt`), instead of silently spinning to `--max-cycles`.
 
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 
+use serde::{Deserialize, Serialize};
+use tia_ckpt::{Hang, Progress, Snapshot, Watchdog};
 use tia_fabric::{ProcessingElement, Token};
 use tia_isa::{Params, Program, Tag};
-use tia_sim::FuncPe;
+use tia_sim::{FuncPe, FuncPeState};
 use tia_trace::{chrome, jsonl, CpiTimeline, MetricsRegistry, NullTracer, RingTracer, Tracer};
+
+/// The snapshot `kind` tag for funcsim checkpoints.
+const FUNCSIM_KIND: &str = "tia-funcsim";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TraceFormat {
@@ -57,6 +73,25 @@ struct Options {
     trace_format: TraceFormat,
     metrics_out: Option<String>,
     cpi_window: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_out: Option<String>,
+    resume: Option<String>,
+    watchdog: Option<u64>,
+}
+
+/// Everything beyond the PE itself that the simulation loop carries:
+/// stream cursors and already-drained output tokens. Together with
+/// [`FuncPeState`] this resumes a run bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FuncsimCheckpoint {
+    /// The next loop cycle to execute.
+    cycle: u64,
+    /// The PE's architectural state.
+    pe: FuncPeState,
+    /// Per `--stream` option, how many tokens have been delivered.
+    stream_next: Vec<usize>,
+    /// Tokens drained from each output queue so far.
+    outputs: Vec<Vec<Token>>,
 }
 
 fn parse_token(text: &str, params: &Params) -> Result<Token, String> {
@@ -95,6 +130,10 @@ fn parse_args() -> Result<Options, String> {
     let mut trace_format = TraceFormat::Chrome;
     let mut metrics_out = None;
     let mut cpi_window = None;
+    let mut checkpoint_every = None;
+    let mut checkpoint_out = None;
+    let mut resume = None;
+    let mut watchdog = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--params" => {
@@ -137,13 +176,41 @@ fn parse_args() -> Result<Options, String> {
                 }
                 cpi_window = Some(window);
             }
+            "--checkpoint-every" => {
+                let every: u64 = args
+                    .next()
+                    .ok_or("--checkpoint-every needs a cycle count")?
+                    .parse()
+                    .map_err(|e| format!("bad checkpoint interval: {e}"))?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be positive".to_string());
+                }
+                checkpoint_every = Some(every);
+            }
+            "--checkpoint-out" => {
+                checkpoint_out = Some(args.next().ok_or("--checkpoint-out needs a file")?);
+            }
+            "--resume" => resume = Some(args.next().ok_or("--resume needs a file")?),
+            "--watchdog" => {
+                let window: u64 = args
+                    .next()
+                    .ok_or("--watchdog needs a cycle count")?
+                    .parse()
+                    .map_err(|e| format!("bad watchdog window: {e}"))?;
+                if window == 0 {
+                    return Err("--watchdog must be positive".to_string());
+                }
+                watchdog = Some(window);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: tia-funcsim [--params params.json] [--hex] [--lint] \
                             [--max-cycles N] [--in Q:v1,v2,...] \
                             [--stream Q:v1,v2,...@P] [--trace-out FILE] \
                             [--trace-format chrome|jsonl] [--metrics-out FILE] \
-                            [--cpi-window N] <program>"
+                            [--cpi-window N] [--checkpoint-every N] \
+                            [--checkpoint-out FILE] [--resume FILE] \
+                            [--watchdog N] <program>"
                         .to_string(),
                 )
             }
@@ -193,6 +260,9 @@ fn parse_args() -> Result<Options, String> {
     if cpi_window.is_some() && metrics_out.is_none() {
         return Err("--cpi-window requires --metrics-out".to_string());
     }
+    if checkpoint_every.is_some() != checkpoint_out.is_some() {
+        return Err("--checkpoint-every and --checkpoint-out must be given together".to_string());
+    }
     Ok(Options {
         params,
         program_path: program_path.ok_or("no program file given")?,
@@ -205,6 +275,10 @@ fn parse_args() -> Result<Options, String> {
         trace_format,
         metrics_out,
         cpi_window,
+        checkpoint_every,
+        checkpoint_out,
+        resume,
+        watchdog,
     })
 }
 
@@ -239,6 +313,25 @@ fn load_program(opts: &Options) -> Result<(Program, Vec<tia_lint::Span>), String
     }
 }
 
+/// Writes a resumable snapshot of the whole simulation loop state.
+fn write_checkpoint<T: Tracer>(
+    path: &str,
+    cycle: u64,
+    pe: &FuncPe<T>,
+    streams: &[(usize, Vec<Token>, usize, u64)],
+    outputs: &[Vec<Token>],
+) -> Result<(), String> {
+    let checkpoint = FuncsimCheckpoint {
+        cycle,
+        pe: pe.snapshot(),
+        stream_next: streams.iter().map(|(_, _, next, _)| *next).collect(),
+        outputs: outputs.to_vec(),
+    };
+    Snapshot::new(FUNCSIM_KIND, serde::Serialize::to_value(&checkpoint))
+        .save(Path::new(path))
+        .map_err(|e| e.to_string())
+}
+
 /// Runs the program to halt or the cycle limit, draining output queues
 /// and feeding `--stream` producers. Monomorphizes per tracer, so the
 /// untraced path carries no tracing code at all.
@@ -259,21 +352,61 @@ fn simulate<T: Tracer>(
         }
     }
 
-    let mut streams: Vec<(usize, std::vec::IntoIter<Token>, u64)> = opts
+    // (queue, tokens, next undelivered index, period)
+    let mut streams: Vec<(usize, Vec<Token>, usize, u64)> = opts
         .streams
         .iter()
-        .map(|(q, tokens, period)| (*q, tokens.clone().into_iter(), *period))
+        .map(|(q, tokens, period)| (*q, tokens.clone(), 0, *period))
         .collect();
     let mut outputs: Vec<Vec<Token>> = vec![Vec::new(); opts.params.num_output_queues];
-    for cycle in 0..opts.max_cycles {
+    let mut start_cycle = 0u64;
+
+    if let Some(path) = &opts.resume {
+        let snapshot = Snapshot::load(Path::new(path)).map_err(|e| e.to_string())?;
+        snapshot
+            .check_kind(FUNCSIM_KIND)
+            .map_err(|e| e.to_string())?;
+        let checkpoint = FuncsimCheckpoint::from_value(&snapshot.state)
+            .map_err(|e| format!("malformed checkpoint {path}: {e}"))?;
+        pe.restore(&checkpoint.pe)
+            .map_err(|e| format!("checkpoint {path} does not fit this program: {e}"))?;
+        if checkpoint.stream_next.len() != streams.len() {
+            return Err(format!(
+                "checkpoint {path} was taken with {} --stream option(s), this run has {}",
+                checkpoint.stream_next.len(),
+                streams.len()
+            ));
+        }
+        for ((_, tokens, next, _), &resumed) in streams.iter_mut().zip(&checkpoint.stream_next) {
+            if resumed > tokens.len() {
+                return Err(format!(
+                    "checkpoint {path} delivered {resumed} stream tokens, this run only has {}",
+                    tokens.len()
+                ));
+            }
+            *next = resumed;
+        }
+        if checkpoint.outputs.len() != outputs.len() {
+            return Err(format!(
+                "checkpoint {path} has {} output queues, this run has {}",
+                checkpoint.outputs.len(),
+                outputs.len()
+            ));
+        }
+        outputs = checkpoint.outputs;
+        start_cycle = checkpoint.cycle;
+    }
+
+    let mut watchdog = opts.watchdog.map(Watchdog::new);
+    for cycle in start_cycle..opts.max_cycles {
         if pe.halted() {
             break;
         }
-        for (queue, tokens, period) in &mut streams {
+        for (queue, tokens, next, period) in &mut streams {
             if cycle % *period == 0 {
-                if let Some(&token) = tokens.as_slice().first() {
+                if let Some(&token) = tokens.get(*next) {
                     if pe.input_queue_mut(*queue).push(token) {
-                        let _ = tokens.next();
+                        *next += 1;
                     }
                 }
             }
@@ -284,8 +417,44 @@ fn simulate<T: Tracer>(
                 sink.push(t);
             }
         }
+        let done = cycle + 1;
+        if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint_out) {
+            if done % every == 0 {
+                write_checkpoint(path, done, &pe, &streams, &outputs)?;
+            }
+        }
+        if let Some(dog) = &mut watchdog {
+            let queued_tokens = (0..opts.params.num_input_queues)
+                .map(|q| pe.input_queue(q).occupancy() as u64)
+                .chain(
+                    (0..opts.params.num_output_queues)
+                        .map(|q| pe.output_queue(q).occupancy() as u64),
+                )
+                .sum::<u64>()
+                + streams
+                    .iter()
+                    .map(|(_, tokens, next, _)| (tokens.len() - next) as u64)
+                    .sum::<u64>();
+            let progress = Progress {
+                cycle: done,
+                retired: pe.counters().retired,
+                queued_tokens,
+                halted: pe.halted(),
+            };
+            if let Some(hang) = dog.observe(progress) {
+                return Err(hang_failure(&pe, hang));
+            }
+        }
     }
     Ok((pe, outputs))
+}
+
+/// Formats a watchdog hang as a fatal error, dumping the PE state to
+/// stderr for diagnosis.
+fn hang_failure<T: Tracer>(pe: &FuncPe<T>, hang: Hang) -> String {
+    let dump = Snapshot::capture(FUNCSIM_KIND, pe).to_json();
+    eprintln!("tia-funcsim: state at hang:\n{dump}");
+    format!("watchdog: {hang}")
 }
 
 fn print_summary<T: Tracer>(opts: &Options, pe: &FuncPe<T>, outputs: &[Vec<Token>]) {
@@ -351,7 +520,8 @@ fn export_observability(opts: &Options, pe: FuncPe<RingTracer>) -> Result<(), St
         metrics.record_events(&events);
         let mut doc = serde::Serialize::to_value(&metrics);
         if let Some(window) = opts.cpi_window {
-            let timeline = CpiTimeline::from_events(&events, window);
+            let timeline =
+                CpiTimeline::from_events_with_end(&events, window, metrics_counters.cycles);
             if let serde::Value::Object(fields) = &mut doc {
                 fields.push((
                     "cpi_timeline".to_string(),

@@ -6,11 +6,11 @@
 //! predicate writes for Figure 4, queue traffic for the workload
 //! characterization of Table 3).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use tia_trace::MetricsRegistry;
 
 /// Event counts accumulated by a functional PE.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FuncCounters {
     /// Cycles stepped (while not halted).
     pub cycles: u64,

@@ -48,4 +48,4 @@ pub mod counters;
 pub mod pe;
 
 pub use counters::FuncCounters;
-pub use pe::FuncPe;
+pub use pe::{FuncPe, FuncPeState};

@@ -7,7 +7,8 @@
 //! microarchitecture in `tia-core` must match this model's
 //! architectural state and channel traffic exactly.
 
-use tia_fabric::{ProcessingElement, TaggedQueue, Token};
+use serde::{Deserialize, Serialize, Value};
+use tia_fabric::{ProcessingElement, QueueState, RestoreError, Snapshotable, TaggedQueue, Token};
 use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredState, Program, SrcOperand, Word,
 };
@@ -407,6 +408,119 @@ impl<T: Tracer> FuncPe<T> {
             SrcOperand::Imm => imm & self.params.word_mask(),
         }
     }
+
+    /// Captures the complete architectural state: registers,
+    /// predicates, scratchpad, queues, the halt latch, the event
+    /// counters and the retirement trace.
+    ///
+    /// The program and parameters are *not* captured — a snapshot
+    /// restores state into a PE rebuilt from the same program — but
+    /// the program length is recorded so [`FuncPe::restore`] can
+    /// reject mismatched targets. The functional model has no
+    /// microarchitectural state, so this is everything.
+    pub fn snapshot(&self) -> FuncPeState {
+        FuncPeState {
+            program_len: self.program.len(),
+            regs: self.regs.clone(),
+            preds: self.preds,
+            scratchpad: self.scratchpad.clone(),
+            inputs: self.inputs.iter().map(TaggedQueue::snapshot).collect(),
+            outputs: self.outputs.iter().map(TaggedQueue::snapshot).collect(),
+            halted: self.halted,
+            counters: self.counters,
+            trace: self.trace.clone(),
+            pe_id: self.pe_id,
+        }
+    }
+
+    /// Restores a snapshot into this PE. The PE must have been built
+    /// from the same parameters and program as the one that produced
+    /// the snapshot; continuation is then bit-identical to the
+    /// original run.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's shape (program length,
+    /// register/scratchpad/queue sizes) does not match this PE.
+    pub fn restore(&mut self, state: &FuncPeState) -> Result<(), RestoreError> {
+        if state.program_len != self.program.len() {
+            return Err(RestoreError::shape(
+                "program length",
+                self.program.len(),
+                state.program_len,
+            ));
+        }
+        let check = |what, expected: usize, found: usize| {
+            if expected == found {
+                Ok(())
+            } else {
+                Err(RestoreError::shape(what, expected, found))
+            }
+        };
+        check("register count", self.regs.len(), state.regs.len())?;
+        check(
+            "scratchpad size",
+            self.scratchpad.len(),
+            state.scratchpad.len(),
+        )?;
+        check("input queue count", self.inputs.len(), state.inputs.len())?;
+        check(
+            "output queue count",
+            self.outputs.len(),
+            state.outputs.len(),
+        )?;
+        for (queue, s) in self.inputs.iter_mut().zip(&state.inputs) {
+            queue.restore(s)?;
+        }
+        for (queue, s) in self.outputs.iter_mut().zip(&state.outputs) {
+            queue.restore(s)?;
+        }
+        self.regs.copy_from_slice(&state.regs);
+        self.preds = state.preds;
+        self.scratchpad.copy_from_slice(&state.scratchpad);
+        self.halted = state.halted;
+        self.counters = state.counters;
+        self.trace = state.trace.clone();
+        self.pe_id = state.pe_id;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`FuncPe`], produced by
+/// [`FuncPe::snapshot`] and consumed by [`FuncPe::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncPeState {
+    /// The program's slot count (shape check on restore).
+    pub program_len: usize,
+    /// Data register file.
+    pub regs: Vec<Word>,
+    /// Predicate state.
+    pub preds: PredState,
+    /// Scratchpad memory.
+    pub scratchpad: Vec<Word>,
+    /// Input queue states.
+    pub inputs: Vec<QueueState>,
+    /// Output queue states.
+    pub outputs: Vec<QueueState>,
+    /// Whether a `halt` has retired.
+    pub halted: bool,
+    /// Accumulated event counters.
+    pub counters: FuncCounters,
+    /// The retirement trace (`None` when recording is off).
+    pub trace: Option<Vec<u16>>,
+    /// The PE id stamped on trace events.
+    pub pe_id: u16,
+}
+
+impl<T: Tracer> Snapshotable for FuncPe<T> {
+    fn save_state(&self) -> Value {
+        self.snapshot().to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), RestoreError> {
+        let parsed = FuncPeState::from_value(state)?;
+        self.restore(&parsed)
+    }
 }
 
 impl<T: Tracer> ProcessingElement for FuncPe<T> {
@@ -424,6 +538,18 @@ impl<T: Tracer> ProcessingElement for FuncPe<T> {
 
     fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    fn num_input_queues(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn num_output_queues(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn retired_instructions(&self) -> u64 {
+        self.counters.retired
     }
 }
 

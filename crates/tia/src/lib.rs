@@ -21,6 +21,8 @@
 //!   verification.
 //! * [`lint`] — the static analyzer: reachability, shadowing,
 //!   +P speculability certification, and channel-deadlock checks.
+//! * [`ckpt`] — checkpoint/restore snapshots and the runtime hang
+//!   watchdog for long runs.
 //!
 //! # Examples
 //!
@@ -55,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use tia_asm as asm;
+pub use tia_ckpt as ckpt;
 pub use tia_core as core;
 pub use tia_energy as energy;
 pub use tia_fabric as fabric;

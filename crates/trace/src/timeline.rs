@@ -49,12 +49,30 @@ pub struct CpiTimeline {
 
 impl CpiTimeline {
     /// Buckets `Issue`/`Stall`/`Quash` events into windows of `window`
-    /// cycles. Events of other kinds are ignored.
+    /// cycles. Events of other kinds are ignored. The run's end is
+    /// inferred as one past the last event's cycle; when the true run
+    /// length is known (e.g. from a cycle counter), prefer
+    /// [`CpiTimeline::from_events_with_end`], which also covers
+    /// trailing event-free windows.
     ///
     /// # Panics
     ///
     /// Panics when `window` is zero.
     pub fn from_events(events: &[TraceEvent], window: u64) -> Self {
+        let end_cycle = events.iter().map(|e| e.cycle + 1).max().unwrap_or(0);
+        Self::from_events_with_end(events, window, end_cycle)
+    }
+
+    /// [`CpiTimeline::from_events`] with an explicit run length: the
+    /// final window's `cycles` is clamped to `end_cycle` so per-window
+    /// rates (e.g. issued/cycles) are not deflated by phantom cycles,
+    /// and windows extend through `end_cycle` even when the tail of
+    /// the run produced no events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is zero.
+    pub fn from_events_with_end(events: &[TraceEvent], window: u64, end_cycle: u64) -> Self {
         assert!(window > 0, "CPI window must be positive");
         let mut windows: Vec<CpiWindow> = Vec::new();
         for event in events {
@@ -75,9 +93,18 @@ impl CpiTimeline {
                 _ => {}
             }
         }
+        // Cover the declared run length, including trailing
+        // event-free windows.
+        let covering = end_cycle.div_ceil(window) as usize;
+        if windows.len() < covering {
+            windows.resize_with(covering, CpiWindow::default);
+        }
+        // Events past the declared end (a caller's counter can lag a
+        // PE-local clock) extend the run to one past the last event.
+        let end = end_cycle.max(events.iter().map(|e| e.cycle + 1).max().unwrap_or(0));
         for (idx, w) in windows.iter_mut().enumerate() {
             w.start_cycle = idx as u64 * window;
-            w.cycles = window;
+            w.cycles = window.min(end - w.start_cycle);
         }
         CpiTimeline { window, windows }
     }
@@ -130,6 +157,67 @@ mod tests {
         assert_eq!(t.windows.len(), 3);
         assert_eq!(t.windows[1].attributed(), 0);
         assert_eq!(t.windows[1].start_cycle, 8);
+    }
+
+    #[test]
+    fn final_window_is_clamped_to_the_runs_end() {
+        // A 10-cycle run with window 4: the last window covers only
+        // cycles 8 and 9, and its `cycles` must say so — reporting 4
+        // would deflate its issue rate from 1/2 to 1/4.
+        let events = vec![
+            TraceEvent::new(0, 0, EventKind::Issue { slot: 0, depth: 1 }),
+            stall(9, StallClass::NotTriggered),
+        ];
+        let t = CpiTimeline::from_events_with_end(&events, 4, 10);
+        assert_eq!(t.windows.len(), 3);
+        assert_eq!(t.windows[0].cycles, 4);
+        assert_eq!(t.windows[1].cycles, 4);
+        assert_eq!((t.windows[2].start_cycle, t.windows[2].cycles), (8, 2));
+    }
+
+    #[test]
+    fn inferred_end_clamps_the_last_window_too() {
+        // Without an explicit end, the run is taken to finish one past
+        // the last event: 6 cycles, so the second window covers 2.
+        let events = vec![
+            TraceEvent::new(0, 0, EventKind::Issue { slot: 0, depth: 1 }),
+            stall(5, StallClass::DataHazard),
+        ];
+        let t = CpiTimeline::from_events(&events, 4);
+        assert_eq!(t.windows.len(), 2);
+        assert_eq!(t.windows[1].cycles, 2);
+    }
+
+    #[test]
+    fn explicit_end_covers_trailing_event_free_windows() {
+        let events = vec![TraceEvent::new(
+            0,
+            0,
+            EventKind::Issue { slot: 0, depth: 1 },
+        )];
+        let t = CpiTimeline::from_events_with_end(&events, 4, 11);
+        assert_eq!(t.windows.len(), 3);
+        assert_eq!(t.windows[2].attributed(), 0);
+        assert_eq!(t.windows[2].cycles, 3);
+    }
+
+    #[test]
+    fn events_past_the_declared_end_extend_the_run() {
+        let events = vec![stall(9, StallClass::NotTriggered)];
+        let t = CpiTimeline::from_events_with_end(&events, 4, 6);
+        assert_eq!(t.windows.len(), 3);
+        // The run really lasted 10 cycles; the final window is clamped
+        // against that, not against the stale declared end.
+        assert_eq!(t.windows[2].cycles, 2);
+        assert_eq!(t.windows[1].cycles, 4);
+    }
+
+    #[test]
+    fn empty_event_streams_produce_empty_or_padded_timelines() {
+        assert!(CpiTimeline::from_events(&[], 8).windows.is_empty());
+        let padded = CpiTimeline::from_events_with_end(&[], 8, 20);
+        assert_eq!(padded.windows.len(), 3);
+        assert_eq!(padded.windows[2].cycles, 4);
     }
 
     #[test]

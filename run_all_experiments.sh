@@ -36,7 +36,7 @@ case "$JOBS" in
         ;;
 esac
 
-mkdir -p results results/logs
+mkdir -p results results/logs results/ckpt
 timing_dir="$(mktemp -d)"
 trap 'rm -rf "$timing_dir"' EXIT
 cargo build --release -p tia-bench -p tia-asm
@@ -100,9 +100,16 @@ for bin in "${BINS[@]}"; do
 done
 
 names+=(dse_export dump_workload_asm)
+# The DSE sweep checkpoints each finished activity measurement to
+# results/ckpt/; an interrupted suite resumes from it (and a completed
+# sweep leaves the file behind, which is harmless — measurements are
+# reused, not re-simulated). The file is per scale: measurements taken
+# at test scale must never seed a full-scale sweep.
+DSE_PARTIAL="results/ckpt/dse_partial_$([[ -n $SCALE ]] && echo test || echo full).json"
 # shellcheck disable=SC2086
 launch dse_export results/dse_export.txt \
-    ./target/release/dse_export $SCALE -o results/design_space.json
+    ./target/release/dse_export $SCALE \
+    --partial "$DSE_PARTIAL" -o results/design_space.json
 launch dump_workload_asm results/dump_workload_asm.txt \
     ./target/release/dump_workload_asm results/asm
 

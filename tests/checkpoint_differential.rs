@@ -1,0 +1,122 @@
+//! Differential checkpoint/restore harness: for every workload and
+//! every microarchitecture, running K cycles straight must be
+//! bit-identical to running K/2 cycles, snapshotting, restoring the
+//! snapshot into a freshly built system, and running the remaining
+//! cycles. The snapshot is round-tripped through JSON on the way, so
+//! the serialized format is exercised too, not just the in-memory
+//! state structs.
+
+use tia::core::{Pipeline, UarchConfig, UarchPe};
+use tia::fabric::{ProcessingElement, Snapshotable, System, SystemState};
+use tia::isa::Params;
+use tia::sim::FuncPe;
+use tia::workloads::{PeFactory, Scale, WorkloadKind, ALL_WORKLOADS};
+
+/// Cycle budget per differential run. Long enough to get every
+/// workload well into (and usually past) its steady state at test
+/// scale, short enough to sweep all 320 uarch combinations quickly.
+const K: u64 = 1_500;
+
+fn step_n<P: ProcessingElement>(system: &mut System<P>, cycles: u64) {
+    // Deliberately no early-out on halt: both sides of the
+    // differential must execute exactly the same number of steps.
+    for _ in 0..cycles {
+        system.step();
+    }
+}
+
+/// Runs the straight-vs-split differential for one workload over one
+/// PE factory and asserts bit-identical final state.
+fn assert_differential<P, F>(kind: WorkloadKind, factory: &mut F, label: &str)
+where
+    P: ProcessingElement + Snapshotable,
+    F: PeFactory<P>,
+{
+    let params = Params::default();
+    let build = |f: &mut F| {
+        kind.build(&params, Scale::Test, f)
+            .unwrap_or_else(|e| panic!("{kind}/{label}: build failed: {e}"))
+    };
+
+    let mut straight = build(factory);
+    let k = K.min(straight.max_cycles);
+    step_n(&mut straight.system, k);
+
+    let mut split = build(factory);
+    step_n(&mut split.system, k / 2);
+    let json = serde_json::to_string(&split.system.save_state())
+        .unwrap_or_else(|e| panic!("{kind}/{label}: snapshot failed to serialize: {e}"));
+    let snapshot: SystemState = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("{kind}/{label}: snapshot failed to parse back: {e}"));
+
+    let mut resumed = build(factory);
+    resumed
+        .system
+        .restore_state(&snapshot)
+        .unwrap_or_else(|e| panic!("{kind}/{label}: restore failed: {e}"));
+    assert_eq!(
+        resumed.system.cycle(),
+        k / 2,
+        "{kind}/{label}: restored cycle counter"
+    );
+    step_n(&mut resumed.system, k - k / 2);
+
+    assert_eq!(
+        straight.system.cycle(),
+        resumed.system.cycle(),
+        "{kind}/{label}: cycle counters diverged"
+    );
+    assert_eq!(
+        straight.system.total_retired(),
+        resumed.system.total_retired(),
+        "{kind}/{label}: retirement counts diverged"
+    );
+    // The full-state comparison: every PE's architectural and
+    // microarchitectural state, memory, ports, and streams, compared
+    // as serialized bytes (field order is stable, so identical state
+    // means identical bytes).
+    let final_straight = serde_json::to_string_pretty(&straight.system.save_state()).unwrap();
+    let final_resumed = serde_json::to_string_pretty(&resumed.system.save_state()).unwrap();
+    assert_eq!(
+        final_straight, final_resumed,
+        "{kind}/{label}: final state diverged"
+    );
+}
+
+#[test]
+fn functional_model_split_runs_match_straight_runs() {
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        assert_differential(kind, &mut factory, "func");
+    }
+}
+
+fn sweep_uarch(variant: &str, make: fn(Pipeline) -> UarchConfig) {
+    for kind in ALL_WORKLOADS {
+        for pipeline in Pipeline::ALL {
+            let config = make(pipeline);
+            let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+            assert_differential(kind, &mut factory, &format!("{variant}/{pipeline}"));
+        }
+    }
+}
+
+#[test]
+fn uarch_base_split_runs_match_straight_runs() {
+    sweep_uarch("base", UarchConfig::base);
+}
+
+#[test]
+fn uarch_plus_p_split_runs_match_straight_runs() {
+    sweep_uarch("+P", UarchConfig::with_p);
+}
+
+#[test]
+fn uarch_plus_q_split_runs_match_straight_runs() {
+    sweep_uarch("+Q", UarchConfig::with_q);
+}
+
+#[test]
+fn uarch_plus_pq_split_runs_match_straight_runs() {
+    sweep_uarch("+P+Q", UarchConfig::with_pq);
+}

@@ -1,0 +1,87 @@
+//! Golden checkpoint compatibility: `tests/data/golden_checkpoint.json`
+//! is a checked-in snapshot of the `merge` workload (functional model,
+//! test scale) taken 300 cycles into the run. Current code must keep
+//! loading it, restoring it, and finishing the run correctly — if a
+//! state-struct change breaks the format, this test is the tripwire,
+//! and `SNAPSHOT_FORMAT_VERSION` must be bumped alongside a refreshed
+//! golden file (regenerate with
+//! `cargo test -p tia golden -- --ignored regenerate`).
+
+use std::path::Path;
+
+use tia::ckpt::{Snapshot, SNAPSHOT_FORMAT_VERSION};
+use tia::fabric::SystemState;
+use tia::isa::Params;
+use tia::sim::FuncPe;
+use tia::workloads::{Built, Scale, WorkloadKind};
+
+/// The snapshot `kind` tag used by this suite's golden file.
+const GOLDEN_KIND: &str = "tia-golden-system";
+/// Cycle the golden snapshot was taken at — mid-run: the test-scale
+/// merge completes around cycle 253.
+const GOLDEN_CYCLE: u64 = 120;
+
+fn golden_path() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/data/golden_checkpoint.json"
+    ))
+}
+
+fn build_merge() -> Built<FuncPe> {
+    let params = Params::default();
+    let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+    WorkloadKind::Merge
+        .build(&params, Scale::Test, &mut factory)
+        .expect("merge builds")
+}
+
+#[test]
+fn golden_checkpoint_still_loads() {
+    let snapshot = Snapshot::load(golden_path()).expect("golden checkpoint loads");
+    assert_eq!(snapshot.format_version, SNAPSHOT_FORMAT_VERSION);
+    snapshot.check_kind(GOLDEN_KIND).expect("kind matches");
+    let state =
+        <SystemState as serde::Deserialize>::from_value(&snapshot.state).expect("state parses");
+    assert_eq!(state.cycle, GOLDEN_CYCLE);
+    assert_eq!(state.pes.len(), WorkloadKind::Merge.num_pes());
+}
+
+#[test]
+fn golden_checkpoint_restores_and_finishes_the_run() {
+    let snapshot = Snapshot::load(golden_path()).expect("golden checkpoint loads");
+    let state =
+        <SystemState as serde::Deserialize>::from_value(&snapshot.state).expect("state parses");
+
+    // Resume the golden run and let it finish; the workload's memory
+    // verification is the end-to-end correctness check.
+    let mut resumed = build_merge();
+    resumed.system.restore_state(&state).expect("restores");
+    assert_eq!(resumed.system.cycle(), GOLDEN_CYCLE);
+    resumed.run_to_completion().expect("resumed run verifies");
+
+    // And the resumed run must be bit-identical to never having
+    // checkpointed at all.
+    let mut straight = build_merge();
+    straight.run_to_completion().expect("straight run verifies");
+    let a = serde_json::to_string_pretty(&straight.system.save_state()).unwrap();
+    let b = serde_json::to_string_pretty(&resumed.system.save_state()).unwrap();
+    assert_eq!(a, b, "golden resume diverged from the straight run");
+}
+
+/// Regenerates the golden file. Run manually after an intentional
+/// format change (and bump `SNAPSHOT_FORMAT_VERSION`):
+/// `cargo test -p tia golden -- --ignored regenerate`
+#[test]
+#[ignore = "writes tests/data/golden_checkpoint.json; run on intentional format changes only"]
+fn regenerate_golden_checkpoint() {
+    let mut built = build_merge();
+    for _ in 0..GOLDEN_CYCLE {
+        built.system.step();
+    }
+    let snapshot = Snapshot::new(
+        GOLDEN_KIND,
+        serde::Serialize::to_value(&built.system.save_state()),
+    );
+    snapshot.save(golden_path()).expect("golden file written");
+}
