@@ -1,0 +1,124 @@
+//! Criterion bench: the quiescence-aware fast-forward engine vs the
+//! cycle-by-cycle loop on the two workload shapes it was built for,
+//! plus a compute-dense control:
+//!
+//! * `idle_relay` — a relay PE whose host stream delivers one token
+//!   every `period` cycles: almost every cycle is a provable stall,
+//!   so the engine should collapse whole inter-arrival windows into
+//!   one bulk skip.
+//! * `memory_latency` — a PE consuming loads through a high-latency
+//!   read port: the port's in-flight expiry bounds each skip, the
+//!   wake-cycle arithmetic the engine must get exactly right.
+//! * `compute_dense` — a PE retiring every cycle: nothing is ever
+//!   skippable, so this variant prices the idle-horizon probe itself
+//!   (the acceptance bound is < 5% overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tia_asm::assemble;
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_fabric::{InputRef, Memory, OutputRef, ReadPort, StreamSink, StreamSource, System, Token};
+use tia_isa::{Params, Program};
+
+const RUN_CYCLES: u64 = 20_000;
+
+fn uarch_program(source: &str, params: &Params) -> Program {
+    assemble(source, params).expect("bench program assembles")
+}
+
+/// One relay PE fed by a rate-limited source: `tokens` tokens total,
+/// one every `period` cycles of source backpressure (StreamSource
+/// pushes whenever there is space, so small queue capacities plus a
+/// short token list leave a long fully-idle tail).
+fn idle_relay_system(params: &Params, config: UarchConfig) -> System<UarchPe> {
+    let relay = uarch_program(
+        "when %p == XXXXXXXX with %i0.0: mov %o0.0, %i0; deq %i0;",
+        params,
+    );
+    let mut sys = System::new(Memory::new(0));
+    let pe = sys.add_pe(UarchPe::new(params, config, relay).expect("PE builds"));
+    let tokens: Vec<Token> = (0..16).map(Token::data).collect();
+    let src = sys.add_source(StreamSource::new(2, tokens));
+    let sink = sys.add_sink(StreamSink::new(2));
+    sys.connect(
+        OutputRef::Source { source: src },
+        InputRef::Pe { pe, queue: 0 },
+    )
+    .unwrap();
+    sys.connect(OutputRef::Pe { pe, queue: 0 }, InputRef::Sink { sink })
+        .unwrap();
+    sys
+}
+
+/// A PE summing loads delivered through a `latency`-cycle read port.
+fn memory_latency_system(params: &Params, config: UarchConfig, latency: u32) -> System<UarchPe> {
+    let consumer = uarch_program(
+        "when %p == XXXXXXXX with %i0.0: add %r0, %r0, %i0; deq %i0;",
+        params,
+    );
+    let mut sys = System::new(Memory::from_words((0..64).collect()));
+    let pe = sys.add_pe(UarchPe::new(params, config, consumer).expect("PE builds"));
+    let rp = sys.add_read_port(ReadPort::new(2, latency));
+    let addrs: Vec<Token> = (0..32).map(|i| Token::data(i % 64)).collect();
+    let src = sys.add_source(StreamSource::new(2, addrs));
+    sys.connect(
+        OutputRef::Source { source: src },
+        InputRef::ReadAddr { port: rp },
+    )
+    .unwrap();
+    sys.connect(
+        OutputRef::ReadData { port: rp },
+        InputRef::Pe { pe, queue: 0 },
+    )
+    .unwrap();
+    sys
+}
+
+/// A self-sustaining compute loop that retires every cycle.
+fn compute_dense_system(params: &Params, config: UarchConfig) -> System<UarchPe> {
+    let spin = uarch_program(
+        "when %p == XXXXXXX0: add %r0, %r0, 1; set %p = ZZZZZZZ1;\n\
+         when %p == XXXXXXX1: ult %p2, %r0, 100000; set %p = ZZZZZZZ0;",
+        params,
+    );
+    let mut sys = System::new(Memory::new(0));
+    sys.add_pe(UarchPe::new(params, config, spin).expect("PE builds"));
+    sys
+}
+
+type BuildSystem = Box<dyn Fn() -> System<UarchPe>>;
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_DX);
+    let scenarios: [(&str, BuildSystem); 3] = [
+        ("idle_relay", {
+            let params = params.clone();
+            Box::new(move || idle_relay_system(&params, config))
+        }),
+        ("memory_latency", {
+            let params = params.clone();
+            Box::new(move || memory_latency_system(&params, config, 40))
+        }),
+        ("compute_dense", {
+            let params = params.clone();
+            Box::new(move || compute_dense_system(&params, config))
+        }),
+    ];
+    for (scenario, build) in &scenarios {
+        let mut group = c.benchmark_group(format!("fast_forward_{scenario}"));
+        for (label, enabled) in [("on", true), ("off", false)] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut sys = build();
+                    sys.set_fast_forward(enabled);
+                    sys.run(RUN_CYCLES);
+                    criterion::black_box(sys.cycle())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fast_forward);
+criterion_main!(benches);

@@ -1,23 +1,45 @@
 //! Measures serial vs parallel wall clock for the full `bst`-backed
 //! design-space exploration and writes the numbers to `BENCH_dse.json`
 //! (or the path given with `-o`), cross-checking that every parallel
-//! run returns results bit-identical to the serial sweep.
+//! run returns results bit-identical to the serial sweep. Also
+//! A/B-times the fabric fast-forward engine (on vs off) over the same
+//! sweep and records simulated-cycle throughput for every
+//! configuration.
 //!
 //! ```text
-//! cargo run --release -p tia-bench --bin dse_bench [--test-scale] [-o BENCH_dse.json]
+//! cargo run --release -p tia-bench --bin dse_bench \
+//!     [--test-scale] [--assert-fast-forward] [-o BENCH_dse.json]
 //! ```
+//!
+//! `--assert-fast-forward` turns the recorded comparison into a gate:
+//! the process exits nonzero unless the fast-forward sweep is
+//! bit-identical to the baseline and no more than 10% slower (CI runs
+//! this at test scale as a regression smoke test).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tia_bench::{bst_activity_source, scale_from_args};
+use tia_bench::{activity_of, run_uarch_workload, scale_from_args};
 use tia_core::UarchConfig;
 use tia_energy::dse::{explore, par_explore_with};
+use tia_workloads::WorkloadKind;
 
 #[derive(serde::Serialize)]
 struct ParallelRun {
     workers: usize,
     seconds: f64,
     speedup_vs_serial: f64,
+    cycles_per_second: f64,
+}
+
+#[derive(serde::Serialize)]
+struct FastForwardRun {
+    enabled_seconds: f64,
+    disabled_seconds: f64,
+    speedup: f64,
+    enabled_cycles_per_second: f64,
+    disabled_cycles_per_second: f64,
+    bit_identical: bool,
 }
 
 #[derive(serde::Serialize)]
@@ -25,33 +47,51 @@ struct Report {
     host_threads: usize,
     scale: String,
     design_points: usize,
+    /// Cycles simulated by one full sweep (identical for every
+    /// configuration below — that is what `bit_identical` asserts).
+    simulated_cycles: u64,
     serial_seconds: f64,
+    cycles_per_second: f64,
     parallel: Vec<ParallelRun>,
+    fast_forward: FastForwardRun,
     bit_identical: bool,
     note: String,
 }
 
 fn main() {
     let scale = scale_from_args();
-    let output = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "-o" || a == "--output")
-            .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| "BENCH_dse.json".to_string())
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let assert_fast_forward = args.iter().any(|a| a == "--assert-fast-forward");
+    let output = args
+        .iter()
+        .position(|a| a == "-o" || a == "--output")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_dse.json".to_string());
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let source = bst_activity_source(scale);
+
+    // The bst activity source, instrumented to count simulated cycles
+    // so the report can state throughput in cycles/s, not just
+    // sweeps/s.
+    let sim_cycles = AtomicU64::new(0);
+    let source = |config: &UarchConfig| {
+        let run = run_uarch_workload(WorkloadKind::Bst, *config, scale);
+        sim_cycles.fetch_add(run.counters.cycles, Ordering::Relaxed);
+        activity_of(&run)
+    };
 
     // Warm caches (page-in, allocator) before timing anything.
     let _ = par_explore_with(1, &source);
+    sim_cycles.store(0, Ordering::Relaxed);
 
     let start = Instant::now();
     let mut measure = |config: &UarchConfig| source(config);
     let serial = explore(&mut measure);
     let serial_seconds = start.elapsed().as_secs_f64();
+    // Every sweep below simulates exactly this many cycles (the runs
+    // are asserted bit-identical), so count once and reuse.
+    let simulated_cycles = sim_cycles.load(Ordering::Relaxed);
 
     let mut parallel = Vec::new();
     let mut bit_identical = true;
@@ -64,6 +104,7 @@ fn main() {
             workers,
             seconds,
             speedup_vs_serial: serial_seconds / seconds,
+            cycles_per_second: simulated_cycles as f64 / seconds,
         });
         eprintln!(
             "par_explore {workers}w: {seconds:.2}s ({:.2}x vs serial {serial_seconds:.2}s)",
@@ -71,17 +112,54 @@ fn main() {
         );
     }
 
+    // A/B the fast-forward engine over the serial sweep. `System`
+    // reads TIA_FAST_FORWARD at construction, so flipping the
+    // environment variable between sweeps retimes the same workloads
+    // under the other engine.
+    let prior = std::env::var("TIA_FAST_FORWARD").ok();
+    std::env::set_var("TIA_FAST_FORWARD", "1");
+    let start = Instant::now();
+    let ff_on = explore(&mut measure);
+    let enabled_seconds = start.elapsed().as_secs_f64();
+    std::env::set_var("TIA_FAST_FORWARD", "0");
+    let start = Instant::now();
+    let ff_off = explore(&mut measure);
+    let disabled_seconds = start.elapsed().as_secs_f64();
+    match prior {
+        Some(value) => std::env::set_var("TIA_FAST_FORWARD", value),
+        None => std::env::remove_var("TIA_FAST_FORWARD"),
+    }
+    let fast_forward = FastForwardRun {
+        enabled_seconds,
+        disabled_seconds,
+        speedup: disabled_seconds / enabled_seconds,
+        enabled_cycles_per_second: simulated_cycles as f64 / enabled_seconds,
+        disabled_cycles_per_second: simulated_cycles as f64 / disabled_seconds,
+        bit_identical: ff_on == serial && ff_off == serial,
+    };
+    eprintln!(
+        "fast-forward on {enabled_seconds:.2}s vs off {disabled_seconds:.2}s \
+         ({:.2}x, bit_identical = {})",
+        fast_forward.speedup, fast_forward.bit_identical
+    );
+    bit_identical &= fast_forward.bit_identical;
+
     let report = Report {
         host_threads,
         scale: format!("{scale:?}"),
         design_points: serial.len(),
+        simulated_cycles,
         serial_seconds,
+        cycles_per_second: simulated_cycles as f64 / serial_seconds,
         parallel,
+        fast_forward,
         bit_identical,
         note: "Speedups are bounded by the measuring host's core count \
                (host_threads); on a single-core host all worker counts \
                degenerate to serial throughput and the figures record \
-               engine overhead, not scaling."
+               engine overhead, not scaling. The fast_forward block \
+               A/B-times the quiescence-aware fast-forward engine over \
+               the identical serial sweep."
             .to_string(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -93,6 +171,15 @@ fn main() {
     );
     assert!(
         report.bit_identical,
-        "parallel exploration diverged from serial"
+        "parallel or fast-forward exploration diverged from serial"
     );
+    if assert_fast_forward {
+        assert!(
+            report.fast_forward.enabled_seconds <= report.fast_forward.disabled_seconds * 1.10,
+            "fast-forward run is more than 10% slower than the baseline \
+             ({:.3}s vs {:.3}s)",
+            report.fast_forward.enabled_seconds,
+            report.fast_forward.disabled_seconds,
+        );
+    }
 }

@@ -48,13 +48,18 @@ pub fn run_uarch_workload(kind: WorkloadKind, config: UarchConfig, scale: Scale)
 /// the most balanced combination of I/O channel use, computation and
 /// memory access delay" (§3).
 pub fn bst_activity_source(scale: Scale) -> impl Fn(&UarchConfig) -> CpiMeasurement + Sync {
-    move |config: &UarchConfig| {
-        let run = run_uarch_workload(WorkloadKind::Bst, *config, scale);
-        let c = run.counters;
-        CpiMeasurement {
-            cpi: c.cpi(),
-            issue_rate: (c.retired + c.quashed) as f64 / c.cycles.max(1) as f64,
-        }
+    move |config: &UarchConfig| activity_of(&run_uarch_workload(WorkloadKind::Bst, *config, scale))
+}
+
+/// The CPI/activity measurement the DSE consumes, derived from one
+/// measured run. Shared so ad-hoc sources (e.g. `dse_bench`'s
+/// cycle-counting wrapper) produce exactly what
+/// [`bst_activity_source`] would.
+pub fn activity_of(run: &MeasuredRun) -> CpiMeasurement {
+    let c = run.counters;
+    CpiMeasurement {
+        cpi: c.cpi(),
+        issue_rate: (c.retired + c.quashed) as f64 / c.cycles.max(1) as f64,
     }
 }
 
@@ -81,9 +86,17 @@ pub fn suite_activity_source(scale: Scale) -> impl Fn(&UarchConfig) -> CpiMeasur
     }
 }
 
-/// Parses the common harness flag: `--test-scale` selects the small
+/// Parses the common harness flags: `--test-scale` selects the small
 /// input set, otherwise the paper-scale inputs are used.
+///
+/// Also honours `--no-fast-forward`, which disables the fabric's
+/// fast-forward engine for the whole process (every `System` built
+/// afterwards reads the `TIA_FAST_FORWARD` environment variable), so
+/// each figure/table binary can be A/B-compared without code changes.
 pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--no-fast-forward") {
+        std::env::set_var("TIA_FAST_FORWARD", "0");
+    }
     if std::env::args().any(|a| a == "--test-scale") {
         Scale::Test
     } else {

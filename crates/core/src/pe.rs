@@ -27,6 +27,8 @@
 //! trigger stage); results commit at the end of the final execute
 //! stage and are visible to the scheduler the following cycle.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize, Value};
 use tia_fabric::{ProcessingElement, QueueState, RestoreError, Snapshotable, TaggedQueue, Token};
 use tia_isa::{
@@ -170,7 +172,9 @@ impl SlotCacheEntry {
 pub struct UarchPe<T: Tracer = NullTracer> {
     params: Params,
     config: UarchConfig,
-    program: Program,
+    /// The interned program: shared, immutable, borrowed on the hot
+    /// path instead of cloning `Instruction`s per cycle.
+    program: Arc<Program>,
     regs: Vec<Word>,
     preds: PredState,
     scratchpad: Vec<Word>,
@@ -202,6 +206,15 @@ pub struct UarchPe<T: Tracer = NullTracer> {
     /// default; [`UarchPe::set_trigger_cache`] disables it for A/B
     /// benchmarking and differential testing).
     trigger_cache_enabled: bool,
+    /// The stall class of the last step, recorded only when that step
+    /// was a *pure* stall — no work in flight at its start and nothing
+    /// issued — so the whole architectural state provably did not
+    /// change during it. Together with an unchanged queue-version
+    /// fingerprint this proves the next step would repeat the same
+    /// stall, which is what the fast-forward engine
+    /// ([`ProcessingElement::next_event_cycle`]) keys on.
+    /// Non-architectural: never snapshotted, cleared on restore.
+    last_stall: Option<CycleClass>,
 }
 
 impl UarchPe {
@@ -265,7 +278,8 @@ impl<T: Tracer> UarchPe<T> {
             halted: false,
             halt_pending: false,
             in_flight: Vec::with_capacity(4),
-            spec_stack: Vec::new(),
+            // Pre-sized to the nesting limit: pushes never reallocate.
+            spec_stack: Vec::with_capacity(config.speculation_depth.max(1) as usize),
             predictor: PredicatePredictor::with_kind(params.num_preds, config.predictor),
             counters: UarchCounters::new(),
             now: 0,
@@ -274,12 +288,13 @@ impl<T: Tracer> UarchPe<T> {
             tracer,
             params: params.clone(),
             config,
-            program,
+            program: Arc::new(program),
             slot_gates,
             slot_cache,
             queue_epoch: 0,
             queue_fingerprint: 0,
             trigger_cache_enabled: true,
+            last_stall: None,
         })
     }
 
@@ -348,7 +363,13 @@ impl<T: Tracer> UarchPe<T> {
     /// Enables (or disables) recording of the slot index of every
     /// retired instruction, for equivalence debugging and tests.
     pub fn record_trace(&mut self, enable: bool) {
-        self.trace = if enable { Some(Vec::new()) } else { None };
+        // Pre-sized so steady-state retirement recording does not
+        // allocate until the trace outgrows a sizeable first chunk.
+        self.trace = if enable {
+            Some(Vec::with_capacity(1 << 10))
+        } else {
+            None
+        };
     }
 
     /// The recorded retirement trace (empty unless enabled).
@@ -412,6 +433,15 @@ impl<T: Tracer> UarchPe<T> {
             CycleClass::DataHazard => self.counters.data_hazard_cycles += 1,
             CycleClass::NotTriggered => self.counters.not_triggered_cycles += 1,
         }
+        // A pure stall (empty pipeline in, nothing issued) leaves every
+        // architectural observable untouched: the next step repeats it
+        // unless fabric traffic lands on a queue first. Latch the class
+        // so the fast-forward engine can bulk-replay such cycles.
+        self.last_stall = if !busy && class != CycleClass::Issued {
+            Some(class)
+        } else {
+            None
+        };
         if T::ENABLED {
             let stall = match class {
                 CycleClass::Issued => None,
@@ -458,7 +488,10 @@ impl<T: Tracer> UarchPe<T> {
         }
         let flight = self.in_flight.remove(0);
         debug_assert_eq!(flight.spec_level, 0, "speculative head must resolve first");
-        let instruction = self.instruction(flight.slot).clone();
+        // Borrow the instruction from a local handle on the interned
+        // program: `self` stays mutable, and nothing is cloned.
+        let program = Arc::clone(&self.program);
+        let instruction = &program.instructions()[flight.slot];
 
         // Operand values: registers read with full forwarding are
         // equivalent to reading the committed register file here,
@@ -632,7 +665,8 @@ impl<T: Tracer> UarchPe<T> {
         if self.in_flight[idx].issue_cycle + x_end != self.now {
             return;
         }
-        let instruction = self.instruction(self.in_flight[idx].slot).clone();
+        let program = Arc::clone(&self.program);
+        let instruction = &program.instructions()[self.in_flight[idx].slot];
         if instruction.op.is_scratchpad() {
             // A scratchpad access cannot resolve early in this model.
             return;
@@ -691,13 +725,13 @@ impl<T: Tracer> UarchPe<T> {
     /// the instruction reaching its decode stage this cycle.
     fn decode_phase(&mut self) {
         let d_off = self.config.pipeline.d_offset();
+        let program = Arc::clone(&self.program);
         for idx in 0..self.in_flight.len() {
             if self.in_flight[idx].d_done || self.in_flight[idx].issue_cycle + d_off != self.now {
                 continue;
             }
             let slot = self.in_flight[idx].slot;
-            let instruction = self.instruction(slot).clone();
-            self.run_decode(idx, &instruction);
+            self.run_decode(idx, &program.instructions()[slot]);
         }
     }
 
@@ -1017,12 +1051,7 @@ impl<T: Tracer> UarchPe<T> {
     /// since the last trigger evaluation and advances the queue epoch
     /// accordingly.
     fn refresh_queue_epoch(&mut self) {
-        let fingerprint: u64 = self
-            .inputs
-            .iter()
-            .chain(self.outputs.iter())
-            .map(TaggedQueue::version)
-            .fold(0u64, u64::wrapping_add);
+        let fingerprint = self.queue_version_sum();
         if fingerprint != self.queue_fingerprint {
             self.queue_fingerprint = fingerprint;
             self.queue_epoch += 1;
@@ -1066,7 +1095,8 @@ impl<T: Tracer> UarchPe<T> {
     }
 
     fn issue(&mut self, slot: usize) {
-        let instruction = self.instruction(slot).clone();
+        let program = Arc::clone(&self.program);
+        let instruction = &program.instructions()[slot];
         let spec_level = self.spec_stack.len();
         if T::ENABLED {
             self.tracer.emit(
@@ -1121,7 +1151,55 @@ impl<T: Tracer> UarchPe<T> {
         // cycle.
         if self.config.pipeline.d_offset() == 0 {
             let idx = self.in_flight.len() - 1;
-            self.run_decode(idx, &instruction);
+            self.run_decode(idx, instruction);
+        }
+    }
+
+    /// The queue-version fingerprint over every input and output
+    /// queue: changes exactly when any queue is pushed, popped or
+    /// cleared, so comparing it against the value recorded at the last
+    /// trigger evaluation detects fabric traffic since then.
+    fn queue_version_sum(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .map(TaggedQueue::version)
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Bulk-applies `cycles` repeats of the latched stall cycle: local
+    /// clock, cycle counter, the stall-class counter and (when tracing)
+    /// one `Stall` event per skipped cycle — bit-identical to calling
+    /// [`UarchPe::step_cycle`] `cycles` times while provably inert.
+    fn skip_stall_cycles(&mut self, cycles: u64) {
+        let Some(class) = self.last_stall else {
+            debug_assert!(false, "fast-forward skip requested on an active PE");
+            return;
+        };
+        debug_assert!(!self.halted && self.in_flight.is_empty());
+        match class {
+            CycleClass::Issued => unreachable!("an issuing cycle is never latched as a stall"),
+            CycleClass::PredicateHazard => self.counters.pred_hazard_cycles += cycles,
+            CycleClass::Forbidden => self.counters.forbidden_cycles += cycles,
+            CycleClass::DataHazard => self.counters.data_hazard_cycles += cycles,
+            CycleClass::NotTriggered => self.counters.not_triggered_cycles += cycles,
+        }
+        self.counters.cycles += cycles;
+        if T::ENABLED {
+            let stall = match class {
+                CycleClass::Issued => unreachable!(),
+                CycleClass::PredicateHazard => StallClass::PredicateHazard,
+                CycleClass::Forbidden => StallClass::Forbidden,
+                CycleClass::DataHazard => StallClass::DataHazard,
+                CycleClass::NotTriggered => StallClass::NotTriggered,
+            };
+            for _ in 0..cycles {
+                self.now += 1;
+                self.tracer
+                    .emit(self.pe_id, self.now, EventKind::Stall { class: stall });
+            }
+        } else {
+            self.now += cycles;
         }
     }
 }
@@ -1285,12 +1363,10 @@ impl<T: Tracer> UarchPe<T> {
             *entry = SlotCacheEntry::invalid();
         }
         self.queue_epoch += 1;
-        self.queue_fingerprint = self
-            .inputs
-            .iter()
-            .chain(self.outputs.iter())
-            .map(TaggedQueue::version)
-            .fold(0u64, u64::wrapping_add);
+        self.queue_fingerprint = self.queue_version_sum();
+        // The stall latch describes the pre-restore timeline; drop it
+        // so fast-forwarding re-proves inertness after a real step.
+        self.last_stall = None;
         Ok(())
     }
 }
@@ -1400,6 +1476,29 @@ impl<T: Tracer> ProcessingElement for UarchPe<T> {
 
     fn retired_instructions(&self) -> u64 {
         self.counters.retired
+    }
+
+    fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if self.halted {
+            // A halted PE's step is a no-op; only the (non-existent)
+            // possibility of un-halting could change that.
+            return None;
+        }
+        if self.last_stall.is_none() {
+            // Work in flight, or the last step did work: active now.
+            return Some(now);
+        }
+        // A latched pure stall repeats forever unless fabric traffic
+        // has landed on a queue since the stall was classified.
+        if self.queue_version_sum() == self.queue_fingerprint {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn skip_cycles(&mut self, cycles: u64) {
+        self.skip_stall_cycles(cycles);
     }
 }
 

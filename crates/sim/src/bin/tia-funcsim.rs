@@ -77,6 +77,7 @@ struct Options {
     checkpoint_out: Option<String>,
     resume: Option<String>,
     watchdog: Option<u64>,
+    fast_forward: bool,
 }
 
 /// Everything beyond the PE itself that the simulation loop carries:
@@ -134,6 +135,7 @@ fn parse_args() -> Result<Options, String> {
     let mut checkpoint_out = None;
     let mut resume = None;
     let mut watchdog = None;
+    let mut fast_forward = tia_fabric::fast_forward_from_env();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--params" => {
@@ -191,6 +193,7 @@ fn parse_args() -> Result<Options, String> {
                 checkpoint_out = Some(args.next().ok_or("--checkpoint-out needs a file")?);
             }
             "--resume" => resume = Some(args.next().ok_or("--resume needs a file")?),
+            "--no-fast-forward" => fast_forward = false,
             "--watchdog" => {
                 let window: u64 = args
                     .next()
@@ -210,7 +213,7 @@ fn parse_args() -> Result<Options, String> {
                             [--trace-format chrome|jsonl] [--metrics-out FILE] \
                             [--cpi-window N] [--checkpoint-every N] \
                             [--checkpoint-out FILE] [--resume FILE] \
-                            [--watchdog N] <program>"
+                            [--watchdog N] [--no-fast-forward] <program>"
                         .to_string(),
                 )
             }
@@ -279,6 +282,7 @@ fn parse_args() -> Result<Options, String> {
         checkpoint_out,
         resume,
         watchdog,
+        fast_forward,
     })
 }
 
@@ -398,12 +402,13 @@ fn simulate<T: Tracer>(
     }
 
     let mut watchdog = opts.watchdog.map(Watchdog::new);
-    for cycle in start_cycle..opts.max_cycles {
+    let mut cycle = start_cycle;
+    while cycle < opts.max_cycles {
         if pe.halted() {
             break;
         }
         for (queue, tokens, next, period) in &mut streams {
-            if cycle % *period == 0 {
+            if cycle.is_multiple_of(*period) {
                 if let Some(&token) = tokens.get(*next) {
                     if pe.input_queue_mut(*queue).push(token) {
                         *next += 1;
@@ -419,7 +424,7 @@ fn simulate<T: Tracer>(
         }
         let done = cycle + 1;
         if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint_out) {
-            if done % every == 0 {
+            if done.is_multiple_of(every) {
                 write_checkpoint(path, done, &pe, &streams, &outputs)?;
             }
         }
@@ -443,6 +448,44 @@ fn simulate<T: Tracer>(
             };
             if let Some(hang) = dog.observe(progress) {
                 return Err(hang_failure(&pe, hang));
+            }
+        }
+        cycle += 1;
+
+        // Fast-forward: when the PE is provably idle until external
+        // traffic arrives, bulk-account whole idle stretches instead
+        // of stepping them. Every iteration with an observable side
+        // effect stays a real step: stream-delivery boundaries (even a
+        // rejected push bumps the queue's `rejected` statistic, which
+        // snapshots record), checkpoint boundaries (the file must be
+        // written), and the watchdog's firing cycle (clamped to its
+        // quiet headroom, with skipped cycles credited via
+        // `note_skipped`). The result is bit-identical to the
+        // cycle-by-cycle run.
+        if opts.fast_forward && cycle < opts.max_cycles && pe.is_quiescent() {
+            let mut skip = opts.max_cycles - cycle;
+            for (_, tokens, next, period) in &streams {
+                if *next < tokens.len() {
+                    // Distance to the next delivery iteration (zero
+                    // when `cycle` itself delivers).
+                    skip = skip.min((*period - cycle % *period) % *period);
+                }
+            }
+            if let Some(every) = opts.checkpoint_every {
+                // The iteration whose completion lands on a checkpoint
+                // boundary must run for real to write the file.
+                let to_boundary = (every - (cycle + 1) % every) % every;
+                skip = skip.min(to_boundary);
+            }
+            if let Some(dog) = &watchdog {
+                skip = skip.min(dog.quiet_headroom());
+            }
+            if skip > 0 {
+                pe.skip_idle_cycles(skip);
+                if let Some(dog) = &mut watchdog {
+                    dog.note_skipped(skip);
+                }
+                cycle += skip;
             }
         }
     }

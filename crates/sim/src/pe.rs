@@ -7,10 +7,13 @@
 //! microarchitecture in `tia-core` must match this model's
 //! architectural state and channel traffic exactly.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize, Value};
 use tia_fabric::{ProcessingElement, QueueState, RestoreError, Snapshotable, TaggedQueue, Token};
 use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredState, Program, SrcOperand, Word,
+    NUM_SRCS,
 };
 use tia_trace::{EventKind, NullTracer, QueueDir, StallClass, Tracer};
 
@@ -50,7 +53,9 @@ use crate::counters::FuncCounters;
 #[derive(Debug, Clone)]
 pub struct FuncPe<T: Tracer = NullTracer> {
     params: Params,
-    program: Program,
+    /// Shared so the hot loop can borrow an instruction without
+    /// cloning it while `&mut self` executes the datapath.
+    program: Arc<Program>,
     regs: Vec<Word>,
     preds: PredState,
     scratchpad: Vec<Word>,
@@ -61,6 +66,15 @@ pub struct FuncPe<T: Tracer = NullTracer> {
     trace: Option<Vec<u16>>,
     pe_id: u16,
     tracer: T,
+    /// Whether the most recent [`FuncPe::step_cycle`] was an idle
+    /// cycle (no instruction triggered). Non-architectural scheduling
+    /// hint for the fast-forward engine; never snapshotted and
+    /// cleared on restore.
+    last_idle: bool,
+    /// Sum of queue versions observed when `last_idle` was latched.
+    /// An unchanged sum proves no external traffic has touched the
+    /// queues since, so the trigger outcome cannot have changed.
+    queue_epoch: u64,
 }
 
 impl FuncPe {
@@ -101,7 +115,9 @@ impl<T: Tracer> FuncPe<T> {
             pe_id: 0,
             tracer,
             params: params.clone(),
-            program,
+            program: Arc::new(program),
+            last_idle: false,
+            queue_epoch: 0,
         })
     }
 
@@ -275,6 +291,11 @@ impl<T: Tracer> FuncPe<T> {
         self.counters.cycles += 1;
         let Some(slot) = self.triggered_slot() else {
             self.counters.idle += 1;
+            // The trigger outcome is a pure function of predicates and
+            // queue contents; an idle cycle changes neither, so the PE
+            // stays idle until external traffic bumps a queue version.
+            self.last_idle = true;
+            self.queue_epoch = self.queue_version_sum();
             if T::ENABLED {
                 // The functional model has no pipeline, so every idle
                 // cycle is a trigger-resolution failure.
@@ -288,6 +309,7 @@ impl<T: Tracer> FuncPe<T> {
             }
             return None;
         };
+        self.last_idle = false;
         if T::ENABLED {
             self.tracer.emit(
                 self.pe_id,
@@ -298,8 +320,9 @@ impl<T: Tracer> FuncPe<T> {
                 },
             );
         }
-        let instruction = self.program.instructions()[slot].clone();
-        self.execute(&instruction);
+        let program = Arc::clone(&self.program);
+        let instruction = &program.instructions()[slot];
+        self.execute(instruction);
         if T::ENABLED {
             self.tracer.emit(
                 self.pe_id,
@@ -315,15 +338,15 @@ impl<T: Tracer> FuncPe<T> {
 
     /// Executes one instruction with atomic semantics.
     fn execute(&mut self, i: &Instruction) {
-        // Operand read.
-        let operands: Vec<Word> = i
-            .srcs
-            .iter()
-            .take(i.op.num_srcs())
-            .map(|s| self.read_operand(*s, i.imm))
-            .collect();
-        let a = operands.first().copied().unwrap_or(0);
-        let b = operands.get(1).copied().unwrap_or(0);
+        // Operand read. A fixed-size array keeps the per-retirement
+        // path allocation-free; unread operand slots stay 0, matching
+        // the old `unwrap_or(0)` defaults.
+        let mut operands = [0 as Word; NUM_SRCS];
+        for (slot, s) in i.srcs.iter().take(i.op.num_srcs()).enumerate() {
+            operands[slot] = self.read_operand(*s, i.imm);
+        }
+        let a = operands[0];
+        let b = operands[1];
 
         // Compute.
         let mask = self.params.word_mask();
@@ -409,6 +432,54 @@ impl<T: Tracer> FuncPe<T> {
         }
     }
 
+    /// Wrapping sum of every queue's mutation version; changes iff
+    /// some queue has been pushed, popped or cleared since last read.
+    fn queue_version_sum(&self) -> u64 {
+        let mut sum = 0u64;
+        for q in &self.inputs {
+            sum = sum.wrapping_add(q.version());
+        }
+        for q in &self.outputs {
+            sum = sum.wrapping_add(q.version());
+        }
+        sum
+    }
+
+    /// Whether the PE is provably idle until external queue traffic
+    /// arrives: the previous step triggered nothing and no queue has
+    /// been touched since.
+    pub fn is_quiescent(&self) -> bool {
+        !self.halted && self.last_idle && self.queue_version_sum() == self.queue_epoch
+    }
+
+    /// Advances `cycles` idle cycles at once, updating counters and
+    /// the trace stream exactly as if [`FuncPe::step_cycle`] had been
+    /// called that many times. Callers must have established
+    /// quiescence first (see [`FuncPe::is_quiescent`]) and must not
+    /// have pushed or popped any queue in between.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(
+            self.is_quiescent(),
+            "skip_idle_cycles requires a quiescent PE"
+        );
+        if T::ENABLED {
+            for _ in 0..cycles {
+                self.counters.cycles += 1;
+                self.counters.idle += 1;
+                self.tracer.emit(
+                    self.pe_id,
+                    self.counters.cycles,
+                    EventKind::Stall {
+                        class: StallClass::NotTriggered,
+                    },
+                );
+            }
+        } else {
+            self.counters.cycles += cycles;
+            self.counters.idle += cycles;
+        }
+    }
+
     /// Captures the complete architectural state: registers,
     /// predicates, scratchpad, queues, the halt latch, the event
     /// counters and the retirement trace.
@@ -482,6 +553,10 @@ impl<T: Tracer> FuncPe<T> {
         self.counters = state.counters;
         self.trace = state.trace.clone();
         self.pe_id = state.pe_id;
+        // Scheduling hints are conservative, not architectural: drop
+        // them so the restored PE re-derives idleness by stepping.
+        self.last_idle = false;
+        self.queue_epoch = 0;
         Ok(())
     }
 }
@@ -550,6 +625,23 @@ impl<T: Tracer> ProcessingElement for FuncPe<T> {
 
     fn retired_instructions(&self) -> u64 {
         self.counters.retired
+    }
+
+    fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if self.halted {
+            // Only external queue traffic (which re-checks via the
+            // version sum) could matter, and a halted PE ignores it.
+            return None;
+        }
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn skip_cycles(&mut self, cycles: u64) {
+        self.skip_idle_cycles(cycles);
     }
 }
 

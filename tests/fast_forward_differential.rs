@@ -1,0 +1,105 @@
+//! Differential fast-forward harness: for every workload and every
+//! microarchitecture (10 workloads × 8 pipelines × {base, +P, +Q,
+//! +P+Q}, plus the functional model), running with the
+//! quiescence-aware fast-forward engine must be bit-identical to
+//! stepping every cycle — same stop reason, same cycle count, same
+//! retirement totals, and a byte-identical serialized snapshot (the
+//! checkpoint layer's complete view of counters, queues, ports,
+//! streams and per-PE microarchitectural state).
+
+use tia::core::{Pipeline, UarchConfig, UarchPe};
+use tia::fabric::{ProcessingElement, Snapshotable, System};
+use tia::isa::Params;
+use tia::sim::FuncPe;
+use tia::workloads::{PeFactory, Scale, WorkloadKind, ALL_WORKLOADS};
+
+/// Cycle budget per differential run. Long enough to reach (and
+/// usually pass) each workload's halt at test scale, so both engines
+/// cross genuine stall stretches and the post-halt tail.
+const K: u64 = 1_500;
+
+fn snapshot_json<P: ProcessingElement + Snapshotable>(system: &System<P>) -> String {
+    serde_json::to_string_pretty(&system.save_state()).expect("snapshot serializes")
+}
+
+/// Runs the fast-vs-stepped differential for one workload over one PE
+/// factory and asserts bit-identical outcomes.
+fn assert_differential<P, F>(kind: WorkloadKind, factory: &mut F, label: &str)
+where
+    P: ProcessingElement + Snapshotable,
+    F: PeFactory<P>,
+{
+    let params = Params::default();
+    let build = |f: &mut F| {
+        kind.build(&params, Scale::Test, f)
+            .unwrap_or_else(|e| panic!("{kind}/{label}: build failed: {e}"))
+    };
+
+    let mut fast = build(factory);
+    fast.system.set_fast_forward(true);
+    let k = K.min(fast.max_cycles);
+    let reason_fast = fast.system.run(k);
+
+    let mut slow = build(factory);
+    slow.system.set_fast_forward(false);
+    let reason_slow = slow.system.run(k);
+
+    assert_eq!(
+        reason_fast, reason_slow,
+        "{kind}/{label}: stop reasons diverged"
+    );
+    assert_eq!(
+        fast.system.cycle(),
+        slow.system.cycle(),
+        "{kind}/{label}: cycle counters diverged"
+    );
+    assert_eq!(
+        fast.system.total_retired(),
+        slow.system.total_retired(),
+        "{kind}/{label}: retirement counts diverged"
+    );
+    let state_fast = snapshot_json(&fast.system);
+    let state_slow = snapshot_json(&slow.system);
+    assert_eq!(
+        state_fast, state_slow,
+        "{kind}/{label}: final state diverged"
+    );
+}
+
+#[test]
+fn functional_model_fast_forward_matches_stepping() {
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| FuncPe::new(p, prog);
+        assert_differential(kind, &mut factory, "func");
+    }
+}
+
+fn sweep_uarch(variant: &str, make: fn(Pipeline) -> UarchConfig) {
+    for kind in ALL_WORKLOADS {
+        for pipeline in Pipeline::ALL {
+            let config = make(pipeline);
+            let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+            assert_differential(kind, &mut factory, &format!("{variant}/{pipeline}"));
+        }
+    }
+}
+
+#[test]
+fn uarch_base_fast_forward_matches_stepping() {
+    sweep_uarch("base", UarchConfig::base);
+}
+
+#[test]
+fn uarch_plus_p_fast_forward_matches_stepping() {
+    sweep_uarch("+P", UarchConfig::with_p);
+}
+
+#[test]
+fn uarch_plus_q_fast_forward_matches_stepping() {
+    sweep_uarch("+Q", UarchConfig::with_q);
+}
+
+#[test]
+fn uarch_plus_pq_fast_forward_matches_stepping() {
+    sweep_uarch("+P+Q", UarchConfig::with_pq);
+}
