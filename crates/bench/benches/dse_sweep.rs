@@ -11,6 +11,7 @@ fn bench_dse(c: &mut Criterion) {
     let mut cpi = |config: &UarchConfig| CpiMeasurement {
         cpi: 1.0 + 0.25 * (config.pipeline.depth() as f64 - 1.0),
         issue_rate: 0.8,
+        ..CpiMeasurement::default()
     };
     c.bench_function("explore_design_space", |b| b.iter(|| explore(&mut cpi)));
     let points = explore(&mut cpi);

@@ -3,8 +3,9 @@
 //! (or the path given with `-o`), cross-checking that every parallel
 //! run returns results bit-identical to the serial sweep. Also
 //! A/B-times the fabric fast-forward engine (on vs off) over the same
-//! sweep and records simulated-cycle throughput for every
-//! configuration.
+//! sweep and records simulated-cycle throughput plus the engine's
+//! effectiveness counters (cycles bulk-skipped, idle-horizon probe hit
+//! rate) for every configuration.
 //!
 //! ```text
 //! cargo run --release -p tia-bench --bin dse_bench \
@@ -17,6 +18,7 @@
 //! this at test scale as a regression smoke test).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use tia_bench::{activity_of, run_uarch_workload, scale_from_args};
@@ -32,6 +34,20 @@ struct ParallelRun {
     cycles_per_second: f64,
 }
 
+/// Fast-forward effectiveness for one configuration's activity run:
+/// how many of its cycles were bulk-skipped and how often the
+/// idle-horizon probe paid off.
+#[derive(serde::Serialize)]
+struct ConfigFastForward {
+    config: String,
+    cycles: u64,
+    skipped_cycles: u64,
+    skipped_fraction: f64,
+    probes: u64,
+    probe_hits: u64,
+    probe_hit_rate: f64,
+}
+
 #[derive(serde::Serialize)]
 struct FastForwardRun {
     enabled_seconds: f64,
@@ -40,6 +56,12 @@ struct FastForwardRun {
     enabled_cycles_per_second: f64,
     disabled_cycles_per_second: f64,
     bit_identical: bool,
+    /// Cycles bulk-skipped across the whole enabled sweep.
+    total_skipped_cycles: u64,
+    /// Probe hit rate across the whole enabled sweep.
+    probe_hit_rate: f64,
+    /// Per-configuration effectiveness, in sweep order.
+    per_config: Vec<ConfigFastForward>,
 }
 
 #[derive(serde::Serialize)]
@@ -75,9 +97,22 @@ fn main() {
     // so the report can state throughput in cycles/s, not just
     // sweeps/s.
     let sim_cycles = AtomicU64::new(0);
+    let ff_rows: Mutex<Vec<ConfigFastForward>> = Mutex::new(Vec::new());
     let source = |config: &UarchConfig| {
         let run = run_uarch_workload(WorkloadKind::Bst, *config, scale);
         sim_cycles.fetch_add(run.counters.cycles, Ordering::Relaxed);
+        ff_rows
+            .lock()
+            .expect("no poisoned rows")
+            .push(ConfigFastForward {
+                config: config.to_string(),
+                cycles: run.system_cycles,
+                skipped_cycles: run.ff.skipped_cycles,
+                skipped_fraction: run.ff.skipped_cycles as f64 / run.system_cycles.max(1) as f64,
+                probes: run.ff.probes,
+                probe_hits: run.ff.probe_hits,
+                probe_hit_rate: run.ff.probe_hits as f64 / run.ff.probes.max(1) as f64,
+            });
         activity_of(&run)
     };
 
@@ -118,9 +153,13 @@ fn main() {
     // under the other engine.
     let prior = std::env::var("TIA_FAST_FORWARD").ok();
     std::env::set_var("TIA_FAST_FORWARD", "1");
+    // Capture per-configuration effectiveness rows from exactly the
+    // enabled sweep (earlier sweeps also pushed rows; discard them).
+    ff_rows.lock().expect("no poisoned rows").clear();
     let start = Instant::now();
     let ff_on = explore(&mut measure);
     let enabled_seconds = start.elapsed().as_secs_f64();
+    let per_config = std::mem::take(&mut *ff_rows.lock().expect("no poisoned rows"));
     std::env::set_var("TIA_FAST_FORWARD", "0");
     let start = Instant::now();
     let ff_off = explore(&mut measure);
@@ -129,6 +168,9 @@ fn main() {
         Some(value) => std::env::set_var("TIA_FAST_FORWARD", value),
         None => std::env::remove_var("TIA_FAST_FORWARD"),
     }
+    let total_skipped_cycles: u64 = per_config.iter().map(|r| r.skipped_cycles).sum();
+    let total_probes: u64 = per_config.iter().map(|r| r.probes).sum();
+    let total_hits: u64 = per_config.iter().map(|r| r.probe_hits).sum();
     let fast_forward = FastForwardRun {
         enabled_seconds,
         disabled_seconds,
@@ -136,11 +178,17 @@ fn main() {
         enabled_cycles_per_second: simulated_cycles as f64 / enabled_seconds,
         disabled_cycles_per_second: simulated_cycles as f64 / disabled_seconds,
         bit_identical: ff_on == serial && ff_off == serial,
+        total_skipped_cycles,
+        probe_hit_rate: total_hits as f64 / total_probes.max(1) as f64,
+        per_config,
     };
     eprintln!(
         "fast-forward on {enabled_seconds:.2}s vs off {disabled_seconds:.2}s \
-         ({:.2}x, bit_identical = {})",
-        fast_forward.speedup, fast_forward.bit_identical
+         ({:.2}x, bit_identical = {}, {} cycles skipped, probe hit rate {:.2})",
+        fast_forward.speedup,
+        fast_forward.bit_identical,
+        fast_forward.total_skipped_cycles,
+        fast_forward.probe_hit_rate
     );
     bit_identical &= fast_forward.bit_identical;
 

@@ -4,8 +4,11 @@
 //! selectively enabled, averaged over the ten workloads.
 
 use serde::Serialize;
-use tia_bench::{json_out_from_args, run_uarch_workload, scale_from_args, write_json, Table};
+use tia_bench::{
+    coarse_stack, json_out_from_args, run_uarch_workload, scale_from_args, write_json, Table,
+};
 use tia_core::{CpiStack, Pipeline, UarchConfig};
+use tia_prof::{Leaf, LeafShares};
 use tia_workloads::{WorkloadKind, ALL_WORKLOADS};
 
 #[derive(Serialize)]
@@ -13,6 +16,11 @@ struct StackPoint {
     microarchitecture: String,
     cpi: f64,
     stack: CpiStack,
+    /// Suite-averaged hierarchical cycle-stack shares (the profiler
+    /// taxonomy, normalized to total cycles).
+    cycle_stack: LeafShares,
+    /// Dominant cycle-stack leaf of the averaged run.
+    bottleneck: Leaf,
 }
 
 fn main() {
@@ -36,11 +44,17 @@ fn main() {
         .flat_map(|&config| ALL_WORKLOADS.iter().map(move |&kind| (config, kind)))
         .collect();
     let stacks = tia_par::par_map(&cells, |&(config, kind)| {
-        run_uarch_workload(kind, config, scale).counters.cpi_stack()
+        let run = run_uarch_workload(kind, config, scale);
+        let coarse = coarse_stack(&run);
+        (run.counters.cpi_stack(), coarse.shares(coarse.total()))
     });
-    let averages: Vec<CpiStack> = stacks
+    let averages: Vec<(CpiStack, LeafShares)> = stacks
         .chunks(ALL_WORKLOADS.len())
-        .map(CpiStack::average)
+        .map(|chunk| {
+            let cpi: Vec<CpiStack> = chunk.iter().map(|&(c, _)| c).collect();
+            let shares: Vec<LeafShares> = chunk.iter().map(|&(_, s)| s).collect();
+            (CpiStack::average(&cpi), LeafShares::average(&shares))
+        })
         .collect();
 
     let mut t = Table::new(&[
@@ -52,14 +66,18 @@ fn main() {
         "data haz.",
         "forbidden",
         "no trig.",
+        "bottleneck",
     ]);
     let mut points: Vec<StackPoint> = Vec::new();
     println!("Figure 5: CPI stacks (average over the ten workloads).\n");
-    for (config, s) in configs.iter().zip(&averages) {
+    for (config, (s, shares)) in configs.iter().zip(&averages) {
+        let bottleneck = shares.bottleneck();
         points.push(StackPoint {
             microarchitecture: config.to_string(),
             cpi: s.total(),
             stack: *s,
+            cycle_stack: *shares,
+            bottleneck,
         });
         t.row_owned(vec![
             config.to_string(),
@@ -70,6 +88,7 @@ fn main() {
             format!("{:.3}", s.data_hazard),
             format!("{:.3}", s.forbidden),
             format!("{:.3}", s.not_triggered),
+            bottleneck.to_string(),
         ]);
     }
     print!("{}", t.render());
@@ -83,7 +102,7 @@ fn main() {
     // in the table above.
     let total_of = |wanted: UarchConfig| -> f64 {
         let i = configs.iter().position(|&c| c == wanted).expect("in table");
-        averages[i].total()
+        averages[i].0.total()
     };
     let base = total_of(UarchConfig::base(Pipeline::T_D_X1_X2));
     let pq = total_of(UarchConfig::with_pq(Pipeline::T_D_X1_X2));

@@ -15,7 +15,7 @@ pub mod table;
 
 pub use jsonout::{json_out_from_args, write_json};
 pub use measure::{
-    activity_of, bst_activity_source, run_uarch_workload, scale_from_args, suite_activity_source,
-    MeasuredRun,
+    activity_of, bst_activity_source, coarse_stack, run_uarch_workload, scale_from_args,
+    suite_activity_source, MeasuredRun,
 };
 pub use table::Table;

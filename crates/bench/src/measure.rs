@@ -4,7 +4,9 @@
 
 use tia_core::{UarchConfig, UarchCounters, UarchPe};
 use tia_energy::dse::CpiMeasurement;
+use tia_fabric::FastForwardStats;
 use tia_isa::Params;
+use tia_prof::{CycleStack, LeafShares};
 use tia_workloads::{Scale, WorkloadKind};
 
 /// The outcome of running one workload on one microarchitecture.
@@ -16,6 +18,11 @@ pub struct MeasuredRun {
     pub config: UarchConfig,
     /// The designated worker PE's counters.
     pub counters: UarchCounters,
+    /// Global system cycles of the run (≥ the worker's own cycles;
+    /// the excess is the worker's halted tail).
+    pub system_cycles: u64,
+    /// Fast-forward engine effectiveness over the run.
+    pub ff: FastForwardStats,
 }
 
 /// Runs one workload to completion on the cycle-level model and
@@ -39,7 +46,33 @@ pub fn run_uarch_workload(kind: WorkloadKind, config: UarchConfig, scale: Scale)
         kind,
         config,
         counters: *built.system.pe(built.worker).counters(),
+        system_cycles: built.system.cycle(),
+        ff: built.system.fast_forward_stats(),
     }
+}
+
+/// The worker PE's coarse hierarchical cycle stack, derived from its
+/// cumulative counters (no per-cycle observation, so the whole
+/// not-triggered count lands in `idle`; use `tia_prof::profile_run`
+/// for the fine backpressure/memory split). Any cycles the worker's
+/// own counter is short of the run's global cycle count — plus any
+/// issue slots left unresolved — land in `halted`/`in-flight` so the
+/// stack still sums to `system_cycles`.
+pub fn coarse_stack(run: &MeasuredRun) -> CycleStack {
+    let c = run.counters;
+    let mut stack = CycleStack {
+        retire: c.retired,
+        quash: c.quashed,
+        predicate_hazard: c.pred_hazard_cycles,
+        data_hazard: c.data_hazard_cycles,
+        predictor_recovery: c.forbidden_cycles,
+        idle: c.not_triggered_cycles,
+        halted: run.system_cycles.max(c.cycles) - c.cycles,
+        ..CycleStack::default()
+    };
+    // §3.3 identity residual: issue slots still in flight at run end.
+    stack.in_flight = c.cycles.saturating_sub(stack.total() - stack.halted);
+    stack
 }
 
 /// A [`tia_energy::dse::CpiSource`] backed by the `bst` workload, as
@@ -57,9 +90,13 @@ pub fn bst_activity_source(scale: Scale) -> impl Fn(&UarchConfig) -> CpiMeasurem
 /// [`bst_activity_source`] would.
 pub fn activity_of(run: &MeasuredRun) -> CpiMeasurement {
     let c = run.counters;
+    let stack = coarse_stack(run);
+    let shares = stack.shares(stack.total());
     CpiMeasurement {
         cpi: c.cpi(),
         issue_rate: (c.retired + c.quashed) as f64 / c.cycles.max(1) as f64,
+        stack: shares,
+        bottleneck: shares.bottleneck(),
     }
 }
 
@@ -73,15 +110,22 @@ pub fn suite_activity_source(scale: Scale) -> impl Fn(&UarchConfig) -> CpiMeasur
     move |config: &UarchConfig| {
         let mut cpi_sum = 0.0;
         let mut issue_sum = 0.0;
-        for kind in tia_workloads::ALL_WORKLOADS {
-            let c = run_uarch_workload(kind, *config, scale).counters;
+        let mut stacks = [LeafShares::default(); tia_workloads::ALL_WORKLOADS.len()];
+        for (i, kind) in tia_workloads::ALL_WORKLOADS.into_iter().enumerate() {
+            let run = run_uarch_workload(kind, *config, scale);
+            let c = run.counters;
             cpi_sum += c.cpi();
             issue_sum += (c.retired + c.quashed) as f64 / c.cycles.max(1) as f64;
+            let stack = coarse_stack(&run);
+            stacks[i] = stack.shares(stack.total());
         }
         let n = tia_workloads::ALL_WORKLOADS.len() as f64;
+        let stack = LeafShares::average(&stacks);
         CpiMeasurement {
             cpi: cpi_sum / n,
             issue_rate: issue_sum / n,
+            stack,
+            bottleneck: stack.bottleneck(),
         }
     }
 }
@@ -118,6 +162,24 @@ mod tests {
         );
         assert!(run.counters.retired > 30);
         assert!(run.counters.cycles >= run.counters.retired);
+    }
+
+    #[test]
+    fn activity_carries_a_normalized_stack() {
+        let run = run_uarch_workload(
+            WorkloadKind::Bst,
+            UarchConfig::with_pq(Pipeline::T_D_X1_X2),
+            Scale::Test,
+        );
+        assert!(run.system_cycles >= run.counters.cycles);
+        let stack = coarse_stack(&run);
+        assert_eq!(stack.total(), run.system_cycles.max(run.counters.cycles));
+        let m = activity_of(&run);
+        assert!((m.stack.total() - 1.0).abs() < 1e-9, "shares normalize");
+        assert_eq!(m.bottleneck, m.stack.bottleneck());
+        // The fast-forward counters reflect the engine's default-on
+        // run: probes never undercount hits.
+        assert!(run.ff.probes >= run.ff.probe_hits);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 use serde::{Serialize, Value};
 use tia_fabric::{ProcessingElement, Snapshotable, System};
+use tia_prof::{CycleStack, SystemProfiler};
+use tia_trace::ProfileSource;
 
 /// One cycle's liveness observation, fed to [`Watchdog::observe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,14 +286,39 @@ pub fn run_guarded<P: ProcessingElement>(
     }
 }
 
-/// Builds the diagnostic dump for a flagged hang: the hang description
-/// plus the complete system state (every PE's registers, predicates
-/// and queues), as pretty JSON suitable for a terminal or a bug
-/// report.
-pub fn hang_report<P: ProcessingElement + Snapshotable>(system: &System<P>, hang: &Hang) -> String {
+/// Builds the diagnostic dump for a flagged hang: the hang description,
+/// a per-PE profile — each PE's coarse hierarchical cycle stack up to
+/// the hang plus the stall class it is wedged in *right now* — and the
+/// complete system state (every PE's registers, predicates and
+/// queues), as pretty JSON suitable for a terminal or a bug report.
+pub fn hang_report<P>(system: &System<P>, hang: &Hang) -> String
+where
+    P: ProcessingElement + Snapshotable + ProfileSource,
+{
+    // A profiler attached at hang time has observed nothing, but its
+    // construction-time port map still answers the instantaneous
+    // question "what is this PE waiting on?"; the coarse stack from
+    // each PE's cumulative counters covers the run-so-far half.
+    let profiler = SystemProfiler::new(system);
+    let mut pes = Vec::with_capacity(system.num_pes());
+    for i in 0..system.num_pes() {
+        let counters = system.pe(i).prof_counters();
+        let stack = CycleStack::coarse(&counters, system.cycle());
+        let wedged_in = profiler.stall_class(system, i);
+        pes.push(Value::Object(vec![
+            ("pe".to_string(), Value::UInt(i as u64)),
+            ("stack".to_string(), Serialize::to_value(&stack)),
+            (
+                "bottleneck".to_string(),
+                Serialize::to_value(&stack.bottleneck()),
+            ),
+            ("wedged_in".to_string(), Serialize::to_value(&wedged_in)),
+        ]));
+    }
     let report = Value::Object(vec![
         ("hang".to_string(), hang.to_value()),
         ("description".to_string(), Value::String(hang.describe())),
+        ("profile".to_string(), Value::Array(pes)),
         (
             "system".to_string(),
             Serialize::to_value(&system.save_state()),

@@ -35,7 +35,10 @@ use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredId, PredState, Program, SrcOperand,
     Word, NUM_SRCS,
 };
-use tia_trace::{EventKind, NullTracer, QueueDir, StallClass, Tracer};
+use tia_trace::{
+    ChannelPressure, EventKind, NullTracer, ProfCounters, ProfileSource, QueueDir, StallClass,
+    StallInsight, Tracer,
+};
 
 use crate::config::UarchConfig;
 use crate::counters::{CycleClass, UarchCounters};
@@ -1499,6 +1502,82 @@ impl<T: Tracer> ProcessingElement for UarchPe<T> {
 
     fn skip_cycles(&mut self, cycles: u64) {
         self.skip_stall_cycles(cycles);
+    }
+}
+
+impl<T: Tracer> ProfileSource for UarchPe<T> {
+    fn prof_counters(&self) -> ProfCounters {
+        let c = &self.counters;
+        ProfCounters {
+            cycles: c.cycles,
+            retired: c.retired,
+            quashed: c.quashed,
+            pred_hazard: c.pred_hazard_cycles,
+            data_hazard: c.data_hazard_cycles,
+            forbidden: c.forbidden_cycles,
+            not_triggered: c.not_triggered_cycles,
+            in_flight: self.in_flight.len() as u64,
+        }
+    }
+
+    fn stall_insight(&self) -> StallInsight {
+        // Architectural view of the current trigger state: which
+        // queue-side conditions block the slots whose predicate
+        // patterns match right now. The profiler only consults this
+        // after fresh `not_triggered` cycles; a *pure* stall has an
+        // empty pipeline, so raw occupancy/fullness (no in-flight
+        // adjustments) is exact in every case that matters.
+        let mut insight = StallInsight::default();
+        for (slot, gate) in self.slot_gates.iter().enumerate() {
+            if !gate.valid || !gate.pattern.matches(self.preds) {
+                continue;
+            }
+            insight.matched_any = true;
+            let instruction = self.instruction(slot);
+            for q in instruction.input_operands() {
+                if self.inputs[q.index()].is_empty() {
+                    insight.empty_input_mask |= 1 << q.index();
+                }
+            }
+            for q in &instruction.dequeues {
+                if self.inputs[q.index()].is_empty() {
+                    insight.empty_input_mask |= 1 << q.index();
+                }
+            }
+            for check in &instruction.trigger.queue_checks {
+                if self.inputs[check.queue.index()].is_empty() {
+                    insight.empty_input_mask |= 1 << check.queue.index();
+                }
+            }
+            if let Some(q) = instruction.enqueues() {
+                let q = q.index();
+                let visible = if self.config.padded_output_queues {
+                    self.outputs[q].capacity() - self.config.pipeline.depth()
+                } else {
+                    self.outputs[q].capacity()
+                };
+                if self.outputs[q].occupancy() >= visible {
+                    insight.full_output_mask |= 1 << q;
+                }
+            }
+        }
+        insight
+    }
+
+    fn profiled_input_channels(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn profiled_output_channels(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn input_channel_pressure(&self, index: usize) -> ChannelPressure {
+        self.inputs[index].pressure()
+    }
+
+    fn output_channel_pressure(&self, index: usize) -> ChannelPressure {
+        self.outputs[index].pressure()
     }
 }
 

@@ -26,7 +26,8 @@ pub const DSE_PARTIAL_KIND: &str = "tia-dse-partial";
 /// One persisted measurement: the configuration (as its canonical JSON
 /// encoding, so the file is self-describing and key comparison never
 /// depends on hash order) and its measured activity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct DseEntry {
     /// The configuration's canonical JSON encoding.
     pub key: String,
@@ -34,6 +35,11 @@ pub struct DseEntry {
     pub cpi: f64,
     /// Measured issue rate.
     pub issue_rate: f64,
+    /// Cycle-stack shares of the measured run (defaulted when resuming
+    /// a pre-profiler partial file).
+    pub stack: tia_prof::LeafShares,
+    /// Dominant cycle-stack leaf of the measured run.
+    pub bottleneck: tia_prof::Leaf,
 }
 
 fn config_key(config: &UarchConfig) -> String {
@@ -78,6 +84,8 @@ impl<S: SyncCpiSource> CheckpointedCpi<S> {
                     CpiMeasurement {
                         cpi: entry.cpi,
                         issue_rate: entry.issue_rate,
+                        stack: entry.stack,
+                        bottleneck: entry.bottleneck,
                     },
                 );
             }
@@ -106,6 +114,8 @@ impl<S: SyncCpiSource> CheckpointedCpi<S> {
                 key: key.clone(),
                 cpi: m.cpi,
                 issue_rate: m.issue_rate,
+                stack: m.stack,
+                bottleneck: m.bottleneck,
             })
             .collect();
         entries.sort_by(|a, b| a.key.cmp(&b.key));
@@ -153,6 +163,7 @@ mod tests {
         CpiMeasurement {
             cpi: 1.0 + 0.25 * (config.pipeline.depth() as f64 - 1.0),
             issue_rate: 0.8,
+            ..CpiMeasurement::default()
         }
     }
 

@@ -15,6 +15,7 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use tia_core::UarchConfig;
+use tia_prof::{Leaf, LeafShares};
 
 use crate::area_power::{
     base_area_um2, dynamic_energy_per_cycle_pj, timing_push_area_factor, timing_push_energy_factor,
@@ -27,13 +28,20 @@ use crate::tech::{dynamic_energy_scale, leakage_density_mw_per_mm2, VtClass};
 /// paper extracts "gate-level activity factors from a run of the
 /// binary search tree program" (§3); the cycle-level equivalent is the
 /// CPI and issue rate of that run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct CpiMeasurement {
     /// Cycles per retired instruction.
     pub cpi: f64,
     /// Fraction of cycles that issue an instruction (retired plus
     /// quashed over cycles) — the datapath activity factor.
     pub issue_rate: f64,
+    /// Per-leaf shares of the activity run's cycles (the hierarchical
+    /// cycle stack, normalized), so every derived design point carries
+    /// its own performance attribution.
+    pub stack: LeafShares,
+    /// The dominant cycle-stack leaf of the activity run.
+    pub bottleneck: Leaf,
 }
 
 impl CpiMeasurement {
@@ -43,6 +51,11 @@ impl CpiMeasurement {
         CpiMeasurement {
             cpi: 1.0,
             issue_rate: 1.0,
+            stack: LeafShares {
+                retire: 1.0,
+                ..LeafShares::default()
+            },
+            bottleneck: Leaf::Retire,
         }
     }
 }
@@ -195,6 +208,12 @@ pub struct DesignPoint {
     pub power_mw: f64,
     /// Die area in mm² (after timing-push inflation).
     pub area_mm2: f64,
+    /// Per-leaf cycle-stack shares of the activity run behind this
+    /// point's CPI.
+    pub stack: LeafShares,
+    /// The dominant cycle-stack leaf — what bounds this design point's
+    /// performance.
+    pub bottleneck: Leaf,
 }
 
 impl DesignPoint {
@@ -246,6 +265,8 @@ pub fn evaluate(
         pj_per_inst,
         power_mw,
         area_mm2,
+        stack: activity.stack,
+        bottleneck: activity.bottleneck,
     })
 }
 
@@ -347,6 +368,7 @@ mod tests {
         CpiMeasurement {
             cpi: 1.5,
             issue_rate: 0.67,
+            ..CpiMeasurement::default()
         }
     }
 

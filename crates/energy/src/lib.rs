@@ -29,6 +29,7 @@
 //! let mut cpi = |config: &UarchConfig| CpiMeasurement {
 //!     cpi: 1.0 + 0.25 * (config.pipeline.depth() as f64 - 1.0),
 //!     issue_rate: 0.8,
+//!     ..CpiMeasurement::default()
 //! };
 //! let points = explore(&mut cpi);
 //! assert!(points.len() > 4_000); // the paper's "over 4,000" points

@@ -146,6 +146,7 @@ mod tests {
         let mut source = |c: &UarchConfig| CpiMeasurement {
             cpi: 1.0 + 0.2 * (c.pipeline.depth() as f64 - 1.0),
             issue_rate: 0.8,
+            ..CpiMeasurement::default()
         };
         explore(&mut source)
     }
@@ -191,6 +192,7 @@ mod tests {
                     CpiMeasurement {
                         cpi: 2.0,
                         issue_rate: 0.5,
+                        ..CpiMeasurement::default()
                     },
                 )
             })

@@ -28,6 +28,7 @@ fn arb_activity() -> impl Strategy<Value = CpiMeasurement> {
     (1.0f64..5.0, 0.05f64..1.0).prop_map(|(cpi, issue_rate)| CpiMeasurement {
         cpi,
         issue_rate: issue_rate.min(1.0 / cpi),
+        ..CpiMeasurement::default()
     })
 }
 
@@ -139,11 +140,16 @@ proptest! {
         extra in 0.1f64..2.0,
     ) {
         let f = 0.4 * max_frequency_mhz(&config, 0.9, vt);
-        let a1 = CpiMeasurement { cpi, issue_rate: issue_rate.min(1.0 / cpi) };
+        let a1 = CpiMeasurement {
+            cpi,
+            issue_rate: issue_rate.min(1.0 / cpi),
+            ..CpiMeasurement::default()
+        };
         let worse_cpi = cpi + extra;
         let a2 = CpiMeasurement {
             cpi: worse_cpi,
             issue_rate: issue_rate.min(1.0 / worse_cpi),
+            ..CpiMeasurement::default()
         };
         if let (Some(p1), Some(p2)) = (
             evaluate(&config, vt, 0.9, f, a1),

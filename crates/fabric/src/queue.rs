@@ -140,6 +140,20 @@ impl TaggedQueue {
         self.stats
     }
 
+    /// The cycle-stack profiler's fabric-free view of this queue's
+    /// pressure: current fill, lifetime traffic, and backpressure
+    /// evidence (see [`tia_trace::ChannelPressure`]).
+    pub fn pressure(&self) -> tia_trace::ChannelPressure {
+        tia_trace::ChannelPressure {
+            occupancy: self.occupancy(),
+            capacity: self.capacity(),
+            pushes: self.stats.pushes,
+            pops: self.stats.pops,
+            rejected: self.stats.rejected,
+            high_water: self.stats.high_water,
+        }
+    }
+
     /// A monotonically increasing modification counter, bumped by
     /// every successful [`TaggedQueue::push`], [`TaggedQueue::pop`]
     /// and [`TaggedQueue::clear`]. Schedulers use it to detect that a

@@ -221,6 +221,28 @@ pub struct System<P> {
     /// `TIA_FAST_FORWARD` environment variable (off when set to `0`,
     /// `false`, `off` or `no`; on otherwise).
     fast_forward: bool,
+    /// Fast-forward effectiveness counters. Non-architectural: not
+    /// part of [`SystemState`], so snapshots stay bit-identical with
+    /// the engine on or off.
+    ff_stats: FastForwardStats,
+}
+
+/// Effectiveness counters for the quiescence-aware fast-forward
+/// engine: how often the idle-horizon probe ran, how often it found a
+/// skippable span, and how many cycles were bulk-skipped instead of
+/// stepped. Harness binaries (`dse_bench`) report these per
+/// configuration so the engine's observed speedup can be explained by
+/// data (a compute-dense sweep skips almost nothing; an idle-dominated
+/// run skips almost everything).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FastForwardStats {
+    /// Idle-horizon probes performed.
+    pub probes: u64,
+    /// Probes that found a nonzero skippable span.
+    pub probe_hits: u64,
+    /// Cycles advanced via [`System::skip_cycles`] rather than
+    /// [`System::step`].
+    pub skipped_cycles: u64,
 }
 
 /// Reads the `TIA_FAST_FORWARD` environment variable: unset or any
@@ -252,6 +274,7 @@ impl<P: ProcessingElement> System<P> {
             cycle: 0,
             tracer: None,
             fast_forward: fast_forward_from_env(),
+            ff_stats: FastForwardStats::default(),
         }
     }
 
@@ -434,6 +457,66 @@ impl<P: ProcessingElement> System<P> {
         &self.sinks[index]
     }
 
+    /// Number of memory read ports.
+    pub fn num_read_ports(&self) -> usize {
+        self.read_ports.len()
+    }
+
+    /// Immutable access to a memory read port (profilers inspect
+    /// in-flight loads to attribute memory-latency stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn read_port(&self, index: usize) -> &ReadPort {
+        &self.read_ports[index]
+    }
+
+    /// Number of memory write ports.
+    pub fn num_write_ports(&self) -> usize {
+        self.write_ports.len()
+    }
+
+    /// Immutable access to a memory write port.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn write_port(&self, index: usize) -> &WritePort {
+        &self.write_ports[index]
+    }
+
+    /// Number of sequential write ports.
+    pub fn num_seq_write_ports(&self) -> usize {
+        self.seq_write_ports.len()
+    }
+
+    /// Immutable access to a sequential write port.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn seq_write_port(&self, index: usize) -> &SequentialWritePort {
+        &self.seq_write_ports[index]
+    }
+
+    /// Number of host stream sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of host stream sinks.
+    pub fn num_sinks(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// The fast-forward effectiveness counters accumulated so far (see
+    /// [`FastForwardStats`]). Non-architectural: excluded from
+    /// snapshots and never consulted by the engine itself.
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        self.ff_stats
+    }
+
     /// Whether every PE has halted.
     pub fn all_halted(&self) -> bool {
         self.pes.iter().all(|p| p.is_halted())
@@ -576,7 +659,19 @@ impl<P: ProcessingElement> System<P> {
     /// transferring, and neither is possible), which is what makes
     /// [`System::skip_cycles`] exact. Returns `0` whenever any
     /// component may act on the next step.
+    ///
+    /// Each call counts as one probe in [`System::fast_forward_stats`]
+    /// (a hit when the returned horizon is nonzero).
     pub fn idle_horizon(&mut self, limit: u64) -> u64 {
+        let horizon = self.idle_horizon_inner(limit);
+        self.ff_stats.probes += 1;
+        if horizon > 0 {
+            self.ff_stats.probe_hits += 1;
+        }
+        horizon
+    }
+
+    fn idle_horizon_inner(&mut self, limit: u64) -> u64 {
         if limit == 0 || self.any_link_ready() {
             return 0;
         }
@@ -648,6 +743,7 @@ impl<P: ProcessingElement> System<P> {
             port.skip_cycles(cycles);
         }
         self.cycle += cycles;
+        self.ff_stats.skipped_cycles += cycles;
     }
 
     /// Runs until `condition` holds (checked after each cycle) or

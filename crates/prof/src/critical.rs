@@ -1,0 +1,349 @@
+//! Cross-PE critical-path analysis: which PEs, channels and memory
+//! ports bound throughput.
+//!
+//! A spatial workload's throughput is set by its most-loaded stage and
+//! by the channels carrying its token dependencies. The report ranks:
+//!
+//! * **PEs** by busy share — the fraction of observed cycles spent on
+//!   anything other than `idle`/`halted`. The busiest PE is the stage
+//!   the rest of the fabric waits on.
+//! * **Channels** by backpressure evidence — rejected pushes first
+//!   (a producer actually blocked), then high-water mark, then raw
+//!   traffic.
+//! * **Memory read ports** by response traffic and current load.
+//!
+//! It then walks the token-dependency graph *upstream* from the
+//! busiest PE: at each hop it follows the input channel that carried
+//! the most tokens to its producer (PE, read port, or host source),
+//! stopping at a non-PE producer or a cycle. The walk names the chain
+//! of producers that feed the bottleneck stage — widening any queue or
+//! speeding any stage off this path cannot raise throughput.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+use tia_fabric::{InputRef, OutputRef, ProcessingElement, System};
+use tia_trace::{ChannelPressure, ProfileSource};
+
+use crate::profiler::SystemProfiler;
+use crate::stack::Leaf;
+
+/// One PE in the busy-share ranking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeRank {
+    /// PE index.
+    pub pe: usize,
+    /// Fraction of observed cycles not spent idle or halted.
+    pub busy_share: f64,
+    /// The PE's dominant cycle-stack leaf.
+    pub bottleneck: Leaf,
+    /// Instructions the PE retired.
+    pub retired: u64,
+}
+
+/// One channel in the backpressure ranking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelRank {
+    /// Owning PE index.
+    pub pe: usize,
+    /// `"input"` or `"output"`, from the owning PE's perspective.
+    pub direction: String,
+    /// Queue index within the PE.
+    pub queue: usize,
+    /// Rejected pushes (producer-blocked events).
+    pub rejected: u64,
+    /// Highest occupancy ever observed.
+    pub high_water: usize,
+    /// Queue capacity.
+    pub capacity: usize,
+    /// Total tokens pushed over the run.
+    pub pushes: u64,
+}
+
+/// One memory read port in the traffic ranking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortRank {
+    /// Read-port index.
+    pub port: usize,
+    /// Tokens delivered through `data_out`.
+    pub responses: u64,
+    /// Rejected pushes into `data_out` (responses stalled by a slow
+    /// consumer).
+    pub rejected: u64,
+    /// Loads currently in flight.
+    pub in_flight: usize,
+}
+
+/// One hop of the upstream critical-path walk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The stage at this hop (`"pe 3"`, `"read port 0"`,
+    /// `"source 1"`).
+    pub stage: String,
+    /// How the next (downstream) stage receives this stage's tokens,
+    /// e.g. `"feeds pe 2 input 1 (540 tokens)"`; empty for the path
+    /// head (the bottleneck PE itself).
+    pub via: String,
+}
+
+/// The full critical-path report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriticalPathReport {
+    /// PEs ranked by busy share, descending (ties by index).
+    pub ranked_pes: Vec<PeRank>,
+    /// Channels ranked by backpressure evidence, descending.
+    pub ranked_channels: Vec<ChannelRank>,
+    /// Memory read ports ranked by response traffic, descending.
+    pub ranked_ports: Vec<PortRank>,
+    /// The upstream dependency chain from the busiest PE (first
+    /// element) to its furthest ranked producer.
+    pub critical_path: Vec<PathStep>,
+}
+
+impl CriticalPathReport {
+    /// Builds the report from a profiled system. Deterministic: every
+    /// ranking breaks ties by component index.
+    pub fn from_system<P>(system: &System<P>, profiler: &SystemProfiler) -> Self
+    where
+        P: ProcessingElement + ProfileSource,
+    {
+        let observed = profiler.observed_cycles().max(1) as f64;
+        let mut ranked_pes: Vec<PeRank> = (0..profiler.num_pes())
+            .map(|i| {
+                let stack = profiler.stack(i);
+                let busy = stack.total() - stack.idle - stack.halted;
+                PeRank {
+                    pe: i,
+                    busy_share: busy as f64 / observed,
+                    bottleneck: stack.bottleneck(),
+                    retired: stack.retire,
+                }
+            })
+            .collect();
+        ranked_pes.sort_by(|a, b| {
+            b.busy_share
+                .partial_cmp(&a.busy_share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.pe.cmp(&b.pe))
+        });
+
+        let mut ranked_channels = Vec::new();
+        for pe in 0..system.num_pes() {
+            let source = system.pe(pe);
+            let push =
+                |ranked: &mut Vec<ChannelRank>, direction: &str, queue, p: ChannelPressure| {
+                    ranked.push(ChannelRank {
+                        pe,
+                        direction: direction.to_string(),
+                        queue,
+                        rejected: p.rejected,
+                        high_water: p.high_water,
+                        capacity: p.capacity,
+                        pushes: p.pushes,
+                    });
+                };
+            for q in 0..source.profiled_input_channels() {
+                push(
+                    &mut ranked_channels,
+                    "input",
+                    q,
+                    source.input_channel_pressure(q),
+                );
+            }
+            for q in 0..source.profiled_output_channels() {
+                push(
+                    &mut ranked_channels,
+                    "output",
+                    q,
+                    source.output_channel_pressure(q),
+                );
+            }
+        }
+        ranked_channels.sort_by(|a, b| {
+            b.rejected
+                .cmp(&a.rejected)
+                .then(b.high_water.cmp(&a.high_water))
+                .then(b.pushes.cmp(&a.pushes))
+                .then(a.pe.cmp(&b.pe))
+                .then(a.queue.cmp(&b.queue))
+        });
+
+        let mut ranked_ports: Vec<PortRank> = (0..system.num_read_ports())
+            .map(|i| {
+                let port = system.read_port(i);
+                let out = port.data_out.pressure();
+                PortRank {
+                    port: i,
+                    responses: out.pushes,
+                    rejected: out.rejected,
+                    in_flight: port.in_flight_len(),
+                }
+            })
+            .collect();
+        ranked_ports.sort_by(|a, b| {
+            b.responses
+                .cmp(&a.responses)
+                .then(b.rejected.cmp(&a.rejected))
+                .then(a.port.cmp(&b.port))
+        });
+
+        let critical_path = walk_upstream(system, &ranked_pes);
+
+        CriticalPathReport {
+            ranked_pes,
+            ranked_channels,
+            ranked_ports,
+            critical_path,
+        }
+    }
+
+    /// Renders the report as the text block `tia-funcsim --profile`
+    /// and hang reports embed.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "critical path (upstream from busiest PE):");
+        for (i, step) in self.critical_path.iter().enumerate() {
+            let via = if step.via.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", step.via)
+            };
+            let _ = writeln!(out, "  {i}. {}{via}", step.stage);
+        }
+        let _ = writeln!(out, "PEs by busy share:");
+        for r in &self.ranked_pes {
+            let _ = writeln!(
+                out,
+                "  pe {:<3} busy {:>6.2}%  retired {:<10} bottleneck {}",
+                r.pe,
+                100.0 * r.busy_share,
+                r.retired,
+                r.bottleneck
+            );
+        }
+        let _ = writeln!(out, "channels by backpressure:");
+        for r in self.ranked_channels.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  pe {} {} {:<2} rejected {:<8} high-water {}/{} pushes {}",
+                r.pe, r.direction, r.queue, r.rejected, r.high_water, r.capacity, r.pushes
+            );
+        }
+        if !self.ranked_ports.is_empty() {
+            let _ = writeln!(out, "read ports by traffic:");
+            for r in &self.ranked_ports {
+                let _ = writeln!(
+                    out,
+                    "  port {} responses {:<8} rejected {:<6} in-flight {}",
+                    r.port, r.responses, r.rejected, r.in_flight
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Walks upstream from the busiest PE, following at each hop the input
+/// channel that carried the most tokens to its producer. Visited PEs
+/// guard against cycles; ties break toward the lowest queue index.
+fn walk_upstream<P>(system: &System<P>, ranked_pes: &[PeRank]) -> Vec<PathStep>
+where
+    P: ProcessingElement + ProfileSource,
+{
+    let mut path = Vec::new();
+    let Some(head) = ranked_pes.first() else {
+        return path;
+    };
+    let mut visited = vec![false; system.num_pes()];
+    let mut current = head.pe;
+    path.push(PathStep {
+        stage: format!("pe {current}"),
+        via: String::new(),
+    });
+    loop {
+        visited[current] = true;
+        let pe = system.pe(current);
+        // The input channel that delivered the most tokens.
+        let mut best: Option<(usize, u64)> = None;
+        for q in 0..pe.profiled_input_channels() {
+            let pushes = pe.input_channel_pressure(q).pushes;
+            if pushes > 0 && best.is_none_or(|(_, most)| pushes > most) {
+                best = Some((q, pushes));
+            }
+        }
+        let Some((queue, tokens)) = best else {
+            break;
+        };
+        let producer = system
+            .links()
+            .iter()
+            .find_map(|link| (link.to == InputRef::Pe { pe: current, queue }).then_some(link.from));
+        let via = format!("feeds pe {current} input {queue} ({tokens} tokens)");
+        match producer {
+            Some(OutputRef::Pe { pe: upstream, .. }) => {
+                if visited[upstream] {
+                    break;
+                }
+                path.push(PathStep {
+                    stage: format!("pe {upstream}"),
+                    via,
+                });
+                current = upstream;
+            }
+            Some(OutputRef::ReadData { port }) => {
+                path.push(PathStep {
+                    stage: format!("read port {port}"),
+                    via,
+                });
+                break;
+            }
+            Some(OutputRef::Source { source }) => {
+                path.push(PathStep {
+                    stage: format!("source {source}"),
+                    via,
+                });
+                break;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+/// Channel-pressure ranking for one stand-alone PE (the
+/// `tia-funcsim` surface, where there is no fabric to walk).
+pub fn rank_pe_channels(pe: &impl ProfileSource) -> Vec<ChannelRank> {
+    let mut ranked = Vec::new();
+    for q in 0..pe.profiled_input_channels() {
+        let p = pe.input_channel_pressure(q);
+        ranked.push(ChannelRank {
+            pe: 0,
+            direction: "input".to_string(),
+            queue: q,
+            rejected: p.rejected,
+            high_water: p.high_water,
+            capacity: p.capacity,
+            pushes: p.pushes,
+        });
+    }
+    for q in 0..pe.profiled_output_channels() {
+        let p = pe.output_channel_pressure(q);
+        ranked.push(ChannelRank {
+            pe: 0,
+            direction: "output".to_string(),
+            queue: q,
+            rejected: p.rejected,
+            high_water: p.high_water,
+            capacity: p.capacity,
+            pushes: p.pushes,
+        });
+    }
+    ranked.sort_by(|a, b| {
+        b.rejected
+            .cmp(&a.rejected)
+            .then(b.high_water.cmp(&a.high_water))
+            .then(b.pushes.cmp(&a.pushes))
+            .then(a.queue.cmp(&b.queue))
+    });
+    ranked
+}

@@ -1,0 +1,496 @@
+//! The cycle-attribution taxonomy and hierarchical cycle stacks.
+//!
+//! Every simulated cycle of every PE is attributed to exactly one
+//! [`Leaf`]; leaves roll up into a fixed two-level hierarchy (the
+//! `issue` and `trigger-stall` groups have children, the rest are
+//! their own group):
+//!
+//! ```text
+//! cycles
+//! ├── issue
+//! │   ├── retire
+//! │   ├── speculation-quash
+//! │   └── in-flight
+//! ├── trigger-stall
+//! │   ├── predicate-hazard
+//! │   └── data-hazard
+//! ├── predictor-recovery
+//! ├── queue-backpressure
+//! ├── memory-latency
+//! ├── idle
+//! └── halted
+//! ```
+//!
+//! The invariant `sum(stack) == cycles` extends the per-PE cycle
+//! accounting identity of `tia-core` (§3.3) across the whole system:
+//! the three not-triggered splits (`queue-backpressure`,
+//! `memory-latency`, `idle`) partition the PE's `not_triggered`
+//! counter, and `halted` pads each PE to the global cycle count.
+//! [`CycleStack::assert_total`] enforces it in debug builds.
+
+use std::fmt::Write as _;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use tia_trace::ProfCounters;
+
+/// One leaf of the cycle-attribution taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Leaf {
+    /// An issue slot whose instruction retired.
+    Retire,
+    /// An issue slot whose instruction was quashed by misspeculation.
+    Quash,
+    /// An issue slot whose instruction was still in flight when the
+    /// run (or observation) ended.
+    InFlight,
+    /// Stalled on unresolved predicate state (§5.1).
+    PredicateHazard,
+    /// Stalled on the register interlock.
+    DataHazard,
+    /// A triggered instruction was forbidden from issuing under the
+    /// §5.2 speculation restrictions.
+    PredictorRecovery,
+    /// Nothing triggered because a matched slot's output queue had no
+    /// admissible space: the consumer is the bottleneck.
+    Backpressure,
+    /// Nothing triggered because a matched slot was starved by an
+    /// input channel a busy memory read port feeds.
+    MemoryLatency,
+    /// Nothing triggered and no memory/backpressure cause applies:
+    /// waiting on upstream data or control, or genuinely done.
+    #[default]
+    Idle,
+    /// The PE had halted while the rest of the system ran.
+    Halted,
+}
+
+impl Leaf {
+    /// Every leaf, in taxonomy (and rendering) order.
+    pub const ALL: [Leaf; 10] = [
+        Leaf::Retire,
+        Leaf::Quash,
+        Leaf::InFlight,
+        Leaf::PredicateHazard,
+        Leaf::DataHazard,
+        Leaf::PredictorRecovery,
+        Leaf::Backpressure,
+        Leaf::MemoryLatency,
+        Leaf::Idle,
+        Leaf::Halted,
+    ];
+
+    /// The stable kebab-case leaf name used in every text and JSON
+    /// surface.
+    pub fn name(self) -> &'static str {
+        match self {
+            Leaf::Retire => "retire",
+            Leaf::Quash => "speculation-quash",
+            Leaf::InFlight => "in-flight",
+            Leaf::PredicateHazard => "predicate-hazard",
+            Leaf::DataHazard => "data-hazard",
+            Leaf::PredictorRecovery => "predictor-recovery",
+            Leaf::Backpressure => "queue-backpressure",
+            Leaf::MemoryLatency => "memory-latency",
+            Leaf::Idle => "idle",
+            Leaf::Halted => "halted",
+        }
+    }
+
+    /// The leaf's group in the two-level hierarchy; leaves outside
+    /// `issue` and `trigger-stall` are their own group.
+    pub fn group(self) -> &'static str {
+        match self {
+            Leaf::Retire | Leaf::Quash | Leaf::InFlight => "issue",
+            Leaf::PredicateHazard | Leaf::DataHazard => "trigger-stall",
+            other => other.name(),
+        }
+    }
+
+    /// Looks a leaf up by its stable name.
+    pub fn from_name(name: &str) -> Option<Leaf> {
+        Leaf::ALL.into_iter().find(|l| l.name() == name)
+    }
+}
+
+impl std::fmt::Display for Leaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for Leaf {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for Leaf {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| DeError::new("expected string for Leaf"))?;
+        Leaf::from_name(name)
+            .ok_or_else(|| DeError::new(format!("unknown cycle-stack leaf `{name}`")))
+    }
+}
+
+/// A per-PE hierarchical cycle stack: cycles attributed to each leaf.
+///
+/// `in_flight` is a *level* snapshot (instructions issued but not yet
+/// resolved at the last observation), set rather than accumulated, so
+/// the stack keeps summing to the observed cycle count mid-run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CycleStack {
+    /// Cycles whose issue slot retired.
+    pub retire: u64,
+    /// Cycles whose issue slot was quashed.
+    pub quash: u64,
+    /// Issue slots still in flight at the last observation (a level).
+    pub in_flight: u64,
+    /// Predicate-hazard stall cycles.
+    pub predicate_hazard: u64,
+    /// Data-hazard (register interlock) stall cycles.
+    pub data_hazard: u64,
+    /// Forbidden-instruction (speculation restriction) stall cycles.
+    pub predictor_recovery: u64,
+    /// Not-triggered cycles attributed to output backpressure.
+    pub queue_backpressure: u64,
+    /// Not-triggered cycles attributed to memory read latency.
+    pub memory_latency: u64,
+    /// Not-triggered cycles with no attributable cause.
+    pub idle: u64,
+    /// Cycles the PE sat halted while the system ran on.
+    pub halted: u64,
+}
+
+impl CycleStack {
+    /// A coarse full-run stack from cumulative counters alone, for
+    /// sweep-level attribution where per-cycle observation would cost
+    /// a re-simulation (the DSE runs thousands of design points).
+    ///
+    /// Without observation there is no stall insight, so the whole
+    /// `not_triggered` count lands in `idle`; the fine-grained
+    /// backpressure/memory split needs a live profiler. `total_cycles`
+    /// is the run's global cycle count; the excess over the PE's own
+    /// non-halted cycles lands in `halted`.
+    pub fn coarse(c: &ProfCounters, total_cycles: u64) -> CycleStack {
+        CycleStack {
+            retire: c.retired,
+            quash: c.quashed,
+            in_flight: c.in_flight,
+            predicate_hazard: c.pred_hazard,
+            data_hazard: c.data_hazard,
+            predictor_recovery: c.forbidden,
+            queue_backpressure: 0,
+            memory_latency: 0,
+            idle: c.not_triggered,
+            halted: total_cycles.saturating_sub(c.cycles),
+        }
+    }
+
+    /// The cycles attributed to one leaf.
+    pub fn get(&self, leaf: Leaf) -> u64 {
+        match leaf {
+            Leaf::Retire => self.retire,
+            Leaf::Quash => self.quash,
+            Leaf::InFlight => self.in_flight,
+            Leaf::PredicateHazard => self.predicate_hazard,
+            Leaf::DataHazard => self.data_hazard,
+            Leaf::PredictorRecovery => self.predictor_recovery,
+            Leaf::Backpressure => self.queue_backpressure,
+            Leaf::MemoryLatency => self.memory_latency,
+            Leaf::Idle => self.idle,
+            Leaf::Halted => self.halted,
+        }
+    }
+
+    /// Mutable access to one leaf's cycle count.
+    pub fn get_mut(&mut self, leaf: Leaf) -> &mut u64 {
+        match leaf {
+            Leaf::Retire => &mut self.retire,
+            Leaf::Quash => &mut self.quash,
+            Leaf::InFlight => &mut self.in_flight,
+            Leaf::PredicateHazard => &mut self.predicate_hazard,
+            Leaf::DataHazard => &mut self.data_hazard,
+            Leaf::PredictorRecovery => &mut self.predictor_recovery,
+            Leaf::Backpressure => &mut self.queue_backpressure,
+            Leaf::MemoryLatency => &mut self.memory_latency,
+            Leaf::Idle => &mut self.idle,
+            Leaf::Halted => &mut self.halted,
+        }
+    }
+
+    /// Total attributed cycles (the sum over every leaf).
+    pub fn total(&self) -> u64 {
+        Leaf::ALL.into_iter().map(|l| self.get(l)).sum()
+    }
+
+    /// Element-wise accumulation (system aggregates, suite averages).
+    pub fn merge(&mut self, other: &CycleStack) {
+        for leaf in Leaf::ALL {
+            *self.get_mut(leaf) += other.get(leaf);
+        }
+    }
+
+    /// The attribution invariant: every observed cycle is attributed
+    /// to exactly one leaf. Debug builds panic on a leak; release
+    /// builds compile the check away (the profiler calls this after
+    /// every observation).
+    #[inline]
+    pub fn assert_total(&self, cycles: u64) {
+        debug_assert_eq!(
+            self.total(),
+            cycles,
+            "cycle-stack attribution leak: stack {self:?} over {cycles} cycles"
+        );
+    }
+
+    /// Per-leaf shares of the given cycle total.
+    pub fn shares(&self, cycles: u64) -> LeafShares {
+        let denom = cycles.max(1) as f64;
+        let mut shares = LeafShares::default();
+        for leaf in Leaf::ALL {
+            *shares.get_mut(leaf) = self.get(leaf) as f64 / denom;
+        }
+        shares
+    }
+
+    /// The leaf holding the most cycles (ties break in taxonomy
+    /// order). An all-zero stack reports [`Leaf::Idle`].
+    pub fn bottleneck(&self) -> Leaf {
+        let mut best = Leaf::Idle;
+        let mut most = 0u64;
+        for leaf in Leaf::ALL {
+            if self.get(leaf) > most {
+                best = leaf;
+                most = self.get(leaf);
+            }
+        }
+        best
+    }
+
+    /// Renders the hierarchical text tree with absolute cycles and
+    /// percentages of `cycles`, e.g. for `tia-funcsim --profile`.
+    pub fn render_tree(&self, label: &str, cycles: u64) -> String {
+        let denom = cycles.max(1) as f64;
+        let pct = |v: u64| 100.0 * v as f64 / denom;
+        let mut out = String::new();
+        let _ = writeln!(out, "{label}: {cycles} cycles");
+        let issue = self.retire + self.quash + self.in_flight;
+        let trigger = self.predicate_hazard + self.data_hazard;
+        let mut rows: Vec<(usize, &str, u64)> = vec![
+            (1, "issue", issue),
+            (2, Leaf::Retire.name(), self.retire),
+            (2, Leaf::Quash.name(), self.quash),
+            (2, Leaf::InFlight.name(), self.in_flight),
+            (1, "trigger-stall", trigger),
+            (2, Leaf::PredicateHazard.name(), self.predicate_hazard),
+            (2, Leaf::DataHazard.name(), self.data_hazard),
+            (1, Leaf::PredictorRecovery.name(), self.predictor_recovery),
+            (1, Leaf::Backpressure.name(), self.queue_backpressure),
+            (1, Leaf::MemoryLatency.name(), self.memory_latency),
+            (1, Leaf::Idle.name(), self.idle),
+            (1, Leaf::Halted.name(), self.halted),
+        ];
+        // Elide empty subtrees so small profiles stay readable.
+        rows.retain(|&(depth, _, v)| v > 0 || depth == 1);
+        for (depth, name, value) in rows {
+            let indent = "  ".repeat(depth);
+            let _ = writeln!(out, "{indent}{name:<20} {value:>12}  {:>6.2}%", pct(value));
+        }
+        out
+    }
+}
+
+/// A cycle stack normalized to shares of total cycles — the form the
+/// design-space exploration attaches to every design point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct LeafShares {
+    /// Share of cycles whose issue slot retired.
+    pub retire: f64,
+    /// Share of cycles whose issue slot was quashed.
+    pub quash: f64,
+    /// Share of issue slots still in flight at the last observation.
+    pub in_flight: f64,
+    /// Predicate-hazard share.
+    pub predicate_hazard: f64,
+    /// Data-hazard share.
+    pub data_hazard: f64,
+    /// Forbidden-instruction (speculation restriction) share.
+    pub predictor_recovery: f64,
+    /// Queue-backpressure share.
+    pub queue_backpressure: f64,
+    /// Memory-latency share.
+    pub memory_latency: f64,
+    /// Unattributed not-triggered share.
+    pub idle: f64,
+    /// Halted share.
+    pub halted: f64,
+}
+
+impl LeafShares {
+    /// The share attributed to one leaf.
+    pub fn get(&self, leaf: Leaf) -> f64 {
+        match leaf {
+            Leaf::Retire => self.retire,
+            Leaf::Quash => self.quash,
+            Leaf::InFlight => self.in_flight,
+            Leaf::PredicateHazard => self.predicate_hazard,
+            Leaf::DataHazard => self.data_hazard,
+            Leaf::PredictorRecovery => self.predictor_recovery,
+            Leaf::Backpressure => self.queue_backpressure,
+            Leaf::MemoryLatency => self.memory_latency,
+            Leaf::Idle => self.idle,
+            Leaf::Halted => self.halted,
+        }
+    }
+
+    /// Mutable access to one leaf's share.
+    pub fn get_mut(&mut self, leaf: Leaf) -> &mut f64 {
+        match leaf {
+            Leaf::Retire => &mut self.retire,
+            Leaf::Quash => &mut self.quash,
+            Leaf::InFlight => &mut self.in_flight,
+            Leaf::PredicateHazard => &mut self.predicate_hazard,
+            Leaf::DataHazard => &mut self.data_hazard,
+            Leaf::PredictorRecovery => &mut self.predictor_recovery,
+            Leaf::Backpressure => &mut self.queue_backpressure,
+            Leaf::MemoryLatency => &mut self.memory_latency,
+            Leaf::Idle => &mut self.idle,
+            Leaf::Halted => &mut self.halted,
+        }
+    }
+
+    /// Sum of all shares (≈1.0 for a complete attribution).
+    pub fn total(&self) -> f64 {
+        Leaf::ALL.into_iter().map(|l| self.get(l)).sum()
+    }
+
+    /// Averages a set of share vectors (suite-level attribution).
+    pub fn average(all: &[LeafShares]) -> LeafShares {
+        let n = all.len().max(1) as f64;
+        let mut out = LeafShares::default();
+        for s in all {
+            for leaf in Leaf::ALL {
+                *out.get_mut(leaf) += s.get(leaf);
+            }
+        }
+        for leaf in Leaf::ALL {
+            *out.get_mut(leaf) /= n;
+        }
+        out
+    }
+
+    /// The leaf with the largest share (ties break in taxonomy
+    /// order); all-zero shares report [`Leaf::Idle`].
+    pub fn bottleneck(&self) -> Leaf {
+        let mut best = Leaf::Idle;
+        let mut most = 0.0f64;
+        for leaf in Leaf::ALL {
+            if self.get(leaf) > most {
+                best = leaf;
+                most = self.get(leaf);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_names_are_unique_and_round_trip() {
+        let mut names: Vec<&str> = Leaf::ALL.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Leaf::ALL.len());
+        for leaf in Leaf::ALL {
+            assert_eq!(Leaf::from_name(leaf.name()), Some(leaf));
+            let json = serde_json::to_string(&leaf).expect("serializes");
+            let back: Leaf = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, leaf);
+        }
+    }
+
+    #[test]
+    fn stack_total_and_shares_are_consistent() {
+        let mut stack = CycleStack::default();
+        stack.retire = 60;
+        stack.queue_backpressure = 30;
+        stack.halted = 10;
+        assert_eq!(stack.total(), 100);
+        stack.assert_total(100);
+        let shares = stack.shares(100);
+        assert!((shares.total() - 1.0).abs() < 1e-12);
+        assert!((shares.retire - 0.6).abs() < 1e-12);
+        assert_eq!(shares.bottleneck(), Leaf::Retire);
+        assert_eq!(stack.bottleneck(), Leaf::Retire);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribution leak")]
+    #[cfg(debug_assertions)]
+    fn assert_total_catches_leaks() {
+        let stack = CycleStack {
+            retire: 5,
+            ..CycleStack::default()
+        };
+        stack.assert_total(6);
+    }
+
+    #[test]
+    fn tree_rendering_shows_hierarchy_and_percentages() {
+        let stack = CycleStack {
+            retire: 50,
+            predicate_hazard: 25,
+            idle: 25,
+            ..CycleStack::default()
+        };
+        let tree = stack.render_tree("pe 0", 100);
+        assert!(tree.contains("pe 0: 100 cycles"));
+        assert!(tree.contains("issue"));
+        assert!(tree.contains("retire"));
+        assert!(tree.contains("50.00%"));
+        assert!(tree.contains("trigger-stall"));
+        // Empty leaves inside a group are elided.
+        assert!(!tree.contains("data-hazard"));
+    }
+
+    #[test]
+    fn merge_accumulates_every_leaf() {
+        let mut a = CycleStack {
+            retire: 1,
+            halted: 2,
+            ..CycleStack::default()
+        };
+        let b = CycleStack {
+            retire: 3,
+            memory_latency: 4,
+            ..CycleStack::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retire, 4);
+        assert_eq!(a.halted, 2);
+        assert_eq!(a.memory_latency, 4);
+    }
+
+    #[test]
+    fn average_of_shares() {
+        let a = LeafShares {
+            retire: 1.0,
+            ..LeafShares::default()
+        };
+        let b = LeafShares {
+            idle: 1.0,
+            ..LeafShares::default()
+        };
+        let avg = LeafShares::average(&[a, b]);
+        assert!((avg.retire - 0.5).abs() < 1e-12);
+        assert!((avg.idle - 0.5).abs() < 1e-12);
+        assert_eq!(avg.bottleneck(), Leaf::Retire);
+    }
+}

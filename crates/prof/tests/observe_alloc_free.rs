@@ -1,0 +1,81 @@
+//! The profiler's observe path must be allocation-free: profiling a
+//! long run adds bounded, constant memory (the per-PE slots built at
+//! construction) and never allocates per cycle. A counting global
+//! allocator is armed around steady-state step+observe iterations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_isa::Params;
+use tia_prof::SystemProfiler;
+use tia_workloads::{Scale, WorkloadKind};
+
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn system_observation_does_not_allocate() {
+    let params = Params::default();
+    let config = UarchConfig::with_pq(Pipeline::T_D_X1_X2);
+    let mut factory = |p: &Params, prog| UarchPe::new(p, config, prog);
+    let mut built = WorkloadKind::Bst
+        .build(&params, Scale::Test, &mut factory)
+        .expect("workload builds");
+    let mut profiler = SystemProfiler::new(&built.system);
+
+    // Warm up: let one-time growth (queue backing stores, predictor
+    // tables) happen outside the measured region.
+    for _ in 0..100 {
+        built.system.step();
+        profiler.observe(&built.system);
+    }
+
+    let allocations = allocations_during(|| {
+        for _ in 0..1_000 {
+            built.system.step();
+            profiler.observe(&built.system);
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "steady-state step+observe must not allocate"
+    );
+    assert!(profiler.observed_cycles() >= 1_100);
+    for pe in 0..profiler.num_pes() {
+        assert_eq!(profiler.stack(pe).total(), profiler.observed_cycles());
+    }
+}

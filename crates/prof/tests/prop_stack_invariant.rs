@@ -1,0 +1,265 @@
+//! Property-based attribution: for random terminating triggered
+//! programs under random queue traffic, the hierarchical cycle stack
+//! sums to the total observed cycles at *every* observation point, on
+//! the functional model and on pipelined microarchitectures alike.
+
+use proptest::prelude::*;
+
+use tia_core::{Pipeline, UarchConfig, UarchPe};
+use tia_fabric::{ProcessingElement, Token};
+use tia_isa::{
+    DstOperand, InputId, Instruction, Op, OutputId, Params, PredId, Program, RegId, SrcOperand,
+    Tag, Trigger,
+};
+use tia_prof::PeProfiler;
+use tia_sim::FuncPe;
+use tia_trace::ProfileSource;
+use tia_workloads::phases::{goto, when};
+
+/// Ops safe for random datapath use (no scratchpad, no halt).
+const DATA_OPS: [Op; 10] = [
+    Op::Mov,
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Eq,
+    Op::Ult,
+    Op::Umax,
+];
+
+#[derive(Debug, Clone)]
+struct Step {
+    op: Op,
+    dst_kind: u8,
+    dst_idx: usize,
+    src0_kind: u8,
+    src0_idx: usize,
+    src1_kind: u8,
+    src1_idx: usize,
+    imm: u32,
+    dequeue: bool,
+}
+
+/// Builds a linear phase-machine program from random steps: slot `i`
+/// fires in phase `i` and advances to phase `i + 1`; the final slot
+/// halts, so the program terminates on every microarchitecture.
+fn build_program(steps: &[Step], params: &Params) -> Program {
+    const PH: [usize; 4] = [2, 3, 4, 5];
+    let n = params.num_preds;
+    let mut deq_budget = vec![3i32; params.num_input_queues];
+    let mut enq_budget = vec![params.queue_capacity as i32; params.num_output_queues];
+    let mut instructions = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        let pattern = when(n, &PH, i as u32, &[]);
+        let update = goto(n, &PH, (i + 1) as u32, &[]);
+        let arity = step.op.num_srcs();
+        let mut srcs = [SrcOperand::None; 2];
+        let mut reads_input: Option<InputId> = None;
+        let choices = [
+            (step.src0_kind, step.src0_idx),
+            (step.src1_kind, step.src1_idx),
+        ];
+        for (src, (kind, idx)) in srcs.iter_mut().zip(choices.iter()).take(arity) {
+            *src = match kind % 3 {
+                0 => SrcOperand::Reg(RegId::new(idx % params.num_regs, params).unwrap()),
+                1 => {
+                    let q = InputId::new(idx % params.num_input_queues, params).unwrap();
+                    reads_input = Some(q);
+                    SrcOperand::Input(q)
+                }
+                _ => SrcOperand::Imm,
+            };
+        }
+        let dst = if !step.op.has_result() {
+            DstOperand::None
+        } else {
+            match step.dst_kind % 3 {
+                0 => DstOperand::Reg(RegId::new(step.dst_idx % params.num_regs, params).unwrap()),
+                1 => DstOperand::Pred(PredId::new(step.dst_idx % 2, params).unwrap()),
+                _ => {
+                    let q = step.dst_idx % params.num_output_queues;
+                    if enq_budget[q] > 0 {
+                        enq_budget[q] -= 1;
+                        DstOperand::Output(OutputId::new(q, params).unwrap())
+                    } else {
+                        DstOperand::Reg(RegId::new(step.dst_idx % params.num_regs, params).unwrap())
+                    }
+                }
+            }
+        };
+        let mut dequeues = Vec::new();
+        if step.dequeue {
+            if let Some(q) = reads_input {
+                if deq_budget[q.index()] > 0 {
+                    deq_budget[q.index()] -= 1;
+                    dequeues.push(q);
+                }
+            }
+        }
+        instructions.push(Instruction {
+            valid: true,
+            trigger: Trigger {
+                predicates: pattern_from_text(&pattern),
+                queue_checks: vec![],
+            },
+            op: step.op,
+            srcs,
+            dst,
+            out_tag: Tag::ZERO,
+            dequeues,
+            pred_update: update_from_text(&update),
+            imm: step.imm,
+        });
+    }
+    instructions.push(Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates: pattern_from_text(&when(params.num_preds, &PH, steps.len() as u32, &[])),
+            queue_checks: vec![],
+        },
+        op: Op::Halt,
+        ..Instruction::default()
+    });
+    Program::new(instructions)
+}
+
+fn pattern_bits(text: &str, which: char) -> u32 {
+    text.chars()
+        .rev()
+        .enumerate()
+        .filter(|(_, c)| *c == which)
+        .fold(0, |acc, (i, _)| acc | (1 << i))
+}
+
+fn pattern_from_text(text: &str) -> tia_isa::PredPattern {
+    tia_isa::PredPattern::new(pattern_bits(text, '1'), pattern_bits(text, '0'))
+        .expect("disjoint by construction")
+}
+
+fn update_from_text(text: &str) -> tia_isa::PredUpdate {
+    tia_isa::PredUpdate::new(pattern_bits(text, '1'), pattern_bits(text, '0'))
+        .expect("disjoint by construction")
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        prop::sample::select(DATA_OPS.to_vec()),
+        any::<u8>(),
+        any::<usize>(),
+        any::<u8>(),
+        any::<usize>(),
+        any::<u8>(),
+        any::<usize>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(op, dst_kind, dst_idx, s0k, s0i, s1k, s1i, imm, dequeue)| Step {
+                op,
+                dst_kind,
+                dst_idx,
+                src0_kind: s0k,
+                src0_idx: s0i,
+                src1_kind: s1k,
+                src1_idx: s1i,
+                imm,
+                dequeue,
+            },
+        )
+}
+
+fn preload<P: ProcessingElement>(pe: &mut P, params: &Params, feed: &[u32]) {
+    for q in 0..params.num_input_queues {
+        for (i, &v) in feed.iter().enumerate() {
+            let _ = pe
+                .input_queue_mut(q)
+                .push(Token::data(v.wrapping_add((q * 31 + i) as u32)));
+        }
+    }
+}
+
+/// Steps `pe` under per-cycle observation until it halts (plus a few
+/// post-halt drain cycles), checking the invariant at every point.
+fn profile_stepwise<P>(pe: &mut P, limit: u64) -> Result<(), TestCaseError>
+where
+    P: ProfileSource,
+    P: FnMutStep,
+{
+    let mut profiler = PeProfiler::new(pe, 0);
+    let mut cycle = 0u64;
+    for _ in 0..limit {
+        if pe.halted_now() {
+            break;
+        }
+        pe.step_once();
+        cycle += 1;
+        profiler.observe(pe, cycle);
+        prop_assert_eq!(
+            profiler.stack().total(),
+            cycle,
+            "stack must sum to cycles at every observation"
+        );
+    }
+    prop_assert!(pe.halted_now(), "random program must halt");
+    // Post-halt drain cycles land in the halted leaf.
+    cycle += 7;
+    profiler.observe(pe, cycle);
+    prop_assert_eq!(profiler.stack().total(), cycle);
+    prop_assert!(profiler.stack().halted >= 7);
+    Ok(())
+}
+
+/// A tiny adapter so the generic driver can step either PE model.
+trait FnMutStep {
+    fn step_once(&mut self);
+    fn halted_now(&self) -> bool;
+}
+
+impl<T: tia_trace::Tracer> FnMutStep for UarchPe<T> {
+    fn step_once(&mut self) {
+        self.step_cycle();
+    }
+    fn halted_now(&self) -> bool {
+        self.halted()
+    }
+}
+
+impl<T: tia_trace::Tracer> FnMutStep for FuncPe<T> {
+    fn step_once(&mut self) {
+        self.step_cycle();
+    }
+    fn halted_now(&self) -> bool {
+        self.halted()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn stacks_sum_to_cycles_under_random_programs(
+        steps in prop::collection::vec(arb_step(), 1..10),
+        feed in prop::collection::vec(any::<u32>(), 4..8),
+    ) {
+        let mut params = Params::default();
+        params.queue_capacity = 16;
+        let program = build_program(&steps, &params);
+        prop_assume!(program.validate(&params).is_ok());
+
+        let mut func = FuncPe::new(&params, program.clone()).expect("valid program");
+        preload(&mut func, &params, &feed);
+        profile_stepwise(&mut func, 10_000)?;
+
+        for config in [
+            UarchConfig::base(Pipeline::TDX),
+            UarchConfig::with_p(Pipeline::T_DX),
+            UarchConfig::with_pq(Pipeline::T_D_X1_X2),
+        ] {
+            let mut pe = UarchPe::new(&params, config, program.clone()).expect("valid program");
+            preload(&mut pe, &params, &feed);
+            profile_stepwise(&mut pe, 50_000)?;
+        }
+    }
+}

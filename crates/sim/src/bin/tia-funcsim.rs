@@ -6,7 +6,8 @@
 //! tia-funcsim [--params params.json] [--hex] [--lint] [--max-cycles N]
 //!             [--in Q:v1,v2,...] [--stream Q:v1,v2,...@P]
 //!             [--trace-out FILE] [--trace-format chrome|jsonl]
-//!             [--metrics-out FILE] [--cpi-window N] <program>
+//!             [--metrics-out FILE] [--cpi-window N]
+//!             [--profile] [--profile-out FILE] <program>
 //! ```
 //!
 //! `--lint` runs the `tia-lint` static analyzer before simulating:
@@ -30,6 +31,16 @@
 //! histograms (queue occupancy, stall run lengths); `--cpi-window N`
 //! adds a windowed CPI-stack timeline to that document.
 //!
+//! Profiling (see docs/profiling.md): `--profile` attaches the
+//! hierarchical cycle-stack profiler — every simulated cycle is
+//! attributed to exactly one taxonomy leaf — and prints the stack as a
+//! percentage tree plus a channel-pressure ranking after the run.
+//! `--profile-out FILE` (implies `--profile`) additionally writes the
+//! stack, shares, bottleneck label and channel ranking as JSON. With
+//! `--profile` and a Chrome trace (`--trace-out`), sampled cycle-stack
+//! counters are added to the trace's `profile` track so Perfetto draws
+//! where cycles went over time.
+//!
 //! Robustness (see docs/robustness.md): `--checkpoint-every N
 //! --checkpoint-out PATH` writes a resumable snapshot every `N` cycles
 //! (atomically, so an interrupt never leaves a truncated file);
@@ -48,8 +59,11 @@ use serde::{Deserialize, Serialize};
 use tia_ckpt::{Hang, Progress, Snapshot, Watchdog};
 use tia_fabric::{ProcessingElement, Token};
 use tia_isa::{Params, Program, Tag};
+use tia_prof::{rank_pe_channels, ChannelRank, CycleStack, Leaf, LeafShares, PeProfiler};
 use tia_sim::{FuncPe, FuncPeState};
-use tia_trace::{chrome, jsonl, CpiTimeline, MetricsRegistry, NullTracer, RingTracer, Tracer};
+use tia_trace::{
+    chrome, jsonl, CpiTimeline, MetricsRegistry, NullTracer, ProfileSource, RingTracer, Tracer,
+};
 
 /// The snapshot `kind` tag for funcsim checkpoints.
 const FUNCSIM_KIND: &str = "tia-funcsim";
@@ -73,6 +87,8 @@ struct Options {
     trace_format: TraceFormat,
     metrics_out: Option<String>,
     cpi_window: Option<u64>,
+    profile: bool,
+    profile_out: Option<String>,
     checkpoint_every: Option<u64>,
     checkpoint_out: Option<String>,
     resume: Option<String>,
@@ -131,6 +147,8 @@ fn parse_args() -> Result<Options, String> {
     let mut trace_format = TraceFormat::Chrome;
     let mut metrics_out = None;
     let mut cpi_window = None;
+    let mut profile = false;
+    let mut profile_out = None;
     let mut checkpoint_every = None;
     let mut checkpoint_out = None;
     let mut resume = None;
@@ -178,6 +196,11 @@ fn parse_args() -> Result<Options, String> {
                 }
                 cpi_window = Some(window);
             }
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = Some(args.next().ok_or("--profile-out needs a file")?);
+                profile = true;
+            }
             "--checkpoint-every" => {
                 let every: u64 = args
                     .next()
@@ -211,7 +234,8 @@ fn parse_args() -> Result<Options, String> {
                             [--max-cycles N] [--in Q:v1,v2,...] \
                             [--stream Q:v1,v2,...@P] [--trace-out FILE] \
                             [--trace-format chrome|jsonl] [--metrics-out FILE] \
-                            [--cpi-window N] [--checkpoint-every N] \
+                            [--cpi-window N] [--profile] [--profile-out FILE] \
+                            [--checkpoint-every N] \
                             [--checkpoint-out FILE] [--resume FILE] \
                             [--watchdog N] [--no-fast-forward] <program>"
                         .to_string(),
@@ -278,6 +302,8 @@ fn parse_args() -> Result<Options, String> {
         trace_format,
         metrics_out,
         cpi_window,
+        profile,
+        profile_out,
         checkpoint_every,
         checkpoint_out,
         resume,
@@ -336,6 +362,10 @@ fn write_checkpoint<T: Tracer>(
         .map_err(|e| e.to_string())
 }
 
+/// What a finished simulation hands back: the PE, the drained output
+/// tokens per queue, and the profiler if one was attached.
+type SimOutcome<T> = (FuncPe<T>, Vec<Vec<Token>>, Option<PeProfiler>);
+
 /// Runs the program to halt or the cycle limit, draining output queues
 /// and feeding `--stream` producers. Monomorphizes per tracer, so the
 /// untraced path carries no tracing code at all.
@@ -343,7 +373,7 @@ fn simulate<T: Tracer>(
     opts: &Options,
     program: Program,
     tracer: T,
-) -> Result<(FuncPe<T>, Vec<Vec<Token>>), String> {
+) -> Result<SimOutcome<T>, String> {
     let mut pe = FuncPe::with_tracer(&opts.params, program, tracer).map_err(|e| e.to_string())?;
     for (queue, tokens) in &opts.inputs {
         for token in tokens {
@@ -401,6 +431,21 @@ fn simulate<T: Tracer>(
         start_cycle = checkpoint.cycle;
     }
 
+    // The profiler is a pure observer diffing counter snapshots, so
+    // attaching it cannot perturb the simulation; on a resumed run the
+    // in-flight debt mechanism keeps its stack summing to the cycles
+    // observed *by this process*.
+    let mut profiler = if opts.profile {
+        let mut p = PeProfiler::new(&pe, start_cycle);
+        if opts.trace_out.is_some() && opts.trace_format == TraceFormat::Chrome {
+            // Bound the counter track to ~512 samples regardless of
+            // run length.
+            p.enable_sampling((opts.max_cycles / 512).max(1), opts.max_cycles);
+        }
+        Some(p)
+    } else {
+        None
+    };
     let mut watchdog = opts.watchdog.map(Watchdog::new);
     let mut cycle = start_cycle;
     while cycle < opts.max_cycles {
@@ -423,6 +468,9 @@ fn simulate<T: Tracer>(
             }
         }
         let done = cycle + 1;
+        if let Some(p) = &mut profiler {
+            p.observe(&pe, done);
+        }
         if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint_out) {
             if done.is_multiple_of(every) {
                 write_checkpoint(path, done, &pe, &streams, &outputs)?;
@@ -447,7 +495,7 @@ fn simulate<T: Tracer>(
                 halted: pe.halted(),
             };
             if let Some(hang) = dog.observe(progress) {
-                return Err(hang_failure(&pe, hang));
+                return Err(hang_failure(&pe, hang, profiler.as_ref()));
             }
         }
         cycle += 1;
@@ -486,18 +534,87 @@ fn simulate<T: Tracer>(
                     dog.note_skipped(skip);
                 }
                 cycle += skip;
+                // One observation covers the whole frozen span: the
+                // PE's trigger state cannot change while quiescent, so
+                // the per-cycle classification is exact.
+                if let Some(p) = &mut profiler {
+                    p.observe(&pe, cycle);
+                }
             }
         }
     }
-    Ok((pe, outputs))
+    Ok((pe, outputs, profiler))
 }
 
 /// Formats a watchdog hang as a fatal error, dumping the PE state to
-/// stderr for diagnosis.
-fn hang_failure<T: Tracer>(pe: &FuncPe<T>, hang: Hang) -> String {
+/// stderr for diagnosis. With profiling on, the cycle stack observed
+/// up to the hang labels the stall class the PE is wedged in; without
+/// it, a coarse stack from the cumulative counters stands in.
+fn hang_failure<T: Tracer>(pe: &FuncPe<T>, hang: Hang, profiler: Option<&PeProfiler>) -> String {
     let dump = Snapshot::capture(FUNCSIM_KIND, pe).to_json();
     eprintln!("tia-funcsim: state at hang:\n{dump}");
+    let (stack, cycles) = match profiler {
+        Some(p) => (*p.stack(), p.observed_cycles()),
+        None => {
+            let c = pe.prof_counters();
+            (CycleStack::coarse(&c, c.cycles), c.cycles)
+        }
+    };
+    eprint!(
+        "tia-funcsim: cycle stack at hang:\n{}",
+        stack.render_tree("funcsim", cycles)
+    );
+    eprintln!("tia-funcsim: wedged in: {}", stack.bottleneck());
     format!("watchdog: {hang}")
+}
+
+/// The `--profile-out` JSON document.
+#[derive(Serialize)]
+struct ProfileReport {
+    /// Cycles observed by the profiler (== simulated cycles when
+    /// attached from cycle zero).
+    observed_cycles: u64,
+    /// Absolute per-leaf cycle counts; sums to `observed_cycles`.
+    stack: CycleStack,
+    /// The same stack normalized to shares of the observed cycles.
+    shares: LeafShares,
+    /// The dominant taxonomy leaf.
+    bottleneck: Leaf,
+    /// Input/output channel pressure, busiest first.
+    channels: Vec<ChannelRank>,
+}
+
+/// Prints the profiler's findings and, with `--profile-out`, writes
+/// them as JSON.
+fn report_profile<T: Tracer>(
+    opts: &Options,
+    pe: &FuncPe<T>,
+    profiler: &PeProfiler,
+) -> Result<(), String> {
+    let stack = profiler.stack();
+    let cycles = profiler.observed_cycles();
+    print!("\n{}", stack.render_tree("funcsim", cycles));
+    println!("bottleneck: {}", stack.bottleneck());
+    let channels = rank_pe_channels(pe);
+    for c in channels.iter().take(4) {
+        println!(
+            "channel {} queue {}: {} pushes, {} rejected, high water {}/{}",
+            c.direction, c.queue, c.pushes, c.rejected, c.high_water, c.capacity
+        );
+    }
+    if let Some(path) = &opts.profile_out {
+        let report = ProfileReport {
+            observed_cycles: cycles,
+            stack: *stack,
+            shares: stack.shares(cycles),
+            bottleneck: stack.bottleneck(),
+            channels,
+        };
+        let text = serde_json::to_string_pretty(&serde::Serialize::to_value(&report))
+            .map_err(|e| format!("profile serialization failed: {e}"))?;
+        fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn print_summary<T: Tracer>(opts: &Options, pe: &FuncPe<T>, outputs: &[Vec<Token>]) {
@@ -538,7 +655,11 @@ fn print_summary<T: Tracer>(opts: &Options, pe: &FuncPe<T>, outputs: &[Vec<Token
 }
 
 /// Writes trace/metrics artifacts from the recorded event stream.
-fn export_observability(opts: &Options, pe: FuncPe<RingTracer>) -> Result<(), String> {
+fn export_observability(
+    opts: &Options,
+    pe: FuncPe<RingTracer>,
+    profiler: Option<&PeProfiler>,
+) -> Result<(), String> {
     let metrics_counters = *pe.counters();
     let tracer = pe.into_tracer();
     if tracer.dropped() > 0 {
@@ -551,7 +672,23 @@ fn export_observability(opts: &Options, pe: FuncPe<RingTracer>) -> Result<(), St
 
     if let Some(path) = &opts.trace_out {
         let document = match opts.trace_format {
-            TraceFormat::Chrome => chrome::export(&events, &[(0, "funcsim".to_string())]),
+            TraceFormat::Chrome => {
+                let mut trace = chrome::ChromeTrace::new();
+                trace.add_pe(0, "funcsim");
+                trace.add_events(&events);
+                // Sampled cycle-stack counters on the `profile` track:
+                // Perfetto draws each leaf as a monotone counter, so
+                // the slope between samples is the leaf's share of
+                // those cycles.
+                if let Some(p) = profiler {
+                    for &(cycle, stack) in p.samples() {
+                        for leaf in Leaf::ALL {
+                            trace.add_profile_counter(0, cycle, leaf.name(), stack.get(leaf));
+                        }
+                    }
+                }
+                trace.to_json()
+            }
             TraceFormat::Jsonl => jsonl::export(&events),
         };
         fs::write(path, document).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -596,12 +733,19 @@ fn run() -> Result<(), String> {
     }
     let observing = opts.trace_out.is_some() || opts.metrics_out.is_some();
     if observing {
-        let (pe, outputs) = simulate(&opts, program, RingTracer::with_default_capacity())?;
+        let (pe, outputs, profiler) =
+            simulate(&opts, program, RingTracer::with_default_capacity())?;
         print_summary(&opts, &pe, &outputs);
-        export_observability(&opts, pe)?;
+        if let Some(p) = &profiler {
+            report_profile(&opts, &pe, p)?;
+        }
+        export_observability(&opts, pe, profiler.as_ref())?;
     } else {
-        let (pe, outputs) = simulate(&opts, program, NullTracer)?;
+        let (pe, outputs, profiler) = simulate(&opts, program, NullTracer)?;
         print_summary(&opts, &pe, &outputs);
+        if let Some(p) = &profiler {
+            report_profile(&opts, &pe, p)?;
+        }
     }
     Ok(())
 }

@@ -15,7 +15,10 @@ use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredState, Program, SrcOperand, Word,
     NUM_SRCS,
 };
-use tia_trace::{EventKind, NullTracer, QueueDir, StallClass, Tracer};
+use tia_trace::{
+    ChannelPressure, EventKind, NullTracer, ProfCounters, ProfileSource, QueueDir, StallClass,
+    StallInsight, Tracer,
+};
 
 use crate::counters::FuncCounters;
 
@@ -642,6 +645,69 @@ impl<T: Tracer> ProcessingElement for FuncPe<T> {
 
     fn skip_cycles(&mut self, cycles: u64) {
         self.skip_idle_cycles(cycles);
+    }
+}
+
+impl<T: Tracer> ProfileSource for FuncPe<T> {
+    fn prof_counters(&self) -> ProfCounters {
+        // The functional model has no pipeline: every cycle either
+        // retires one instruction or idles, so its idle count maps to
+        // the `not_triggered` bucket and every pipeline-only field is
+        // zero.
+        let c = &self.counters;
+        ProfCounters {
+            cycles: c.cycles,
+            retired: c.retired,
+            not_triggered: c.idle,
+            ..ProfCounters::default()
+        }
+    }
+
+    fn stall_insight(&self) -> StallInsight {
+        let mut insight = StallInsight::default();
+        for i in self.program.instructions() {
+            if !i.valid || !i.trigger.predicates.matches(self.preds) {
+                continue;
+            }
+            insight.matched_any = true;
+            for q in i.input_operands() {
+                if self.inputs[q.index()].is_empty() {
+                    insight.empty_input_mask |= 1 << q.index();
+                }
+            }
+            for q in &i.dequeues {
+                if self.inputs[q.index()].is_empty() {
+                    insight.empty_input_mask |= 1 << q.index();
+                }
+            }
+            for check in &i.trigger.queue_checks {
+                if self.inputs[check.queue.index()].is_empty() {
+                    insight.empty_input_mask |= 1 << check.queue.index();
+                }
+            }
+            if let Some(q) = i.enqueues() {
+                if self.outputs[q.index()].is_full() {
+                    insight.full_output_mask |= 1 << q.index();
+                }
+            }
+        }
+        insight
+    }
+
+    fn profiled_input_channels(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn profiled_output_channels(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn input_channel_pressure(&self, index: usize) -> ChannelPressure {
+        self.inputs[index].pressure()
+    }
+
+    fn output_channel_pressure(&self, index: usize) -> ChannelPressure {
+        self.outputs[index].pressure()
     }
 }
 

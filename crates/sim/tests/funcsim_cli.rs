@@ -74,9 +74,10 @@ fn chrome_trace_round_trips_with_tracks_issues_and_stalls() {
             })
             .count()
     };
-    // Per-PE track metadata: a process_name plus the five named tracks.
+    // Per-PE track metadata: a process_name plus the six named tracks
+    // (issue, stall, speculation, predictor, queues, profile).
     assert_eq!(named("M", "process_name"), 1);
-    assert_eq!(named("M", "thread_name"), 5);
+    assert_eq!(named("M", "thread_name"), 6);
     // At least one issue slice and one (coalesced) stall slice.
     assert!(
         events.iter().any(|e| {

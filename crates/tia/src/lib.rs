@@ -23,6 +23,9 @@
 //!   +P speculability certification, and channel-deadlock checks.
 //! * [`ckpt`] — checkpoint/restore snapshots and the runtime hang
 //!   watchdog for long runs.
+//! * [`prof`] — the hierarchical cycle-stack profiler: per-PE cycle
+//!   attribution (every cycle lands in exactly one taxonomy leaf),
+//!   cross-PE critical-path analysis, and bottleneck labels.
 //!
 //! # Examples
 //!
@@ -63,5 +66,6 @@ pub use tia_energy as energy;
 pub use tia_fabric as fabric;
 pub use tia_isa as isa;
 pub use tia_lint as lint;
+pub use tia_prof as prof;
 pub use tia_sim as sim;
 pub use tia_workloads as workloads;

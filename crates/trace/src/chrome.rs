@@ -5,7 +5,8 @@
 //!
 //! - each PE becomes a *process* (`pid` = PE id) named via metadata;
 //! - each pipeline concern becomes a *thread* (track) inside that
-//!   process: `issue`, `stall`, `speculation`, `predictor`, `queues`;
+//!   process: `issue`, `stall`, `speculation`, `predictor`, `queues`,
+//!   `profile`;
 //! - issues and stalls are `"X"` complete events (1 cycle = 1 µs of
 //!   trace time), with consecutive same-class stall cycles coalesced
 //!   into one slice whose duration is the run length;
@@ -24,6 +25,7 @@ const TRACK_STALL: u64 = 1;
 const TRACK_SPECULATION: u64 = 2;
 const TRACK_PREDICTOR: u64 = 3;
 const TRACK_QUEUES: u64 = 4;
+const TRACK_PROFILE: u64 = 5;
 
 /// Builder for one Chrome trace document.
 #[derive(Debug, Clone, Default)]
@@ -64,10 +66,21 @@ impl ChromeTrace {
             (TRACK_SPECULATION, "speculation"),
             (TRACK_PREDICTOR, "predictor"),
             (TRACK_QUEUES, "queues"),
+            (TRACK_PROFILE, "profile"),
         ] {
             self.events
                 .push(metadata_event("thread_name", pe, Some(tid), name));
         }
+    }
+
+    /// Adds one sample to a named counter track on the PE's `profile`
+    /// thread (`"C"` phase). The cycle-stack profiler emits one such
+    /// counter per taxonomy leaf, so Perfetto draws where cycles went
+    /// over time alongside the event tracks.
+    pub fn add_profile_counter(&mut self, pe: u16, cycle: u64, name: &str, value: u64) {
+        let mut e = base_event(name, "C", pe, TRACK_PROFILE, cycle);
+        push_args(&mut e, vec![("value", Value::UInt(value))]);
+        self.events.push(e);
     }
 
     /// Converts a cycle-ordered event stream into trace slices.

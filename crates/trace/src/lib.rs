@@ -32,11 +32,13 @@ pub mod chrome;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 pub mod timeline;
 pub mod tracer;
 
 pub use chrome::ChromeTrace;
 pub use event::{EventKind, QueueDir, StallClass, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{ChannelPressure, ProfCounters, ProfileSource, StallInsight};
 pub use timeline::{CpiTimeline, CpiWindow};
 pub use tracer::{NullTracer, RingTracer, Tracer};

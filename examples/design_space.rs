@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CpiMeasurement {
             cpi: c.cpi(),
             issue_rate: (c.retired + c.quashed) as f64 / c.cycles.max(1) as f64,
+            ..CpiMeasurement::default()
         }
     };
 

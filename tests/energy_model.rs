@@ -28,6 +28,7 @@ fn suite_activity() -> impl FnMut(&UarchConfig) -> CpiMeasurement {
         CpiMeasurement {
             cpi: cpi_sum / n,
             issue_rate: issue_sum / n,
+            ..CpiMeasurement::default()
         }
     }
 }

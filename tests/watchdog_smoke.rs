@@ -57,13 +57,29 @@ fn watchdog_flags_the_seeded_two_pe_deadlock_within_its_window() {
             );
             assert_eq!(hang.stalled_for(), window);
 
-            // The diagnostic dump carries the hang and the complete
+            // The diagnostic dump carries the hang, a per-PE cycle
+            // stack labeling the wedged stall class, and the complete
             // system state for post-mortem inspection.
             let report = hang_report(&system, &hang);
-            for key in ["\"hang\"", "\"description\"", "\"system\"", "\"pes\""] {
+            for key in [
+                "\"hang\"",
+                "\"description\"",
+                "\"system\"",
+                "\"pes\"",
+                "\"profile\"",
+                "\"stack\"",
+                "\"bottleneck\"",
+                "\"wedged_in\"",
+            ] {
                 assert!(report.contains(key), "report missing {key}:\n{report}");
             }
             assert!(report.contains("quiescent"), "report:\n{report}");
+            // Neither relay PE ever triggers: both are wedged idle
+            // (starved inputs, no full outputs, no memory ports).
+            assert!(
+                report.contains("\"wedged_in\": \"idle\""),
+                "report:\n{report}"
+            );
         }
         other => panic!("watchdog did not fire: {other:?}"),
     }
