@@ -7,15 +7,25 @@
 //! effectiveness counters (cycles bulk-skipped, idle-horizon probe hit
 //! rate) for every configuration.
 //!
+//! Also A/B-times the compiled trigger engine (`tia-jit`, on vs off)
+//! over the same sweep, recording compiled vs interpreted throughput
+//! per configuration, and reports per-worker scheduler utilization for
+//! every parallel run.
+//!
 //! ```text
 //! cargo run --release -p tia-bench --bin dse_bench \
-//!     [--test-scale] [--assert-fast-forward] [-o BENCH_dse.json]
+//!     [--test-scale] [--assert-fast-forward] [--assert-jit-speedup] \
+//!     [-o BENCH_dse.json]
 //! ```
 //!
 //! `--assert-fast-forward` turns the recorded comparison into a gate:
 //! the process exits nonzero unless the fast-forward sweep is
 //! bit-identical to the baseline and no more than 10% slower (CI runs
 //! this at test scale as a regression smoke test).
+//! `--assert-jit-speedup` gates the compiled trigger engine the same
+//! way: bit-identical and no more than 5% slower than the interpreter
+//! (at test scale the engine's advantage is noise-bounded; the real
+//! speedup is recorded at paper scale in `BENCH_dse.json`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -23,7 +33,7 @@ use std::time::Instant;
 
 use tia_bench::{activity_of, run_uarch_workload, scale_from_args};
 use tia_core::UarchConfig;
-use tia_energy::dse::{explore, par_explore_with};
+use tia_energy::dse::{explore, par_explore_stats_with, par_explore_with};
 use tia_workloads::WorkloadKind;
 
 #[derive(serde::Serialize)]
@@ -32,6 +42,14 @@ struct ParallelRun {
     seconds: f64,
     speedup_vs_serial: f64,
     cycles_per_second: f64,
+    /// Work-stealing claim granularity the scheduler chose.
+    chunk: usize,
+    /// Items (configurations) each worker executed.
+    worker_items: Vec<usize>,
+    /// Busy time over wall-clock time, per worker.
+    worker_utilization: Vec<f64>,
+    /// The least-utilized worker (the balance limiter).
+    min_utilization: f64,
 }
 
 /// Fast-forward effectiveness for one configuration's activity run:
@@ -64,6 +82,32 @@ struct FastForwardRun {
     per_config: Vec<ConfigFastForward>,
 }
 
+/// Compiled-vs-interpreted throughput for one configuration's
+/// activity run.
+#[derive(serde::Serialize)]
+struct ConfigJit {
+    config: String,
+    cycles: u64,
+    compiled_seconds: f64,
+    interpreted_seconds: f64,
+    compiled_cycles_per_second: f64,
+    interpreted_cycles_per_second: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct JitRun {
+    enabled_seconds: f64,
+    disabled_seconds: f64,
+    speedup: f64,
+    enabled_cycles_per_second: f64,
+    disabled_cycles_per_second: f64,
+    bit_identical: bool,
+    /// Per-configuration compiled vs interpreted throughput, in sweep
+    /// order.
+    per_config: Vec<ConfigJit>,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     host_threads: usize,
@@ -76,6 +120,7 @@ struct Report {
     cycles_per_second: f64,
     parallel: Vec<ParallelRun>,
     fast_forward: FastForwardRun,
+    jit: JitRun,
     bit_identical: bool,
     note: String,
 }
@@ -84,6 +129,7 @@ fn main() {
     let scale = scale_from_args();
     let args: Vec<String> = std::env::args().collect();
     let assert_fast_forward = args.iter().any(|a| a == "--assert-fast-forward");
+    let assert_jit_speedup = args.iter().any(|a| a == "--assert-jit-speedup");
     let output = args
         .iter()
         .position(|a| a == "-o" || a == "--output")
@@ -132,17 +178,24 @@ fn main() {
     let mut bit_identical = true;
     for workers in [1usize, 2, 4] {
         let start = Instant::now();
-        let points = par_explore_with(workers, &source);
+        let (points, stats) = par_explore_stats_with(workers, &source);
         let seconds = start.elapsed().as_secs_f64();
         bit_identical &= points == serial;
+        let worker_utilization = stats.utilization();
+        let min_utilization = worker_utilization.iter().copied().fold(1.0, f64::min);
         parallel.push(ParallelRun {
             workers,
             seconds,
             speedup_vs_serial: serial_seconds / seconds,
             cycles_per_second: simulated_cycles as f64 / seconds,
+            chunk: stats.chunk,
+            worker_items: stats.items.clone(),
+            worker_utilization,
+            min_utilization,
         });
         eprintln!(
-            "par_explore {workers}w: {seconds:.2}s ({:.2}x vs serial {serial_seconds:.2}s)",
+            "par_explore {workers}w: {seconds:.2}s ({:.2}x vs serial {serial_seconds:.2}s, \
+             min worker utilization {min_utilization:.2})",
             serial_seconds / seconds
         );
     }
@@ -192,6 +245,74 @@ fn main() {
     );
     bit_identical &= fast_forward.bit_identical;
 
+    // A/B the compiled trigger engine (`tia-jit`) over the serial
+    // sweep. PEs read TIA_JIT at construction and
+    // `run_uarch_workload` builds fresh PEs per measurement, so
+    // flipping the environment variable retimes the same workloads
+    // under the other engine. Per-configuration wall clock is captured
+    // inside the source so compiled vs interpreted throughput can be
+    // compared config by config.
+    let jit_times: Mutex<Vec<(String, u64, f64)>> = Mutex::new(Vec::new());
+    let mut timed_measure = |config: &UarchConfig| {
+        let start = Instant::now();
+        let run = run_uarch_workload(WorkloadKind::Bst, *config, scale);
+        jit_times.lock().expect("no poisoned times").push((
+            config.to_string(),
+            run.system_cycles,
+            start.elapsed().as_secs_f64(),
+        ));
+        activity_of(&run)
+    };
+    let prior = std::env::var("TIA_JIT").ok();
+    std::env::set_var("TIA_JIT", "1");
+    let start = Instant::now();
+    let jit_on = explore(&mut timed_measure);
+    let jit_enabled_seconds = start.elapsed().as_secs_f64();
+    let rows_on = std::mem::take(&mut *jit_times.lock().expect("no poisoned times"));
+    std::env::set_var("TIA_JIT", "0");
+    let start = Instant::now();
+    let jit_off = explore(&mut timed_measure);
+    let jit_disabled_seconds = start.elapsed().as_secs_f64();
+    let rows_off = std::mem::take(&mut *jit_times.lock().expect("no poisoned times"));
+    match prior {
+        Some(value) => std::env::set_var("TIA_JIT", value),
+        None => std::env::remove_var("TIA_JIT"),
+    }
+    let per_config: Vec<ConfigJit> = rows_on
+        .into_iter()
+        .zip(rows_off)
+        .map(
+            |((config, cycles, on_s), (config_off, cycles_off, off_s))| {
+                assert_eq!(config, config_off, "sweep orders must match");
+                assert_eq!(cycles, cycles_off, "simulated cycles must match");
+                ConfigJit {
+                    config,
+                    cycles,
+                    compiled_seconds: on_s,
+                    interpreted_seconds: off_s,
+                    compiled_cycles_per_second: cycles as f64 / on_s.max(f64::EPSILON),
+                    interpreted_cycles_per_second: cycles as f64 / off_s.max(f64::EPSILON),
+                    speedup: off_s / on_s.max(f64::EPSILON),
+                }
+            },
+        )
+        .collect();
+    let jit = JitRun {
+        enabled_seconds: jit_enabled_seconds,
+        disabled_seconds: jit_disabled_seconds,
+        speedup: jit_disabled_seconds / jit_enabled_seconds,
+        enabled_cycles_per_second: simulated_cycles as f64 / jit_enabled_seconds,
+        disabled_cycles_per_second: simulated_cycles as f64 / jit_disabled_seconds,
+        bit_identical: jit_on == serial && jit_off == serial,
+        per_config,
+    };
+    eprintln!(
+        "jit on {jit_enabled_seconds:.2}s vs off {jit_disabled_seconds:.2}s \
+         ({:.2}x, bit_identical = {})",
+        jit.speedup, jit.bit_identical
+    );
+    bit_identical &= jit.bit_identical;
+
     let report = Report {
         host_threads,
         scale: format!("{scale:?}"),
@@ -201,13 +322,17 @@ fn main() {
         cycles_per_second: simulated_cycles as f64 / serial_seconds,
         parallel,
         fast_forward,
+        jit,
         bit_identical,
         note: "Speedups are bounded by the measuring host's core count \
                (host_threads); on a single-core host all worker counts \
                degenerate to serial throughput and the figures record \
-               engine overhead, not scaling. The fast_forward block \
-               A/B-times the quiescence-aware fast-forward engine over \
-               the identical serial sweep."
+               engine overhead, not scaling (worker_utilization shows \
+               the scheduler's balance independently of core count). \
+               The fast_forward block A/B-times the quiescence-aware \
+               fast-forward engine, and the jit block the compiled \
+               trigger engine (tia-jit), over the identical serial \
+               sweep."
             .to_string(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -221,13 +346,33 @@ fn main() {
         report.bit_identical,
         "parallel or fast-forward exploration diverged from serial"
     );
+    // Both timing gates carry a small absolute slack on top of the
+    // relative margin: at test scale a whole sweep takes tens of
+    // milliseconds, where scheduler jitter alone exceeds any
+    // percentage bound. The slack is negligible at paper scale, so
+    // the relative margin still governs real regressions.
+    const GATE_SLACK_SECONDS: f64 = 0.05;
     if assert_fast_forward {
         assert!(
-            report.fast_forward.enabled_seconds <= report.fast_forward.disabled_seconds * 1.10,
+            report.fast_forward.enabled_seconds
+                <= report.fast_forward.disabled_seconds * 1.10 + GATE_SLACK_SECONDS,
             "fast-forward run is more than 10% slower than the baseline \
              ({:.3}s vs {:.3}s)",
             report.fast_forward.enabled_seconds,
             report.fast_forward.disabled_seconds,
+        );
+    }
+    if assert_jit_speedup {
+        assert!(
+            report.jit.bit_identical,
+            "compiled trigger engine diverged from the interpreter"
+        );
+        assert!(
+            report.jit.enabled_seconds <= report.jit.disabled_seconds * 1.05 + GATE_SLACK_SECONDS,
+            "compiled trigger engine is more than 5% slower than the \
+             interpreter ({:.3}s vs {:.3}s)",
+            report.jit.enabled_seconds,
+            report.jit.disabled_seconds,
         );
     }
 }

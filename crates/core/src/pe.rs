@@ -35,6 +35,7 @@ use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredId, PredState, Program, SrcOperand,
     Word, NUM_SRCS,
 };
+use tia_jit::CompiledProgram;
 use tia_trace::{
     ChannelPressure, EventKind, NullTracer, ProfCounters, ProfileSource, QueueDir, StallClass,
     StallInsight, Tracer,
@@ -137,6 +138,32 @@ impl SlotCacheEntry {
     }
 }
 
+/// A one-entry memo over the *whole* trigger scan: when the pipeline
+/// is empty, a stall outcome is a pure function of the predicate state
+/// and the queue epoch, so a repeat of both keys must repeat the same
+/// classified stall — no per-slot work at all. Subsumes the per-slot
+/// readiness cache on idle stretches (the common case in
+/// memory-latency-bound sweeps) while the per-slot cache still serves
+/// partial invalidations.
+#[derive(Debug, Clone, Copy)]
+struct ScanMemo {
+    valid: bool,
+    preds_bits: u32,
+    queue_epoch: u64,
+    class: CycleClass,
+}
+
+impl ScanMemo {
+    fn invalid() -> Self {
+        ScanMemo {
+            valid: false,
+            preds_bits: 0,
+            queue_epoch: 0,
+            class: CycleClass::NotTriggered,
+        }
+    }
+}
+
 /// A cycle-level triggered PE running one of the 32 microarchitecture
 /// variants.
 ///
@@ -218,6 +245,25 @@ pub struct UarchPe<T: Tracer = NullTracer> {
     /// ([`ProcessingElement::next_event_cycle`]) keys on.
     /// Non-architectural: never snapshotted, cleared on restore.
     last_stall: Option<CycleClass>,
+    /// The program's guards compiled to flat masks and a
+    /// predicate-state dispatch table (see [`tia_jit`]). Shared,
+    /// immutable, derived-only: rebuilt at construction, never
+    /// snapshotted.
+    compiled: Arc<CompiledProgram>,
+    /// Whether the compiled trigger engine drives the per-cycle scan
+    /// (`TIA_JIT`, default on; [`UarchPe::set_jit`]). Architecturally
+    /// transparent either way; debug builds cross-check every compiled
+    /// scan against the interpreted one.
+    jit_enabled: bool,
+    /// The whole-scan stall memo (see [`ScanMemo`]). Derived-only.
+    scan_memo: ScanMemo,
+    /// Per-input-queue in-flight dequeues not yet executed, hoisted
+    /// once per trigger phase instead of recounted per slot. Valid
+    /// only during the trigger scan of the current cycle.
+    pending_deq: [u8; 16],
+    /// Per-output-queue in-flight enqueues not yet committed, hoisted
+    /// once per trigger phase. Valid only during the trigger scan.
+    pending_enq: [u8; 16],
 }
 
 impl UarchPe {
@@ -258,6 +304,7 @@ impl<T: Tracer> UarchPe<T> {
             })
             .collect();
         let slot_cache = vec![SlotCacheEntry::invalid(); slot_gates.len()];
+        let compiled = Arc::new(CompiledProgram::compile(&program, params));
         Ok(UarchPe {
             regs: vec![0; params.num_regs],
             preds: PredState::new(),
@@ -298,6 +345,11 @@ impl<T: Tracer> UarchPe<T> {
             queue_fingerprint: 0,
             trigger_cache_enabled: true,
             last_stall: None,
+            compiled,
+            jit_enabled: tia_jit::jit_from_env(),
+            scan_memo: ScanMemo::invalid(),
+            pending_deq: [0; 16],
+            pending_enq: [0; 16],
         })
     }
 
@@ -311,6 +363,23 @@ impl<T: Tracer> UarchPe<T> {
         for entry in &mut self.slot_cache {
             *entry = SlotCacheEntry::invalid();
         }
+    }
+
+    /// Enables (or disables) the compiled trigger engine: the
+    /// predicate-state dispatch table and the whole-scan stall memo
+    /// (see [`tia_jit`]). On by default (`TIA_JIT=0` in the
+    /// environment disables it at construction). Architecturally
+    /// transparent either way — counters, traces and snapshots are
+    /// bit-identical, and debug builds cross-check every compiled scan
+    /// against the interpreted one.
+    pub fn set_jit(&mut self, enable: bool) {
+        self.jit_enabled = enable;
+        self.scan_memo = ScanMemo::invalid();
+    }
+
+    /// Whether the compiled trigger engine is active.
+    pub fn jit_enabled(&self) -> bool {
+        self.jit_enabled
     }
 
     /// Sets the PE id stamped on every emitted trace event (defaults
@@ -781,31 +850,41 @@ impl<T: Tracer> UarchPe<T> {
         self.in_flight[idx].d_done = true;
     }
 
-    /// In-flight dequeues not yet executed, per input queue.
-    fn pending_dequeues(&self, queue: usize) -> usize {
-        self.in_flight
-            .iter()
-            .filter(|f| !f.d_done)
-            .map(|f| {
-                self.instruction(f.slot)
-                    .dequeues
-                    .iter()
-                    .filter(|q| q.index() == queue)
-                    .count()
-            })
-            .sum()
+    /// Recounts the in-flight dequeue/enqueue pressure into the
+    /// per-queue arrays, once per trigger phase. The trigger scan used
+    /// to walk `in_flight` per slot per queue; hoisting turns every
+    /// [`Self::pending_dequeues`] call into an array read. Sound
+    /// because the scan is the only consumer and neither `in_flight`
+    /// nor any `d_done` flag changes between the hoist and the end of
+    /// the scan (decode and commit run in later phases).
+    fn hoist_pending(&mut self) {
+        let mut deq = [0u8; 16];
+        let mut enq = [0u8; 16];
+        for f in &self.in_flight {
+            let instruction = &self.program.instructions()[f.slot];
+            if !f.d_done {
+                for q in &instruction.dequeues {
+                    deq[q.index()] += 1;
+                }
+            }
+            if let Some(q) = instruction.enqueues() {
+                enq[q.index()] += 1;
+            }
+        }
+        self.pending_deq = deq;
+        self.pending_enq = enq;
     }
 
-    /// In-flight enqueues not yet committed, per output queue.
+    /// In-flight dequeues not yet executed, per input queue (hoisted —
+    /// see [`Self::hoist_pending`]).
+    fn pending_dequeues(&self, queue: usize) -> usize {
+        self.pending_deq[queue] as usize
+    }
+
+    /// In-flight enqueues not yet committed, per output queue (hoisted
+    /// — see [`Self::hoist_pending`]).
     fn pending_enqueues(&self, queue: usize) -> usize {
-        self.in_flight
-            .iter()
-            .filter(|f| {
-                self.instruction(f.slot)
-                    .enqueues()
-                    .is_some_and(|q| q.index() == queue)
-            })
-            .count()
+        self.pending_enq[queue] as usize
     }
 
     /// Predicate bits with in-flight datapath writes.
@@ -1061,6 +1140,59 @@ impl<T: Tracer> UarchPe<T> {
         }
     }
 
+    /// Stall-class priority rank (pred > forbidden > data).
+    fn stall_rank(status: SlotStatus) -> u8 {
+        match status {
+            SlotStatus::BlockedPred => 3,
+            SlotStatus::BlockedForbidden => 2,
+            SlotStatus::BlockedData => 1,
+            _ => 0,
+        }
+    }
+
+    /// The cycle class for a scan that issued nothing, from the best
+    /// stall rank seen.
+    fn rank_class(rank: u8) -> CycleClass {
+        match rank {
+            3 => CycleClass::PredicateHazard,
+            2 => CycleClass::Forbidden,
+            1 => CycleClass::DataHazard,
+            _ => CycleClass::NotTriggered,
+        }
+    }
+
+    /// Scans the given slots in order, issuing the first eligible one;
+    /// classifies the cycle otherwise. Both the interpreted full scan
+    /// and the dispatch-table candidate scan funnel through here.
+    fn scan_slots(&mut self, slots: impl Iterator<Item = usize>, pending_preds: u32) -> CycleClass {
+        let mut best_rank = 0u8;
+        for slot in slots {
+            let status = self.slot_status_fast(slot, pending_preds);
+            if status == SlotStatus::Eligible {
+                self.issue(slot);
+                return CycleClass::Issued;
+            }
+            best_rank = best_rank.max(Self::stall_rank(status));
+        }
+        Self::rank_class(best_rank)
+    }
+
+    /// Side-effect-free full interpreted scan, for debug cross-checks
+    /// of the compiled paths: the slot that would issue (if any) and
+    /// the best stall rank among the slots before it.
+    #[cfg(debug_assertions)]
+    fn debug_reference_scan(&self, pending_preds: u32) -> (Option<usize>, u8) {
+        let mut best_rank = 0u8;
+        for slot in 0..self.program.len() {
+            let (status, _) = self.compute_slot_status(slot, pending_preds);
+            if status == SlotStatus::Eligible {
+                return (Some(slot), best_rank);
+            }
+            best_rank = best_rank.max(Self::stall_rank(status));
+        }
+        (None, best_rank)
+    }
+
     /// The trigger stage: evaluate all triggers, issue at most one
     /// instruction, and classify the cycle.
     fn trigger_phase(&mut self) -> CycleClass {
@@ -1071,30 +1203,89 @@ impl<T: Tracer> UarchPe<T> {
             self.try_early_confirmation();
         }
         self.refresh_queue_epoch();
+        self.hoist_pending();
         let pending_preds = self.pending_predicates();
-        // Stall-class priority accumulator (pred > forbidden > data),
-        // replacing the per-cycle status vector.
-        let mut best_rank = 0u8;
-        for slot in 0..self.program.len() {
-            let status = self.slot_status_fast(slot, pending_preds);
-            if status == SlotStatus::Eligible {
-                self.issue(slot);
-                return CycleClass::Issued;
+
+        // Whole-scan stall memo: with an empty pipeline the scan is a
+        // pure function of (predicate state, queue epoch) — every busy
+        // or issuing cycle bumps the epoch, the fingerprint refresh
+        // above catches external traffic, and an empty pipeline pins
+        // the speculation stack (a writer stays in flight until its
+        // bit commits), so forbidden-instruction and interlock checks
+        // are deterministic too. A key match must repeat the stall.
+        if self.jit_enabled
+            && self.in_flight.is_empty()
+            && self.scan_memo.valid
+            && self.scan_memo.preds_bits == self.preds.bits()
+            && self.scan_memo.queue_epoch == self.queue_epoch
+        {
+            #[cfg(debug_assertions)]
+            {
+                let (slot, rank) = self.debug_reference_scan(pending_preds);
+                debug_assert_eq!(slot, None, "memoized stall would now issue slot {slot:?}");
+                debug_assert_eq!(
+                    Self::rank_class(rank),
+                    self.scan_memo.class,
+                    "memoized stall class diverges from a full re-scan"
+                );
             }
-            let rank = match status {
-                SlotStatus::BlockedPred => 3,
-                SlotStatus::BlockedForbidden => 2,
-                SlotStatus::BlockedData => 1,
-                _ => 0,
+            return self.scan_memo.class;
+        }
+
+        // Dispatch-table candidate scan: skip slots whose predicate
+        // pattern cannot match the current state. The skip is exact —
+        // statuses *and* stall-rank attribution — precisely when no
+        // pending datapath predicate write could still flip a pattern:
+        // with nothing pending, or under +P (where the speculative
+        // unit always supplies a value and `BlockedPred` cannot
+        // arise), a pattern-mismatched slot is `NotReady` (rank 0)
+        // either way. Otherwise `BlockedPred` needs the stable-bit
+        // analysis over *all* slots, so fall back to the full scan.
+        let compiled = Arc::clone(&self.compiled);
+        let candidates =
+            if self.jit_enabled && (pending_preds == 0 || self.config.predicate_prediction) {
+                compiled.candidates(self.preds)
+            } else {
+                None
             };
-            best_rank = best_rank.max(rank);
+
+        #[cfg(debug_assertions)]
+        let reference = candidates
+            .is_some()
+            .then(|| self.debug_reference_scan(pending_preds));
+
+        let class = match candidates {
+            Some(slots) => self.scan_slots(slots.iter().map(|&s| s as usize), pending_preds),
+            None => self.scan_slots(0..self.program.len(), pending_preds),
+        };
+
+        #[cfg(debug_assertions)]
+        if let Some((slot, rank)) = reference {
+            if class == CycleClass::Issued {
+                debug_assert_eq!(
+                    slot,
+                    self.in_flight.last().map(|f| f.slot),
+                    "dispatch table issued a different slot than the interpreter"
+                );
+            } else {
+                debug_assert_eq!(slot, None, "dispatch table missed an eligible slot");
+                debug_assert_eq!(
+                    Self::rank_class(rank),
+                    class,
+                    "dispatch table misclassified a stall"
+                );
+            }
         }
-        match best_rank {
-            3 => CycleClass::PredicateHazard,
-            2 => CycleClass::Forbidden,
-            1 => CycleClass::DataHazard,
-            _ => CycleClass::NotTriggered,
+
+        if self.jit_enabled && class != CycleClass::Issued && self.in_flight.is_empty() {
+            self.scan_memo = ScanMemo {
+                valid: true,
+                preds_bits: self.preds.bits(),
+                queue_epoch: self.queue_epoch,
+                class,
+            };
         }
+        class
     }
 
     fn issue(&mut self, slot: usize) {
@@ -1370,6 +1561,8 @@ impl<T: Tracer> UarchPe<T> {
         // The stall latch describes the pre-restore timeline; drop it
         // so fast-forwarding re-proves inertness after a real step.
         self.last_stall = None;
+        // So does the whole-scan stall memo.
+        self.scan_memo = ScanMemo::invalid();
         Ok(())
     }
 }

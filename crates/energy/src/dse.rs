@@ -346,17 +346,29 @@ pub fn par_explore<S: SyncCpiSource>(source: &S) -> Vec<DesignPoint> {
 /// [`par_explore`] with an explicit worker count, for scaling studies
 /// (the `dse_scaling` bench measures 1/2/4 workers side by side).
 pub fn par_explore_with<S: SyncCpiSource>(workers: usize, source: &S) -> Vec<DesignPoint> {
+    par_explore_stats_with(workers, source).0
+}
+
+/// [`par_explore_with`] returning the scheduler's per-worker
+/// [`tia_par::ParStats`] alongside the points, so scaling harnesses
+/// (`dse_bench`) can report worker utilization next to the measured
+/// speedup. The points are bit-identical to [`explore`].
+pub fn par_explore_stats_with<S: SyncCpiSource>(
+    workers: usize,
+    source: &S,
+) -> (Vec<DesignPoint>, tia_par::ParStats) {
     let configs = UarchConfig::all();
     let grid = operating_grid();
-    let per_config: Vec<Vec<DesignPoint>> = tia_par::par_map_with(workers, &configs, |config| {
-        let activity = source.measure(config);
-        sweep_config(config, activity, &grid)
-    });
+    let (per_config, stats): (Vec<Vec<DesignPoint>>, _) =
+        tia_par::par_map_stats_with(workers, &configs, |config| {
+            let activity = source.measure(config);
+            sweep_config(config, activity, &grid)
+        });
     let mut points = Vec::with_capacity(per_config.iter().map(Vec::len).sum());
     for chunk in per_config {
         points.extend(chunk);
     }
-    points
+    (points, stats)
 }
 
 #[cfg(test)]

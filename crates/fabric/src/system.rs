@@ -225,7 +225,30 @@ pub struct System<P> {
     /// part of [`SystemState`], so snapshots stay bit-identical with
     /// the engine on or off.
     ff_stats: FastForwardStats,
+    /// Consecutive *unproductive* idle-horizon probes: misses, plus
+    /// hits whose yield was below [`PROBE_YIELD_FLOOR`] (a probe is a
+    /// full-fabric scan; skipping a couple of cycles does not pay for
+    /// one). Non-architectural (probe scheduling only).
+    probe_misses: u32,
+    /// Idle cycles left before the next probe is allowed: exponential
+    /// backoff (`2^min(misses, 6)`) after consecutive unproductive
+    /// probes, so a compute-dense run with scattered short stalls does
+    /// not pay a full-fabric scan on every one of them. Only a
+    /// high-yield hit (≥ [`PROBE_YIELD_FLOOR`] cycles) resets it —
+    /// deliberately *not* any retiring cycle, because compute
+    /// interleaved with short stalls would then re-arm an immediate
+    /// probe per stall episode. The cap bounds the cost: a genuinely
+    /// idle phase steps at most 64 extra cycles before the probe that
+    /// bulk-skips it. Forgoing a probe only trades a bulk skip for
+    /// identical stepped cycles — bit-identity holds.
+    probe_cooldown: u64,
 }
+
+/// Probe yield (bulk-skipped cycles) below which a hit still feeds the
+/// exponential probe backoff: the skip is taken (those cycles are
+/// free), but the *next* probe is delayed, because a full-fabric
+/// quiescence scan costs more than stepping a handful of inert cycles.
+const PROBE_YIELD_FLOOR: u64 = 16;
 
 /// Effectiveness counters for the quiescence-aware fast-forward
 /// engine: how often the idle-horizon probe ran, how often it found a
@@ -243,6 +266,9 @@ pub struct FastForwardStats {
     /// Cycles advanced via [`System::skip_cycles`] rather than
     /// [`System::step`].
     pub skipped_cycles: u64,
+    /// Probes suppressed by the exponential unproductive-probe backoff
+    /// (idle cycles that would have probed without it).
+    pub suppressed_probes: u64,
 }
 
 /// Reads the `TIA_FAST_FORWARD` environment variable: unset or any
@@ -275,6 +301,8 @@ impl<P: ProcessingElement> System<P> {
             tracer: None,
             fast_forward: fast_forward_from_env(),
             ff_stats: FastForwardStats::default(),
+            probe_misses: 0,
+            probe_cooldown: 0,
         }
     }
 
@@ -413,6 +441,8 @@ impl<P: ProcessingElement> System<P> {
     /// knob exists for differential testing and benchmarking.
     pub fn set_fast_forward(&mut self, enable: bool) {
         self.fast_forward = enable;
+        self.probe_misses = 0;
+        self.probe_cooldown = 0;
     }
 
     /// Immutable access to a PE.
@@ -774,7 +804,25 @@ impl<P: ProcessingElement> System<P> {
                 return StopReason::Condition;
             }
             if retired_before == Some(self.total_retired()) {
+                // Exponential backoff after consecutive unproductive
+                // probes (see `probe_cooldown`): suppressed probes just
+                // step normally, which is bit-identical.
+                if self.probe_cooldown > 0 {
+                    self.probe_cooldown -= 1;
+                    self.ff_stats.suppressed_probes += 1;
+                    continue;
+                }
                 let skip = self.idle_horizon(end - self.cycle);
+                if skip >= PROBE_YIELD_FLOOR {
+                    // A high-yield probe earns eager probing.
+                    self.probe_misses = 0;
+                    self.probe_cooldown = 0;
+                } else {
+                    // A miss — or a hit that skipped less than a
+                    // full-fabric scan is worth — delays the next probe.
+                    self.probe_misses = self.probe_misses.saturating_add(1);
+                    self.probe_cooldown = 1u64 << self.probe_misses.min(6);
+                }
                 if skip > 0 {
                     self.skip_cycles(skip);
                     if condition(self) {

@@ -1,0 +1,305 @@
+//! `tia-jit` — ahead-of-time specialization of trigger programs.
+//!
+//! The paper's PE re-evaluates every trigger's predicate pattern, tag
+//! checks and queue guards each cycle; a faithful interpreter does the
+//! same, chasing `Instruction` fields (heap-allocated check and
+//! dequeue lists, enum-encoded operands) on every slot of every cycle.
+//! This crate translates a loaded [`Program`] **once** into a flat
+//! [`CompiledProgram`]:
+//!
+//! * predicate guards become bitmask match/expect pairs
+//!   ([`CompiledSlot::on_set`]/[`CompiledSlot::off_set`]) tested with
+//!   one `&`/`==` each against the packed predicate state;
+//! * per-trigger queue/tag guards are lowered to direct channel-slot
+//!   checks over a dense read-set bitmask and a fixed check list;
+//! * the per-cycle trigger scan is replaced by a **dispatch table**
+//!   indexed by the packed predicate state: for each of the
+//!   `2^num_preds` states, the program-order list of slots whose
+//!   pattern matches that state. A scan then touches only the slots
+//!   that could possibly fire under the current predicates — usually
+//!   one or two out of a whole program.
+//!
+//! The compiled form is *derived-only* state: simulators rebuild it
+//! from the program at construction, snapshots never contain it, and
+//! disabling it (`TIA_JIT=0`, [`jit_from_env`]) must be — and is
+//! differentially tested to be — bit-identical.
+
+#![warn(missing_docs)]
+
+use tia_isa::{Params, PredState, Program, Tag};
+
+/// Above this many predicate bits a full dispatch table (one entry per
+/// predicate state) is too large to precompute; [`CompiledProgram`]
+/// then keeps only the compiled guard sets and callers fall back to a
+/// linear scan.
+pub const TABLE_PRED_LIMIT: usize = 12;
+
+/// Reads the `TIA_JIT` environment toggle: unset (the default) or any
+/// value other than `0`/`false`/`off`/`no` enables the compiled
+/// trigger engine. Mirrors `tia_fabric::fast_forward_from_env`.
+pub fn jit_from_env() -> bool {
+    match std::env::var("TIA_JIT") {
+        Ok(value) => !matches!(
+            value.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// One lowered tag check: queue index, reference tag and polarity,
+/// stripped of the `InputId` wrapper so the hot loop indexes channels
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledCheck {
+    /// The input queue whose head tag is inspected.
+    pub queue: u8,
+    /// The reference tag.
+    pub tag: Tag,
+    /// Pass only when the head tag differs from `tag`.
+    pub negate: bool,
+}
+
+/// One instruction slot's guards, specialized to flat masks and
+/// indices at load time.
+#[derive(Debug, Clone)]
+pub struct CompiledSlot {
+    /// The slot's valid bit (invalid slots never appear in the
+    /// dispatch table, but the linear-scan fallback consults this).
+    pub valid: bool,
+    /// Predicate bits required on: `(preds & on_set) == on_set`.
+    pub on_set: u32,
+    /// Predicate bits required off: `(preds & off_set) == 0`.
+    pub off_set: u32,
+    /// Input queues that must be non-empty (operand reads ∪ dequeues),
+    /// deduplicated into one bitmask.
+    pub need_mask: u32,
+    /// Lowered tag checks (at most `MaxCheck`; built once, never
+    /// touched on the hot path except to iterate).
+    pub checks: Vec<CompiledCheck>,
+    /// The output queue needing capacity, if the slot enqueues.
+    pub out_queue: Option<u8>,
+    /// Input queues dequeued at execution, as a bitmask (exposed for
+    /// schedulers that account in-flight dequeues).
+    pub deq_mask: u32,
+}
+
+impl CompiledSlot {
+    /// Whether the predicate guard passes for the packed state `bits`.
+    #[inline]
+    pub fn pred_matches(&self, bits: u32) -> bool {
+        (bits & self.on_set) == self.on_set && (bits & self.off_set) == 0
+    }
+}
+
+/// The dispatch table: for every packed predicate state, the
+/// program-order slot indices whose predicate pattern matches it,
+/// stored as one flat `Vec<u16>` with per-state offset ranges.
+#[derive(Debug, Clone)]
+struct DispatchTable {
+    /// `offsets[s]..offsets[s + 1]` indexes `slots` for state `s`.
+    offsets: Vec<u32>,
+    slots: Vec<u16>,
+}
+
+/// A trigger program compiled to straight-line guard evaluation.
+///
+/// Construction is cheap (microseconds at paper scale) and done once
+/// per PE at load time; the result is immutable shared data. See the
+/// crate docs for the compilation model.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    slots: Vec<CompiledSlot>,
+    num_preds: usize,
+    table: Option<DispatchTable>,
+}
+
+impl CompiledProgram {
+    /// Compiles `program` under `params`. Both must already be
+    /// validated (simulators compile right after their own
+    /// validation).
+    pub fn compile(program: &Program, params: &Params) -> Self {
+        let slots: Vec<CompiledSlot> = program
+            .instructions()
+            .iter()
+            .map(|i| {
+                let mut need_mask = 0u32;
+                for q in i.input_operands() {
+                    need_mask |= 1 << q.index();
+                }
+                let mut deq_mask = 0u32;
+                for q in &i.dequeues {
+                    need_mask |= 1 << q.index();
+                    deq_mask |= 1 << q.index();
+                }
+                CompiledSlot {
+                    valid: i.valid,
+                    on_set: i.trigger.predicates.on_set(),
+                    off_set: i.trigger.predicates.off_set(),
+                    need_mask,
+                    checks: i
+                        .trigger
+                        .queue_checks
+                        .iter()
+                        .map(|c| CompiledCheck {
+                            queue: c.queue.index() as u8,
+                            tag: c.tag,
+                            negate: c.negate,
+                        })
+                        .collect(),
+                    out_queue: i.enqueues().map(|q| q.index() as u8),
+                    deq_mask,
+                }
+            })
+            .collect();
+
+        let table = (params.num_preds <= TABLE_PRED_LIMIT).then(|| {
+            let states = 1usize << params.num_preds;
+            let mut offsets = Vec::with_capacity(states + 1);
+            let mut flat = Vec::new();
+            offsets.push(0u32);
+            for state in 0..states as u32 {
+                for (slot, c) in slots.iter().enumerate() {
+                    if c.valid && c.pred_matches(state) {
+                        flat.push(slot as u16);
+                    }
+                }
+                offsets.push(flat.len() as u32);
+            }
+            DispatchTable {
+                offsets,
+                slots: flat,
+            }
+        });
+
+        CompiledProgram {
+            slots,
+            num_preds: params.num_preds,
+            table,
+        }
+    }
+
+    /// The compiled guard set for one slot.
+    #[inline]
+    pub fn slot(&self, slot: usize) -> &CompiledSlot {
+        &self.slots[slot]
+    }
+
+    /// All compiled slots, in program order.
+    pub fn slots(&self) -> &[CompiledSlot] {
+        &self.slots
+    }
+
+    /// Whether a dispatch table was built (it is skipped above
+    /// [`TABLE_PRED_LIMIT`] predicate bits).
+    pub fn has_table(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// The program-order candidate slots for predicate state `preds`:
+    /// exactly the valid slots whose pattern matches. `None` when no
+    /// table was built (fall back to a full scan).
+    #[inline]
+    pub fn candidates(&self, preds: PredState) -> Option<&[u16]> {
+        let table = self.table.as_ref()?;
+        let state = (preds.bits() & ((1u32 << self.num_preds) - 1)) as usize;
+        let lo = table.offsets[state] as usize;
+        let hi = table.offsets[state + 1] as usize;
+        Some(&table.slots[lo..hi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tia_asm::assemble;
+
+    fn compile(src: &str) -> (CompiledProgram, Program, Params) {
+        let params = Params::default();
+        let program = assemble(src, &params).expect("test program assembles");
+        (CompiledProgram::compile(&program, &params), program, params)
+    }
+
+    #[test]
+    fn candidates_match_the_interpreted_predicate_guard() {
+        let (compiled, program, params) = compile(
+            "when %p == XXXXXXX0: add %r0, %r0, 1; set %p = ZZZZZZZ1;\n\
+             when %p == XXXXXXX1: mov %r1, %r0;\n\
+             when %p == XXXXXX11: halt;",
+        );
+        assert!(compiled.has_table());
+        for state in 0..1u32 << params.num_preds {
+            let preds = PredState::from_bits(state);
+            let expected: Vec<u16> = program
+                .instructions()
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| i.valid && i.trigger.predicates.matches(preds))
+                .map(|(slot, _)| slot as u16)
+                .collect();
+            assert_eq!(
+                compiled.candidates(preds).expect("table built"),
+                expected.as_slice(),
+                "state {state:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_masks_mirror_the_instruction() {
+        let (compiled, program, _) =
+            compile("when %p == XXXXXXXX with %i0.1, %i3.!0: add %o1.2, %i0, %i3; deq %i0, %i3;");
+        let c = compiled.slot(0);
+        let i = &program.instructions()[0];
+        assert!(c.valid);
+        assert_eq!(c.on_set, i.trigger.predicates.on_set());
+        assert_eq!(c.off_set, i.trigger.predicates.off_set());
+        assert_eq!(c.need_mask, 0b1001, "operands and dequeues dedup");
+        assert_eq!(c.deq_mask, 0b1001);
+        assert_eq!(c.out_queue, Some(1));
+        assert_eq!(c.checks.len(), 2);
+        assert_eq!(c.checks[0].queue, 0);
+        assert!(!c.checks[0].negate);
+        assert_eq!(c.checks[1].queue, 3);
+        assert!(c.checks[1].negate);
+    }
+
+    #[test]
+    fn wide_predicate_files_skip_the_table() {
+        let mut params = Params::default();
+        params.num_preds = TABLE_PRED_LIMIT;
+        let program = assemble(
+            &format!("when %p == {}: halt;", "X".repeat(TABLE_PRED_LIMIT)),
+            &params,
+        )
+        .unwrap();
+        let narrow = CompiledProgram::compile(&program, &params);
+        assert!(narrow.has_table(), "the limit itself still fits");
+        params.num_preds = 16;
+        let program = assemble(&format!("when %p == {}: halt;", "X".repeat(16)), &params).unwrap();
+        let wide = CompiledProgram::compile(&program, &params);
+        assert!(!wide.has_table(), "2^16 states exceeds the table gate");
+        assert!(wide.candidates(PredState::new()).is_none());
+    }
+
+    #[test]
+    fn env_toggle_defaults_on_and_recognizes_off_spellings() {
+        // Note: avoids mutating the process environment (tests run
+        // concurrently); exercises the parse through a helper.
+        for (value, expect) in [
+            ("0", false),
+            ("false", false),
+            ("OFF", false),
+            ("no", false),
+            ("1", true),
+            ("on", true),
+            ("yes", true),
+        ] {
+            let parsed = !matches!(
+                value.trim().to_ascii_lowercase().as_str(),
+                "0" | "false" | "off" | "no"
+            );
+            assert_eq!(parsed, expect, "{value}");
+        }
+    }
+}

@@ -39,6 +39,60 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-worker effectiveness of one parallel map: how many items each
+/// worker claimed and how long it spent executing them, plus the wall
+/// clock of the whole map. Benchmark harnesses (`dse_bench`) report
+/// these so scaling results can be explained by data — a sweep whose
+/// slowest worker is busy 95% of the wall clock is balance-limited by
+/// physics, not by the scheduler; one at 50% points at chunking.
+#[derive(Debug, Clone, Default)]
+pub struct ParStats {
+    /// Workers actually spawned (after clamping to the item count).
+    pub workers: usize,
+    /// The cursor claim granularity used.
+    pub chunk: usize,
+    /// Items executed per worker.
+    pub items: Vec<usize>,
+    /// Time each worker spent inside `f` (not waiting on the cursor or
+    /// the deposit lock).
+    pub busy: Vec<Duration>,
+    /// Wall-clock time of the whole map.
+    pub elapsed: Duration,
+}
+
+impl ParStats {
+    /// Per-worker utilization: busy time over wall-clock time, in
+    /// `[0, 1]` (0 for a zero-length run).
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.elapsed.as_secs_f64();
+        self.busy
+            .iter()
+            .map(|b| {
+                if wall > 0.0 {
+                    (b.as_secs_f64() / wall).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// The cursor claim granularity for `items` across `workers`: one item
+/// at a time for small batches of expensive items (a design-space
+/// sweep hands out 32 cycle-accurate simulations — batching two behind
+/// one worker serializes the tail and caps 4-worker speedup well below
+/// the core count), falling back to coarser chunks only when the item
+/// count is large enough that per-claim atomic traffic could matter.
+fn chunk_for(items: usize, workers: usize) -> usize {
+    if items <= workers * 32 {
+        1
+    } else {
+        (items / (workers * 8)).max(1)
+    }
+}
 
 /// The environment variable capping the worker pool size.
 pub const THREADS_ENV: &str = "TIA_THREADS";
@@ -91,26 +145,60 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_stats_with(workers, items, f).0
+}
+
+/// [`par_map_with`] returning per-worker [`ParStats`] alongside the
+/// results. The results are identical to [`par_map_with`] (and to the
+/// serial map); the stats are observability only.
+///
+/// # Panics
+///
+/// Re-raises the panic of the lowest-indexed item whose `f` call
+/// panicked, after all workers have stopped.
+pub fn par_map_stats_with<T, R, F>(workers: usize, items: &[T], f: F) -> (Vec<R>, ParStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let started = Instant::now();
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
         // The degenerate pool: no threads, no atomics, same results.
-        return items.iter().map(f).collect();
+        let results: Vec<R> = items.iter().map(f).collect();
+        let elapsed = started.elapsed();
+        return (
+            results,
+            ParStats {
+                workers: 1,
+                chunk: items.len().max(1),
+                items: vec![items.len()],
+                busy: vec![elapsed],
+                elapsed,
+            },
+        );
     }
 
     // Workers claim `chunk`-sized runs of indices from a shared
-    // cursor — cheap dynamic load balancing without per-item atomic
-    // traffic when items are small.
-    let chunk = (items.len() / (workers * 4)).max(1);
+    // cursor — cheap dynamic load balancing (see [`chunk_for`]).
+    let chunk = chunk_for(items.len(), workers);
     let cursor = AtomicUsize::new(0);
     // Each worker accumulates (index, result) pairs locally and
     // deposits them once at the end, so the lock is uncontended.
     let deposits: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+    let worker_stats: Mutex<Vec<(usize, usize, Duration)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        // `move` closures capture these shared references by copy and
+        // the worker index by value.
+        let (cursor, deposits, panics, worker_stats, f) =
+            (&cursor, &deposits, &panics, &worker_stats, &f);
+        for w in 0..workers {
+            scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
+                let mut busy = Duration::ZERO;
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= items.len() {
@@ -118,8 +206,12 @@ where
                     }
                     let end = (start + chunk).min(items.len());
                     for (i, item) in items[start..end].iter().enumerate() {
+                        let item_started = Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                            Ok(r) => local.push((start + i, r)),
+                            Ok(r) => {
+                                busy += item_started.elapsed();
+                                local.push((start + i, r));
+                            }
                             Err(payload) => {
                                 panics.lock().unwrap().push((start + i, payload));
                                 // Drain the cursor so every worker
@@ -130,6 +222,7 @@ where
                         }
                     }
                 }
+                worker_stats.lock().unwrap().push((w, local.len(), busy));
                 deposits.lock().unwrap().append(&mut local);
             });
         }
@@ -144,7 +237,17 @@ where
     let mut pairs = deposits.into_inner().unwrap();
     debug_assert_eq!(pairs.len(), items.len(), "every item produced a result");
     pairs.sort_by_key(|(i, _)| *i);
-    pairs.into_iter().map(|(_, r)| r).collect()
+
+    let mut per_worker = worker_stats.into_inner().unwrap();
+    per_worker.sort_by_key(|(w, _, _)| *w);
+    let stats = ParStats {
+        workers,
+        chunk,
+        items: per_worker.iter().map(|(_, n, _)| *n).collect(),
+        busy: per_worker.iter().map(|(_, _, b)| *b).collect(),
+        elapsed: started.elapsed(),
+    };
+    (pairs.into_iter().map(|(_, r)| r).collect(), stats)
 }
 
 /// Runs `f` on every item for its side effects, fanned across
@@ -245,6 +348,36 @@ mod tests {
             let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
             assert_eq!(message, "boom at 5");
         }
+    }
+
+    #[test]
+    fn stats_account_for_every_item_and_bound_utilization() {
+        let items: Vec<u64> = (0..64).collect();
+        let (got, stats) = par_map_stats_with(4, &items, |&x| x + 1);
+        assert_eq!(got, (1..=64).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.chunk, 1, "few items steal one at a time");
+        assert_eq!(stats.items.len(), 4);
+        assert_eq!(stats.busy.len(), 4);
+        assert_eq!(stats.items.iter().sum::<usize>(), items.len());
+        for u in stats.utilization() {
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        }
+    }
+
+    #[test]
+    fn serial_stats_describe_one_fully_busy_worker() {
+        let items: Vec<u64> = (0..5).collect();
+        let (got, stats) = par_map_stats_with(1, &items, |&x| x * 2);
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.items, vec![5]);
+    }
+
+    #[test]
+    fn large_batches_still_use_coarse_chunks() {
+        assert_eq!(chunk_for(32, 4), 1, "the DSE shape steals singly");
+        assert!(chunk_for(100_000, 4) > 1, "huge batches amortize claims");
     }
 
     #[test]

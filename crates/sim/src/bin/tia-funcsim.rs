@@ -94,6 +94,7 @@ struct Options {
     resume: Option<String>,
     watchdog: Option<u64>,
     fast_forward: bool,
+    jit: bool,
 }
 
 /// Everything beyond the PE itself that the simulation loop carries:
@@ -154,6 +155,7 @@ fn parse_args() -> Result<Options, String> {
     let mut resume = None;
     let mut watchdog = None;
     let mut fast_forward = tia_fabric::fast_forward_from_env();
+    let mut jit = tia_jit::jit_from_env();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--params" => {
@@ -217,6 +219,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--resume" => resume = Some(args.next().ok_or("--resume needs a file")?),
             "--no-fast-forward" => fast_forward = false,
+            "--no-jit" => jit = false,
             "--watchdog" => {
                 let window: u64 = args
                     .next()
@@ -237,7 +240,7 @@ fn parse_args() -> Result<Options, String> {
                             [--cpi-window N] [--profile] [--profile-out FILE] \
                             [--checkpoint-every N] \
                             [--checkpoint-out FILE] [--resume FILE] \
-                            [--watchdog N] [--no-fast-forward] <program>"
+                            [--watchdog N] [--no-fast-forward] [--no-jit] <program>"
                         .to_string(),
                 )
             }
@@ -309,6 +312,7 @@ fn parse_args() -> Result<Options, String> {
         resume,
         watchdog,
         fast_forward,
+        jit,
     })
 }
 
@@ -375,6 +379,7 @@ fn simulate<T: Tracer>(
     tracer: T,
 ) -> Result<SimOutcome<T>, String> {
     let mut pe = FuncPe::with_tracer(&opts.params, program, tracer).map_err(|e| e.to_string())?;
+    pe.set_jit(opts.jit);
     for (queue, tokens) in &opts.inputs {
         for token in tokens {
             if !pe.input_queue_mut(*queue).push(*token) {

@@ -15,6 +15,7 @@ use tia_isa::{
     alu, DstOperand, Instruction, IsaError, Op, Params, PredState, Program, SrcOperand, Word,
     NUM_SRCS,
 };
+use tia_jit::CompiledProgram;
 use tia_trace::{
     ChannelPressure, EventKind, NullTracer, ProfCounters, ProfileSource, QueueDir, StallClass,
     StallInsight, Tracer,
@@ -78,6 +79,15 @@ pub struct FuncPe<T: Tracer = NullTracer> {
     /// An unchanged sum proves no external traffic has touched the
     /// queues since, so the trigger outcome cannot have changed.
     queue_epoch: u64,
+    /// The program's guards compiled to flat masks and a
+    /// predicate-state dispatch table (see [`tia_jit`]). Derived-only:
+    /// rebuilt from the program at construction, never snapshotted.
+    compiled: CompiledProgram,
+    /// Whether the compiled trigger engine drives the per-cycle scan
+    /// (`TIA_JIT`, default on). Architecturally transparent either
+    /// way; debug builds cross-check every compiled scan against the
+    /// interpreted one.
+    jit_enabled: bool,
 }
 
 impl FuncPe {
@@ -102,6 +112,7 @@ impl<T: Tracer> FuncPe<T> {
     pub fn with_tracer(params: &Params, program: Program, tracer: T) -> Result<Self, IsaError> {
         params.validate()?;
         program.validate(params)?;
+        let compiled = CompiledProgram::compile(&program, params);
         Ok(FuncPe {
             regs: vec![0; params.num_regs],
             preds: PredState::new(),
@@ -121,7 +132,22 @@ impl<T: Tracer> FuncPe<T> {
             program: Arc::new(program),
             last_idle: false,
             queue_epoch: 0,
+            compiled,
+            jit_enabled: tia_jit::jit_from_env(),
         })
+    }
+
+    /// Enables (or disables) the compiled trigger engine. On by
+    /// default (subject to `TIA_JIT`); disabling falls back to the
+    /// interpreted per-slot scan — bit-identical by construction,
+    /// useful for A/B benchmarking and differential tests.
+    pub fn set_jit(&mut self, enable: bool) {
+        self.jit_enabled = enable;
+    }
+
+    /// Whether the compiled trigger engine is active.
+    pub fn jit_enabled(&self) -> bool {
+        self.jit_enabled
     }
 
     /// Sets the PE id stamped on every emitted trace event (defaults
@@ -285,6 +311,70 @@ impl<T: Tracer> FuncPe<T> {
         (0..self.program.len()).find(|&slot| self.eligible(slot))
     }
 
+    /// The queue-side guards of one compiled slot: tag checks, operand
+    /// availability, output capacity. The caller has already settled
+    /// the predicate guard through the dispatch table.
+    fn compiled_queue_ready(&self, slot: usize) -> bool {
+        let c = self.compiled.slot(slot);
+        for check in &c.checks {
+            match self.inputs[check.queue as usize].peek() {
+                None => return false,
+                Some(head) => {
+                    if (head.tag == check.tag) == check.negate {
+                        return false;
+                    }
+                }
+            }
+        }
+        let mut need = c.need_mask;
+        while need != 0 {
+            let q = need.trailing_zeros() as usize;
+            need &= need - 1;
+            if self.inputs[q].is_empty() {
+                return false;
+            }
+        }
+        if let Some(q) = c.out_queue {
+            if self.outputs[q as usize].is_full() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// [`FuncPe::triggered_slot`] through the compiled engine: a
+    /// quiescence short-circuit (the previous step idled and no queue
+    /// has been touched since, so rescanning is provably futile), then
+    /// the dispatch table narrows the scan to the slots whose
+    /// predicate pattern matches the current state. Falls back to the
+    /// interpreted scan when disabled or when no table was built.
+    fn triggered_slot_hot(&self) -> Option<usize> {
+        if !self.jit_enabled {
+            return self.triggered_slot();
+        }
+        if self.last_idle && self.queue_version_sum() == self.queue_epoch {
+            debug_assert_eq!(
+                self.triggered_slot(),
+                None,
+                "a quiescent PE re-derived a trigger"
+            );
+            return None;
+        }
+        let Some(candidates) = self.compiled.candidates(self.preds) else {
+            return self.triggered_slot();
+        };
+        let slot = candidates
+            .iter()
+            .map(|&s| s as usize)
+            .find(|&s| self.compiled_queue_ready(s));
+        debug_assert_eq!(
+            slot,
+            self.triggered_slot(),
+            "compiled trigger scan diverges from the interpreter"
+        );
+        slot
+    }
+
     /// Advances one cycle: triggers and atomically executes at most one
     /// instruction. Returns the retired slot, if any.
     pub fn step_cycle(&mut self) -> Option<usize> {
@@ -292,7 +382,7 @@ impl<T: Tracer> FuncPe<T> {
             return None;
         }
         self.counters.cycles += 1;
-        let Some(slot) = self.triggered_slot() else {
+        let Some(slot) = self.triggered_slot_hot() else {
             self.counters.idle += 1;
             // The trigger outcome is a pure function of predicates and
             // queue contents; an idle cycle changes neither, so the PE

@@ -26,6 +26,10 @@
 //! * [`prof`] — the hierarchical cycle-stack profiler: per-PE cycle
 //!   attribution (every cycle lands in exactly one taxonomy leaf),
 //!   cross-PE critical-path analysis, and bottleneck labels.
+//! * [`jit`] — ahead-of-time trigger-program specialization: guard
+//!   bitmasks and a predicate-state dispatch table that both
+//!   simulators use for their per-cycle trigger scan (`TIA_JIT=0`
+//!   opts out; bit-identical either way).
 //!
 //! # Examples
 //!
@@ -65,6 +69,7 @@ pub use tia_core as core;
 pub use tia_energy as energy;
 pub use tia_fabric as fabric;
 pub use tia_isa as isa;
+pub use tia_jit as jit;
 pub use tia_lint as lint;
 pub use tia_prof as prof;
 pub use tia_sim as sim;
