@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! tia-as [--params params.json] [--disassemble] [--check]
-//!        [--lint] [--deny-warnings] [--lint-format human|json]
-//!        <input> [-o <output>]
+//!        [--lint] [--verify] [--deny-warnings]
+//!        [--lint-format human|json] <input> [-o <output>]
 //! ```
 //!
 //! Assembles triggered-instruction assembly to the padded 128-bit
@@ -19,6 +19,14 @@
 //! `--deny-warnings` (which implies `--lint`) promotes warnings to
 //! failures too. `--lint-format json` emits the machine-readable
 //! report on stdout instead of human-readable lines on stderr.
+//!
+//! `--verify` additionally runs the `tia-verify` model checker on the
+//! program closed with a friendly environment (a source feeding every
+//! used input queue, a sink draining every used output queue): the
+//! verdict is either an exhaustive deadlock-freedom proof or a
+//! counterexample. Error-level verifier findings fail the run. Under
+//! `--lint-format json` the reports share one stdout object
+//! (`{"lint": ..., "verify": ...}`) when both analyses run.
 
 use std::fs;
 use std::process::ExitCode;
@@ -40,6 +48,7 @@ struct Options {
     disassemble: bool,
     check: bool,
     lint: bool,
+    verify: bool,
     deny_warnings: bool,
     lint_format: LintFormat,
 }
@@ -52,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
     let mut dis = false;
     let mut check = false;
     let mut lint = false;
+    let mut verify = false;
     let mut deny_warnings = false;
     let mut lint_format = LintFormat::Human;
     while let Some(arg) = args.next() {
@@ -68,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
             "--disassemble" | "-d" => dis = true,
             "--check" => check = true,
             "--lint" => lint = true,
+            "--verify" => verify = true,
             "--deny-warnings" => deny_warnings = true,
             "--lint-format" => {
                 let format = args.next().ok_or("--lint-format needs human|json")?;
@@ -80,8 +91,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: tia-as [--params params.json] [--disassemble] [--check] \
-                            [--lint] [--deny-warnings] [--lint-format human|json] \
-                            <input> [-o <output>]"
+                            [--lint] [--verify] [--deny-warnings] \
+                            [--lint-format human|json] <input> [-o <output>]"
                         .to_string(),
                 )
             }
@@ -101,37 +112,81 @@ fn parse_args() -> Result<Options, String> {
         check,
         // Denying warnings without linting would be a no-op trap.
         lint: lint || deny_warnings,
+        verify,
         deny_warnings,
         lint_format,
     })
 }
 
-/// Runs the analyzer and reports its findings; `Err` when error-level
-/// findings exist, or warning-level ones under `--deny-warnings`.
-fn run_lint(opts: &Options, program: &Program, spans: &[Span]) -> Result<(), String> {
-    let report = tia_lint::lint_program_with_spans(program, &opts.params, spans);
+/// Runs the requested static analyses — the lint, the model checker,
+/// or both — and reports their findings; `Err` when error-level
+/// findings exist, or warning-level lint ones under `--deny-warnings`.
+fn run_analyses(opts: &Options, program: &Program, spans: &[Span]) -> Result<(), String> {
+    let lint = opts
+        .lint
+        .then(|| tia_lint::lint_program_with_spans(program, &opts.params, spans));
+    let verify = opts
+        .verify
+        .then(|| tia_verify::verify_program(program, &opts.params));
     match opts.lint_format {
         LintFormat::Human => {
-            for diagnostic in &report.diagnostics {
-                eprintln!("{}", diagnostic.render(Some(&opts.input)));
+            if let Some(report) = &lint {
+                for diagnostic in &report.diagnostics {
+                    eprintln!("{}", diagnostic.render(Some(&opts.input)));
+                }
+            }
+            if let Some(report) = &verify {
+                eprint!("{}", report.render(Some(&opts.input)));
             }
         }
-        LintFormat::Json => print!("{}", report.to_json()),
-    }
-    let errors = report.error_count();
-    let warnings = report.warning_count();
-    if errors > 0 || (opts.deny_warnings && warnings > 0) {
-        Err(format!(
-            "lint failed: {errors} error(s), {warnings} warning(s){}",
-            if opts.deny_warnings {
-                " (warnings denied)"
-            } else {
-                ""
+        // One object owns stdout: the plain lint report when only
+        // `--lint` ran (the original schema), the plain verify report
+        // when only `--verify` ran, a combined object when both did.
+        LintFormat::Json => match (&lint, &verify) {
+            (Some(l), None) => print!("{}", l.to_json()),
+            (None, Some(v)) => print!("{}", v.to_json()),
+            (Some(l), Some(v)) => {
+                let combined = serde::Value::Object(vec![
+                    ("lint".to_string(), l.to_value()),
+                    ("verify".to_string(), v.to_value()),
+                ]);
+                print!(
+                    "{}",
+                    serde_json::to_string_pretty(&combined)
+                        .expect("report serialization is infallible")
+                );
             }
-        ))
-    } else {
-        Ok(())
+            (None, None) => {}
+        },
     }
+    if let Some(report) = &lint {
+        let errors = report.error_count();
+        let warnings = report.warning_count();
+        if errors > 0 || (opts.deny_warnings && warnings > 0) {
+            return Err(format!(
+                "lint failed: {errors} error(s), {warnings} warning(s){}",
+                if opts.deny_warnings {
+                    " (warnings denied)"
+                } else {
+                    ""
+                }
+            ));
+        }
+    }
+    if let Some(report) = &verify {
+        let errors = report
+            .findings
+            .iter()
+            .filter(|f| f.level == tia_lint::Level::Error)
+            .count();
+        if errors > 0 {
+            return Err(format!(
+                "verify failed: {errors} error-level finding(s) — {}",
+                report.verdict()
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn images_to_text(program: &Program, params: &Params) -> Result<String, String> {
@@ -165,15 +220,15 @@ fn run() -> Result<(), String> {
 
     let rendered = if opts.disassemble {
         let program = text_to_program(&text, &opts.params)?;
-        if opts.lint {
+        if opts.lint || opts.verify {
             // Images carry no source positions; lint without spans.
-            run_lint(&opts, &program, &[])?;
+            run_analyses(&opts, &program, &[])?;
         }
         disassemble(&program, &opts.params)
     } else {
         let (program, positions) =
             assemble_with_spans(&text, &opts.params).map_err(|e| e.to_string())?;
-        if opts.lint {
+        if opts.lint || opts.verify {
             let spans: Vec<Span> = positions
                 .iter()
                 .map(|p| Span {
@@ -181,7 +236,7 @@ fn run() -> Result<(), String> {
                     column: p.column,
                 })
                 .collect();
-            run_lint(&opts, &program, &spans)?;
+            run_analyses(&opts, &program, &spans)?;
         }
         if opts.check {
             eprintln!(
@@ -193,7 +248,10 @@ fn run() -> Result<(), String> {
             );
             return Ok(());
         }
-        if opts.lint && opts.lint_format == LintFormat::Json && opts.output.is_none() {
+        if (opts.lint || opts.verify)
+            && opts.lint_format == LintFormat::Json
+            && opts.output.is_none()
+        {
             // The JSON report owns stdout; don't interleave images.
             return Ok(());
         }

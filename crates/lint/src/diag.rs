@@ -70,6 +70,21 @@ pub enum Check {
     /// Channel dependency cycle that can deadlock under conservative
     /// (non-+Q) queue accounting.
     ChannelDeadlock,
+    /// Model checker reached a state where no PE can ever fire again
+    /// while tokens are still buffered (tia-verify).
+    FabricDeadlock,
+    /// Model checker reached a tokenless fixed point with unhalted PEs
+    /// — the quiescent hang the runtime watchdog flags (tia-verify).
+    FabricQuiescence,
+    /// Model checker filled an undrained output queue to capacity —
+    /// unbounded backpressure wedges the producer (tia-verify).
+    ChannelOverflow,
+    /// Model checker found a reachable state from which one PE can
+    /// never fire again (tia-verify liveness).
+    PeStarvation,
+    /// A producer can emit a tag no consumer trigger accepts; the token
+    /// wedges at the queue head forever (tia-verify).
+    TagProtocolHazard,
 }
 
 impl Check {
@@ -89,6 +104,11 @@ impl Check {
             Check::UnconnectedInput => "unconnected-input",
             Check::UnconnectedOutput => "unconnected-output",
             Check::ChannelDeadlock => "channel-deadlock",
+            Check::FabricDeadlock => "fabric-deadlock",
+            Check::FabricQuiescence => "fabric-quiescence",
+            Check::ChannelOverflow => "channel-overflow",
+            Check::PeStarvation => "pe-starvation",
+            Check::TagProtocolHazard => "tag-protocol-hazard",
         }
     }
 }

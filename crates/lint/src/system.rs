@@ -165,18 +165,36 @@ pub fn lint_system(programs: &[Program], params: &Params, links: &[Link]) -> Vec
 
     for cycle in find_cycles(&edges) {
         let path: Vec<String> = cycle.iter().map(|&i| describe_link(&links[i])).collect();
+        // A single-link component is a PE feeding itself: the wait is
+        // local, not a multi-PE protocol problem, and the fix (seed a
+        // token, or break the self-edge) is different — say so.
+        let message = if cycle.len() == 1 {
+            let pe = match links[cycle[0]].from {
+                OutputRef::Pe { pe, .. } => format!("pe{pe}"),
+                _ => "the endpoint".to_string(),
+            };
+            format!(
+                "self-loop channel dependency: {pe} feeds its own input and must consume \
+                 a token before it can produce one, so an unseeded queue wedges it forever \
+                 [{}]",
+                path.join("; ")
+            )
+        } else {
+            format!(
+                "channel dependency cycle across {} channels under conservative (non-+Q) \
+                 accounting: every token on the cycle waits for one produced after it \
+                 [{}]",
+                cycle.len(),
+                path.join("; ")
+            )
+        };
         out.push(Diagnostic {
             level: Level::Warning,
             check: Check::ChannelDeadlock,
             pe: None,
             slot: None,
             span: None,
-            message: format!(
-                "channel dependency cycle under conservative (non-+Q) accounting: \
-                 every token on the cycle waits for one produced after it \
-                 [{}]",
-                path.join("; ")
-            ),
+            message,
         });
     }
 
@@ -332,6 +350,36 @@ mod tests {
         assert!(
             diags.iter().any(|d| d.check == Check::ChannelDeadlock),
             "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn self_loop_and_multi_pe_cycles_get_distinct_diagnostics() {
+        // Regression: the Tarjan pass used to emit one fixed message
+        // for every cyclic component. A PE feeding itself is a local
+        // seeding problem and must be called out as such.
+        let params = Params::default();
+
+        let self_loop = lint_system(&[relay(&params)], &params, &[pe_link(0, 0, 0, 0)]);
+        let d = self_loop
+            .iter()
+            .find(|d| d.check == Check::ChannelDeadlock)
+            .expect("self-loop cycle reported");
+        assert!(
+            d.message.contains("self-loop") && d.message.contains("pe0 feeds its own input"),
+            "{d:?}"
+        );
+
+        let programs = vec![relay(&params), relay(&params)];
+        let links = vec![pe_link(0, 0, 1, 0), pe_link(1, 0, 0, 0)];
+        let ring = lint_system(&programs, &params, &links);
+        let d = ring
+            .iter()
+            .find(|d| d.check == Check::ChannelDeadlock)
+            .expect("ring cycle reported");
+        assert!(
+            !d.message.contains("self-loop") && d.message.contains("across 2 channels"),
+            "{d:?}"
         );
     }
 

@@ -3,7 +3,8 @@
 //! streams and prints its architectural results.
 //!
 //! ```text
-//! tia-funcsim [--params params.json] [--hex] [--lint] [--max-cycles N]
+//! tia-funcsim [--params params.json] [--hex] [--lint] [--verify]
+//!             [--lint-format human|json] [--max-cycles N]
 //!             [--in Q:v1,v2,...] [--stream Q:v1,v2,...@P]
 //!             [--trace-out FILE] [--trace-format chrome|jsonl]
 //!             [--metrics-out FILE] [--cpi-window N]
@@ -12,7 +13,15 @@
 //!
 //! `--lint` runs the `tia-lint` static analyzer before simulating:
 //! warnings are printed but the run proceeds; error-level findings
-//! abort it (see docs/static-analysis.md).
+//! abort it (see docs/static-analysis.md). `--verify` additionally
+//! runs the `tia-verify` model checker on the program closed with a
+//! friendly environment and reports its proof or counterexample;
+//! error-level verifier findings abort the run too. With
+//! `--lint-format json` the lint and verifier findings are emitted as
+//! one machine-readable report object on stdout
+//! (`{"lint": ..., "verify": ...}`) and the simulation is skipped —
+//! the report owns stdout, so downstream tooling gets both analyses
+//! in a single document.
 //!
 //! `<program>` is assembly (default) or, with `--hex`, the padded
 //! 128-bit instruction images `tia-as` emits. Each `--in Q:...` option
@@ -80,6 +89,8 @@ struct Options {
     program_path: String,
     hex: bool,
     lint: bool,
+    verify: bool,
+    lint_json: bool,
     max_cycles: u64,
     inputs: Vec<(usize, Vec<Token>)>,
     streams: Vec<(usize, Vec<Token>, u64)>,
@@ -141,6 +152,8 @@ fn parse_args() -> Result<Options, String> {
     let mut program_path = None;
     let mut hex = false;
     let mut lint = false;
+    let mut verify = false;
+    let mut lint_json = false;
     let mut max_cycles = 1_000_000u64;
     let mut raw_inputs: Vec<String> = Vec::new();
     let mut raw_streams: Vec<String> = Vec::new();
@@ -168,6 +181,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--hex" => hex = true,
             "--lint" => lint = true,
+            "--verify" => verify = true,
+            "--lint-format" => {
+                let format = args.next().ok_or("--lint-format needs human|json")?;
+                lint_json = match format.as_str() {
+                    "human" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown lint format `{other}`")),
+                };
+            }
             "--max-cycles" => {
                 max_cycles = args
                     .next()
@@ -234,6 +256,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: tia-funcsim [--params params.json] [--hex] [--lint] \
+                            [--verify] [--lint-format human|json] \
                             [--max-cycles N] [--in Q:v1,v2,...] \
                             [--stream Q:v1,v2,...@P] [--trace-out FILE] \
                             [--trace-format chrome|jsonl] [--metrics-out FILE] \
@@ -298,6 +321,8 @@ fn parse_args() -> Result<Options, String> {
         program_path: program_path.ok_or("no program file given")?,
         hex,
         lint,
+        verify,
+        lint_json,
         max_cycles,
         inputs,
         streams,
@@ -724,16 +749,63 @@ fn export_observability(
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
     let (program, spans) = load_program(&opts)?;
-    if opts.lint {
-        let report = tia_lint::lint_program_with_spans(&program, &opts.params, &spans);
-        for diagnostic in &report.diagnostics {
-            eprintln!("{}", diagnostic.render(Some(&opts.program_path)));
+    if opts.lint || opts.verify {
+        let lint = opts
+            .lint
+            .then(|| tia_lint::lint_program_with_spans(&program, &opts.params, &spans));
+        let verify = opts
+            .verify
+            .then(|| tia_verify::verify_program(&program, &opts.params));
+        if opts.lint_json {
+            // One combined machine-readable report owns stdout; the
+            // simulation is skipped so downstream tooling sees exactly
+            // one document.
+            let mut fields = Vec::new();
+            if let Some(report) = &lint {
+                fields.push(("lint".to_string(), report.to_value()));
+            }
+            if let Some(report) = &verify {
+                fields.push(("verify".to_string(), report.to_value()));
+            }
+            let combined = serde::Value::Object(fields);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&combined)
+                    .map_err(|e| format!("report serialization failed: {e}"))?
+            );
+        } else {
+            if let Some(report) = &lint {
+                for diagnostic in &report.diagnostics {
+                    eprintln!("{}", diagnostic.render(Some(&opts.program_path)));
+                }
+            }
+            if let Some(report) = &verify {
+                eprint!("{}", report.render(Some(&opts.program_path)));
+            }
         }
-        if report.error_count() > 0 {
-            return Err(format!(
-                "lint failed: {} error(s); not simulating",
-                report.error_count()
-            ));
+        if let Some(report) = &lint {
+            if report.error_count() > 0 {
+                return Err(format!(
+                    "lint failed: {} error(s); not simulating",
+                    report.error_count()
+                ));
+            }
+        }
+        if let Some(report) = &verify {
+            let errors = report
+                .findings
+                .iter()
+                .filter(|f| f.level == tia_lint::Level::Error)
+                .count();
+            if errors > 0 {
+                return Err(format!(
+                    "verify failed: {errors} error-level finding(s); not simulating — {}",
+                    report.verdict()
+                ));
+            }
+        }
+        if opts.lint_json {
+            return Ok(());
         }
     }
     let observing = opts.trace_out.is_some() || opts.metrics_out.is_some();

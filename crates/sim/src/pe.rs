@@ -738,6 +738,23 @@ impl<T: Tracer> ProcessingElement for FuncPe<T> {
     }
 }
 
+impl tia_verify::ReplayPe for FuncPe {
+    fn from_program(params: &Params, program: Program) -> Result<Self, String> {
+        FuncPe::new(params, program).map_err(|e| e.to_string())
+    }
+
+    fn replay_triggered_slot(&self) -> Option<usize> {
+        if self.halted {
+            return None;
+        }
+        self.triggered_slot()
+    }
+
+    fn pred_bits(&self) -> u32 {
+        self.preds.bits()
+    }
+}
+
 impl<T: Tracer> ProfileSource for FuncPe<T> {
     fn prof_counters(&self) -> ProfCounters {
         // The functional model has no pipeline: every cycle either

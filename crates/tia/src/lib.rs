@@ -21,6 +21,10 @@
 //!   verification.
 //! * [`lint`] — the static analyzer: reachability, shadowing,
 //!   +P speculability certification, and channel-deadlock checks.
+//! * [`verify`] — the fabric-level model checker: exhaustive
+//!   product-state search for deadlock, overflow, tag-protocol and
+//!   liveness violations, with counterexample replay on the
+//!   functional model.
 //! * [`ckpt`] — checkpoint/restore snapshots and the runtime hang
 //!   watchdog for long runs.
 //! * [`prof`] — the hierarchical cycle-stack profiler: per-PE cycle
@@ -73,4 +77,5 @@ pub use tia_jit as jit;
 pub use tia_lint as lint;
 pub use tia_prof as prof;
 pub use tia_sim as sim;
+pub use tia_verify as verify;
 pub use tia_workloads as workloads;

@@ -1,0 +1,207 @@
+//! Breadth-first exhaustive exploration of the abstract state graph,
+//! plus the backward liveness pass and counterexample-trace
+//! reconstruction.
+
+use std::collections::HashMap;
+
+use crate::model::{AState, Choice, Model};
+
+/// One explored state.
+pub(crate) struct StateRec {
+    /// Canonical encoding (the dedup key).
+    pub encoded: Vec<u8>,
+    /// BFS parent (`usize::MAX` for the initial state).
+    pub parent: usize,
+    /// The choice that led here from the parent.
+    pub choice: Choice,
+    /// The slot each PE fired on the edge *into* this state (empty for
+    /// the initial state).
+    pub fired_in: Vec<Option<usize>>,
+    /// The slot each PE fires *from* this state (deterministic).
+    pub fired_out: Vec<Option<usize>>,
+    /// Frozen forever: nothing can fire, move, retire, or be injected.
+    pub stuck: bool,
+}
+
+/// The finished exploration.
+pub(crate) struct Exploration {
+    pub states: Vec<StateRec>,
+    /// Forward edges, parallel to `states` (for the liveness pass).
+    pub edges: Vec<Vec<usize>>,
+    /// Total transitions generated (with duplicates).
+    pub transitions: usize,
+    /// The whole reachable space fits under the state bound.
+    pub exhaustive: bool,
+    /// Why exploration stopped early, when it did.
+    pub note: Option<String>,
+    /// First stuck state with buffered tokens, if any.
+    pub first_deadlock: Option<usize>,
+    /// First stuck state with zero tokens, if any.
+    pub first_quiescent: Option<usize>,
+    /// First state where an undrained queue hit capacity:
+    /// `(state, queue id)`.
+    pub first_overflow: Option<(usize, usize)>,
+}
+
+/// Runs BFS from `initial` up to `max_states` distinct states.
+pub(crate) fn explore(model: &Model, initial: &AState, max_states: usize) -> Exploration {
+    let mut states: Vec<StateRec> = Vec::new();
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut transitions = 0usize;
+    let mut exhaustive = true;
+    let mut note = None;
+    let mut first_deadlock = None;
+    let mut first_quiescent = None;
+    let mut first_overflow = None;
+
+    let encoded = model.encode(initial);
+    index.insert(encoded.clone(), 0);
+    states.push(StateRec {
+        encoded,
+        parent: usize::MAX,
+        choice: Choice::default(),
+        fired_in: Vec::new(),
+        fired_out: Vec::new(),
+        stuck: false,
+    });
+    edges.push(Vec::new());
+
+    let mut cursor = 0usize;
+    while cursor < states.len() {
+        let state = model.decode(&states[cursor].encoded);
+        if first_overflow.is_none() {
+            for (qid, queue) in model.queues.iter().enumerate() {
+                if !queue.drained && state.queues[qid].len() >= queue.cap {
+                    first_overflow = Some((cursor, qid));
+                    break;
+                }
+            }
+        }
+        let (detail, successors) = match model.successors(&state) {
+            Ok(pair) => pair,
+            Err(why) => {
+                exhaustive = false;
+                note = Some(why);
+                break;
+            }
+        };
+        states[cursor].fired_out = detail.fired;
+        states[cursor].stuck = detail.stuck;
+        if detail.stuck {
+            if state.tokens() > 0 {
+                if first_deadlock.is_none() {
+                    first_deadlock = Some(cursor);
+                }
+            } else if first_quiescent.is_none() {
+                first_quiescent = Some(cursor);
+            }
+        }
+        for (succ, choice) in successors {
+            transitions += 1;
+            let encoded = model.encode(&succ);
+            let id = match index.get(&encoded) {
+                Some(&id) => id,
+                None => {
+                    let id = states.len();
+                    index.insert(encoded.clone(), id);
+                    states.push(StateRec {
+                        encoded,
+                        parent: cursor,
+                        choice,
+                        fired_in: states[cursor].fired_out.clone(),
+                        fired_out: Vec::new(),
+                        stuck: false,
+                    });
+                    edges.push(Vec::new());
+                    id
+                }
+            };
+            edges[cursor].push(id);
+        }
+        cursor += 1;
+        if states.len() > max_states {
+            exhaustive = false;
+            note = Some(format!(
+                "state bound of {max_states} exceeded; verdicts are bounded, not proofs"
+            ));
+            break;
+        }
+    }
+    // States enqueued but never expanded (early stop) keep their
+    // conservative defaults; exhaustiveness is already false then.
+    if cursor < states.len() && exhaustive {
+        exhaustive = false;
+        if note.is_none() {
+            note = Some("exploration stopped before the frontier drained".into());
+        }
+    }
+
+    Exploration {
+        states,
+        edges,
+        transitions,
+        exhaustive,
+        note,
+        first_deadlock,
+        first_quiescent,
+        first_overflow,
+    }
+}
+
+impl Exploration {
+    /// Per-PE liveness (AG EF fire): backward reachability from every
+    /// state whose outgoing edge fires the PE (or where the PE has
+    /// halted — a halted PE is vacuously live). Returns, per PE, the
+    /// first reachable state from which the PE can never fire again.
+    /// Only meaningful on an exhaustive exploration.
+    pub fn starvation_witnesses(&self, num_pes: usize) -> Vec<Option<usize>> {
+        // Reverse adjacency.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.states.len()];
+        for (from, outs) in self.edges.iter().enumerate() {
+            for &to in outs {
+                rev[to].push(from);
+            }
+        }
+        (0..num_pes)
+            .map(|pe| {
+                let mut good = vec![false; self.states.len()];
+                let mut work: Vec<usize> = Vec::new();
+                for (id, rec) in self.states.iter().enumerate() {
+                    let fires = rec.fired_out.get(pe).copied().flatten().is_some();
+                    if fires || self.pe_halted(id, pe) {
+                        good[id] = true;
+                        work.push(id);
+                    }
+                }
+                while let Some(id) = work.pop() {
+                    for &p in &rev[id] {
+                        if !good[p] {
+                            good[p] = true;
+                            work.push(p);
+                        }
+                    }
+                }
+                good.iter().position(|&g| !g)
+            })
+            .collect()
+    }
+
+    /// Whether PE `pe` has halted in state `id` (decoded lazily from
+    /// the canonical encoding: byte layout is three bytes per PE).
+    fn pe_halted(&self, id: usize, pe: usize) -> bool {
+        self.states[id].encoded[pe * 3 + 2] != 0
+    }
+
+    /// The path of state ids from the initial state to `target`.
+    pub fn path_to(&self, target: usize) -> Vec<usize> {
+        let mut path = vec![target];
+        let mut at = target;
+        while self.states[at].parent != usize::MAX {
+            at = self.states[at].parent;
+            path.push(at);
+        }
+        path.reverse();
+        path
+    }
+}

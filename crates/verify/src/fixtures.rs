@@ -1,0 +1,199 @@
+//! Shared fabric fixtures: small systems with known-good or
+//! known-broken behaviour, used by the checker's own tests, the
+//! runtime watchdog smoke test, and the counterexample-replay suite.
+//! Keeping them here guarantees the static checker and the dynamic
+//! watchdog are exercised against the *same* fabrics.
+
+use tia_fabric::{InputRef, Link, OutputRef};
+use tia_isa::{
+    DstOperand, InputId, Instruction, Op, OutputId, Params, PredPattern, PredUpdate, Program,
+    QueueCheck, SrcOperand, Tag, Trigger,
+};
+
+use crate::model::SeedToken;
+use crate::VerifyOptions;
+
+/// One self-contained fixture: a fabric plus verification options.
+pub struct Fixture {
+    /// Per-PE trigger programs.
+    pub programs: Vec<Program>,
+    /// Channel topology.
+    pub links: Vec<Link>,
+    /// Verification options (seed tokens, bounds).
+    pub options: VerifyOptions,
+}
+
+/// A relay PE: forward `%i0` (tag 0) to `%o0`, dequeuing.
+pub fn relay_program(params: &Params) -> Program {
+    let q0 = InputId::new(0, params).expect("input 0 exists");
+    let mut program = Program::empty();
+    program.push(Instruction {
+        valid: true,
+        trigger: Trigger {
+            queue_checks: vec![QueueCheck {
+                queue: q0,
+                tag: Tag::ZERO,
+                negate: false,
+            }],
+            ..Trigger::default()
+        },
+        op: Op::Mov,
+        srcs: [SrcOperand::Input(q0), SrcOperand::None],
+        dst: DstOperand::Output(OutputId::new(0, params).expect("output 0 exists")),
+        dequeues: vec![q0],
+        ..Instruction::default()
+    });
+    program
+}
+
+/// A PE↔PE channel.
+pub fn pe_link(from_pe: usize, from_q: usize, to_pe: usize, to_q: usize) -> Link {
+    Link {
+        from: OutputRef::Pe {
+            pe: from_pe,
+            queue: from_q,
+        },
+        to: InputRef::Pe {
+            pe: to_pe,
+            queue: to_q,
+        },
+    }
+}
+
+/// The seeded two-PE relay ring with **no** initial token: each PE
+/// waits on the other forever, and the fabric freezes with zero
+/// buffered tokens — the quiescent hang the runtime watchdog
+/// classifies as `Hang::Quiescent`. The checker finds the same wedge
+/// as a `fabric-quiescence` counterexample (of zero abstract cycles:
+/// the reset state is already frozen).
+pub fn relay_deadlock(params: &Params) -> Fixture {
+    Fixture {
+        programs: vec![relay_program(params), relay_program(params)],
+        links: vec![pe_link(0, 0, 1, 0), pe_link(1, 0, 0, 0)],
+        options: VerifyOptions::default(),
+    }
+}
+
+/// The same two-PE relay ring with one seed token: the token circulates
+/// forever and the checker proves the ring deadlock-free (a case the
+/// conservative `lint_system` cycle check cannot distinguish — its
+/// `channel-deadlock` warning is the over-approximation `tia-verify`
+/// refines away).
+pub fn seeded_ring(params: &Params) -> Fixture {
+    let mut options = VerifyOptions::default();
+    options.seed_tokens.push(SeedToken {
+        pe: 0,
+        queue: 0,
+        tag: Tag::ZERO,
+    });
+    Fixture {
+        programs: vec![relay_program(params), relay_program(params)],
+        links: vec![pe_link(0, 0, 1, 0), pe_link(1, 0, 0, 0)],
+        options,
+    }
+}
+
+/// A producer that unconditionally emits tag 1 feeding a relay that
+/// only accepts tag 0: the static tag-protocol scan flags the channel,
+/// and the checker also finds the concrete consequence — the first
+/// emitted token wedges at the consumer's queue head and the fabric
+/// deadlocks with buffered tokens (`fabric-deadlock`, fully
+/// deterministic, so the counterexample replays bit-for-bit).
+pub fn tag_mismatch_pair(params: &Params) -> Fixture {
+    let one = Tag::new(1, params).expect("tag 1 exists");
+    // Producer: fire on %p0 clear, emit tag-1 token, set %p0; fire on
+    // %p0 set, emit tag-1 token, clear %p0. Two slots so it produces
+    // forever without reading any input.
+    let o0 = OutputId::new(0, params).expect("output 0 exists");
+    let mut producer = Program::empty();
+    producer.push(Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates: PredPattern::new(0, 1).expect("pattern fits"),
+            ..Trigger::default()
+        },
+        op: Op::Mov,
+        srcs: [SrcOperand::Imm, SrcOperand::None],
+        dst: DstOperand::Output(o0),
+        out_tag: one,
+        pred_update: PredUpdate::new(1, 0).expect("update fits"),
+        ..Instruction::default()
+    });
+    producer.push(Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates: PredPattern::new(1, 0).expect("pattern fits"),
+            ..Trigger::default()
+        },
+        op: Op::Mov,
+        srcs: [SrcOperand::Imm, SrcOperand::None],
+        dst: DstOperand::Output(o0),
+        out_tag: one,
+        pred_update: PredUpdate::new(0, 1).expect("update fits"),
+        ..Instruction::default()
+    });
+    Fixture {
+        programs: vec![producer, relay_program(params)],
+        links: vec![pe_link(0, 0, 1, 0)],
+        options: VerifyOptions::default(),
+    }
+}
+
+/// A single PE that produces into an output queue no channel drains:
+/// the queue fills to capacity and wedges the producer forever
+/// (`channel-overflow`, then `fabric-deadlock` once full).
+pub fn undrained_output(params: &Params) -> Fixture {
+    let o0 = OutputId::new(0, params).expect("output 0 exists");
+    let mut producer = Program::empty();
+    producer.push(Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates: PredPattern::new(0, 1).expect("pattern fits"),
+            ..Trigger::default()
+        },
+        op: Op::Mov,
+        srcs: [SrcOperand::Imm, SrcOperand::None],
+        dst: DstOperand::Output(o0),
+        pred_update: PredUpdate::new(1, 0).expect("update fits"),
+        ..Instruction::default()
+    });
+    producer.push(Instruction {
+        valid: true,
+        trigger: Trigger {
+            predicates: PredPattern::new(1, 0).expect("pattern fits"),
+            ..Trigger::default()
+        },
+        op: Op::Mov,
+        srcs: [SrcOperand::Imm, SrcOperand::None],
+        dst: DstOperand::Output(o0),
+        pred_update: PredUpdate::new(0, 1).expect("update fits"),
+        ..Instruction::default()
+    });
+    Fixture {
+        programs: vec![producer],
+        links: Vec::new(),
+        options: VerifyOptions::default(),
+    }
+}
+
+/// A healthy two-stage pipeline: environment source → relay → relay →
+/// sink. The protocol-respecting environment can always feed it and
+/// the sink always drains, so the checker proves it deadlock-free and
+/// live.
+pub fn pipeline(params: &Params) -> Fixture {
+    Fixture {
+        programs: vec![relay_program(params), relay_program(params)],
+        links: vec![
+            Link {
+                from: OutputRef::Source { source: 0 },
+                to: InputRef::Pe { pe: 0, queue: 0 },
+            },
+            pe_link(0, 0, 1, 0),
+            Link {
+                from: OutputRef::Pe { pe: 1, queue: 0 },
+                to: InputRef::Sink { sink: 0 },
+            },
+        ],
+        options: VerifyOptions::default(),
+    }
+}

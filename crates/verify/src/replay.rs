@@ -1,0 +1,388 @@
+//! Counterexample replay: drives an abstract trace through a concrete
+//! `System` of real PEs and confirms the claimed bad state.
+//!
+//! Fidelity is the whole point — a counterexample that fails to
+//! reproduce concretely is a checker bug, and the test suite treats it
+//! as one. The harness builds a real [`tia_fabric::System`] containing
+//! every PE↔PE channel, and emulates the environment endpoints
+//! (stream sources and sinks, memory ports) by hand so it can pin
+//! their nondeterminism — injection tags, retirement timing — to the
+//! exact choices recorded in the trace.
+
+use tia_fabric::{
+    InputRef, Link, Memory, OutputRef, ProcessingElement, System, TaggedQueue, Token,
+};
+use tia_isa::{Params, Program, Tag};
+
+use crate::model::SeedToken;
+use crate::report::{Claim, QueueRef, Trace};
+
+/// What a PE model must expose for trace replay, beyond the fabric's
+/// [`ProcessingElement`] contract. `tia-sim` implements this for
+/// `FuncPe`, which keeps the checker free of a simulator dependency
+/// (and of a dependency cycle).
+pub trait ReplayPe: ProcessingElement + Sized {
+    /// Builds a PE running `program` from reset.
+    fn from_program(params: &Params, program: Program) -> Result<Self, String>;
+
+    /// The slot the PE would fire this cycle (its first eligible slot
+    /// in priority order), or `None` when it idles.
+    fn replay_triggered_slot(&self) -> Option<usize>;
+
+    /// The current predicate-file bits.
+    fn pred_bits(&self) -> u32;
+}
+
+/// How a replay ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The concrete run followed the trace cycle for cycle and the
+    /// claimed bad state held, including the quiet-extension check for
+    /// deadlock/quiescence claims.
+    Confirmed,
+    /// The concrete run departed from the trace. The message says
+    /// where and how — this means the checker (or its abstraction) is
+    /// wrong, except for the documented data-dependent fork case.
+    Diverged(String),
+}
+
+impl ReplayOutcome {
+    /// `true` for [`ReplayOutcome::Confirmed`].
+    pub fn confirmed(&self) -> bool {
+        matches!(self, ReplayOutcome::Confirmed)
+    }
+}
+
+/// Extra cycles run after the trace ends to confirm a claimed
+/// deadlock/quiescence is permanent (no retirement, no firing).
+const QUIET_EXTENSION: u64 = 32;
+
+struct EmulatedReadPort {
+    addr: Vec<Token>,
+    pending: Vec<Token>,
+    resp: Vec<Token>,
+}
+
+/// Replays `trace` over a concrete system built from `programs` and
+/// `links`, with `seeds` pre-loaded. Returns how it went; `Err` only
+/// for traces the harness cannot host (e.g. a malformed program).
+pub fn replay_trace<P: ReplayPe>(
+    programs: &[Program],
+    params: &Params,
+    links: &[Link],
+    seeds: &[SeedToken],
+    trace: &Trace,
+) -> Result<ReplayOutcome, String> {
+    let mut system: System<P> = System::new(Memory::new(0));
+    for program in programs {
+        let pe = P::from_program(params, program.clone())?;
+        system.add_pe(pe);
+    }
+    // Wire only PE↔PE channels through the real fabric; everything
+    // else is emulated below with trace-pinned nondeterminism.
+    for link in links {
+        if matches!(link.from, OutputRef::Pe { .. }) && matches!(link.to, InputRef::Pe { .. }) {
+            system
+                .connect(link.from, link.to)
+                .map_err(|e| format!("replay wiring failed: {e}"))?;
+        }
+    }
+    let mut num_read_ports = 0usize;
+    let mut counters: Vec<usize> = Vec::new();
+    let mut write_ports: Vec<(usize, usize)> = Vec::new();
+    let mut seq_ports: Vec<usize> = Vec::new();
+    for link in links {
+        match link.to {
+            InputRef::ReadAddr { port } => num_read_ports = num_read_ports.max(port + 1),
+            InputRef::WriteAddr { port } | InputRef::WriteData { port } => {
+                while write_ports.len() <= port {
+                    let a = counters.len();
+                    counters.push(0);
+                    let d = counters.len();
+                    counters.push(0);
+                    write_ports.push((a, d));
+                }
+            }
+            InputRef::SeqWriteData { port } => {
+                while seq_ports.len() <= port {
+                    seq_ports.push(counters.len());
+                    counters.push(0);
+                }
+            }
+            _ => {}
+        }
+        if let OutputRef::ReadData { port } = link.from {
+            num_read_ports = num_read_ports.max(port + 1);
+        }
+    }
+    let mut ports: Vec<EmulatedReadPort> = (0..num_read_ports)
+        .map(|_| EmulatedReadPort {
+            addr: Vec::new(),
+            pending: Vec::new(),
+            resp: Vec::new(),
+        })
+        .collect();
+    let cap = params.queue_capacity;
+
+    for seed in seeds {
+        let queue = system.pe_mut(seed.pe).input_queue_mut(seed.queue);
+        if !queue.push(Token::new(seed.tag, seed.tag.value())) {
+            return Err(format!(
+                "seed token overflows pe{} %i{}",
+                seed.pe, seed.queue
+            ));
+        }
+    }
+
+    for (cycle, step) in trace.steps.iter().enumerate() {
+        // Check the predicted firing decisions before stepping: the
+        // abstraction claims eligibility exactly, so any difference is
+        // a checker bug.
+        for pe in 0..programs.len() {
+            let predicted = step.fired.get(pe).copied().flatten();
+            let actual = system.pe(pe).replay_triggered_slot();
+            if predicted != actual {
+                return Ok(ReplayOutcome::Diverged(format!(
+                    "cycle {cycle}: pe{pe} trigger mismatch \
+                     (trace says {predicted:?}, concrete PE says {actual:?})"
+                )));
+            }
+        }
+        system.step();
+        // Data-dependent predicate forks: confirm the concrete
+        // datapath took the branch the trace chose. The abstract
+        // counterexample is sound for *some* data; if the replay data
+        // goes the other way we report it as a divergence with the
+        // reason spelled out.
+        for &(pe, bit) in &step.forks {
+            let slot = step.fired[pe].expect("fork implies firing");
+            let instr = &programs[pe].instructions()[slot];
+            if let tia_isa::DstOperand::Pred(p) = instr.dst {
+                let got = (system.pe(pe).pred_bits() >> p.index()) & 1 == 1;
+                if got != bit {
+                    return Ok(ReplayOutcome::Diverged(format!(
+                        "cycle {cycle}: pe{pe} data-dependent predicate %p{} resolved {got} \
+                         but the trace chose {bit} (fork not exercised by this data)",
+                        p.index()
+                    )));
+                }
+            }
+        }
+        // Environment emulation, in the abstract phase order. The
+        // real `System::step` already moved every PE↔PE channel;
+        // endpoints are disjoint, so ordering against those is moot.
+        for &(li, tag) in &step.injections {
+            let token = Token::new(Tag::new_unchecked(tag), tag);
+            match links[li].to {
+                InputRef::Pe { pe, queue } => {
+                    if !system.pe_mut(pe).input_queue_mut(queue).push(token) {
+                        return Ok(ReplayOutcome::Diverged(format!(
+                            "cycle {cycle}: injection on link {li} found pe{pe} %i{queue} full"
+                        )));
+                    }
+                }
+                InputRef::ReadAddr { port } => {
+                    if ports[port].addr.len() >= cap {
+                        return Ok(ReplayOutcome::Diverged(format!(
+                            "cycle {cycle}: injection on link {li} found read-port{port} full"
+                        )));
+                    }
+                    ports[port].addr.push(token);
+                }
+                InputRef::WriteAddr { port } => counters[write_ports[port].0] += 1,
+                InputRef::WriteData { port } => counters[write_ports[port].1] += 1,
+                InputRef::SeqWriteData { port } => counters[seq_ports[port]] += 1,
+                InputRef::Sink { .. } => {}
+            }
+        }
+        // Non-PE↔PE channel moves (one token per link, space
+        // permitting), mirroring `transfer_links`.
+        for link in links {
+            let is_pe_to_pe =
+                matches!(link.from, OutputRef::Pe { .. }) && matches!(link.to, InputRef::Pe { .. });
+            if is_pe_to_pe || matches!(link.from, OutputRef::Source { .. }) {
+                continue;
+            }
+            let token = match link.from {
+                OutputRef::Pe { pe, queue } => {
+                    let out = system.pe_mut(pe).output_queue_mut(queue);
+                    match out.peek() {
+                        Some(token) => {
+                            let fits = match link.to {
+                                InputRef::Pe { .. } => unreachable!("handled above"),
+                                InputRef::ReadAddr { port } => ports[port].addr.len() < cap,
+                                InputRef::WriteAddr { port } => counters[write_ports[port].0] < cap,
+                                InputRef::WriteData { port } => counters[write_ports[port].1] < cap,
+                                InputRef::SeqWriteData { port } => counters[seq_ports[port]] < cap,
+                                InputRef::Sink { .. } => true,
+                            };
+                            if !fits {
+                                continue;
+                            }
+                            out.pop();
+                            token
+                        }
+                        None => continue,
+                    }
+                }
+                OutputRef::ReadData { port } => {
+                    let InputRef::Pe { pe, queue } = link.to else {
+                        continue;
+                    };
+                    let dest_full = system.pe_mut(pe).input_queue_mut(queue).is_full();
+                    if ports[port].resp.is_empty() || dest_full {
+                        continue;
+                    }
+                    let token = ports[port].resp.remove(0);
+                    let pushed = system.pe_mut(pe).input_queue_mut(queue).push(token);
+                    debug_assert!(pushed, "space was checked above");
+                    continue;
+                }
+                OutputRef::Source { .. } => continue,
+            };
+            match link.to {
+                InputRef::ReadAddr { port } => ports[port].addr.push(token),
+                InputRef::WriteAddr { port } => counters[write_ports[port].0] += 1,
+                InputRef::WriteData { port } => counters[write_ports[port].1] += 1,
+                InputRef::SeqWriteData { port } => counters[seq_ports[port]] += 1,
+                InputRef::Sink { .. } | InputRef::Pe { .. } => {}
+            }
+        }
+        // Memory-port phase with trace-pinned retirement counts.
+        for (pi, port) in ports.iter_mut().enumerate() {
+            let k = step
+                .retires
+                .iter()
+                .find(|&&(p, _)| p == pi)
+                .map(|&(_, k)| k)
+                .unwrap_or(0);
+            for _ in 0..k {
+                if port.pending.is_empty() || port.resp.len() >= cap {
+                    return Ok(ReplayOutcome::Diverged(format!(
+                        "cycle {cycle}: read-port{pi} cannot retire as the trace demands"
+                    )));
+                }
+                let req = port.pending.remove(0);
+                port.resp.push(Token::new(req.tag, 0));
+            }
+            if !port.addr.is_empty() && port.pending.len() < cap {
+                let req = port.addr.remove(0);
+                port.pending.push(req);
+            }
+        }
+        for &(a, d) in &write_ports {
+            if counters[a] > 0 && counters[d] > 0 {
+                counters[a] -= 1;
+                counters[d] -= 1;
+            }
+        }
+        for &d in &seq_ports {
+            if counters[d] > 0 {
+                counters[d] -= 1;
+            }
+        }
+    }
+
+    // The trace is exhausted: assert the claimed bad state.
+    let bad = &trace.bad;
+    for pe in 0..programs.len() {
+        let got = system.pe(pe).pred_bits();
+        if got != bad.preds[pe] {
+            return Ok(ReplayOutcome::Diverged(format!(
+                "final state: pe{pe} predicates are {got:#x}, trace claims {:#x}",
+                bad.preds[pe]
+            )));
+        }
+        let halted = system.pe(pe).is_halted();
+        if halted != bad.halted[pe] {
+            return Ok(ReplayOutcome::Diverged(format!(
+                "final state: pe{pe} halted={halted}, trace claims {}",
+                bad.halted[pe]
+            )));
+        }
+    }
+    for claim in &bad.queues {
+        let (occupancy, tags): (usize, Vec<u32>) = match claim.queue {
+            QueueRef::PeIn { pe, queue } => {
+                queue_contents(system.pe_mut(pe).input_queue_mut(queue))
+            }
+            QueueRef::PeOut { pe, queue } => {
+                queue_contents(system.pe_mut(pe).output_queue_mut(queue))
+            }
+            QueueRef::Port { port, part } => {
+                let buf = match part {
+                    "addr" => &ports[port].addr,
+                    "in-flight" => &ports[port].pending,
+                    _ => &ports[port].resp,
+                };
+                (buf.len(), buf.iter().map(|t| t.tag.value()).collect())
+            }
+        };
+        if occupancy != claim.occupancy {
+            return Ok(ReplayOutcome::Diverged(format!(
+                "final state: {} holds {occupancy} tokens, trace claims {}",
+                claim.queue.name(),
+                claim.occupancy
+            )));
+        }
+        if !claim.tags.is_empty() && tags != claim.tags {
+            return Ok(ReplayOutcome::Diverged(format!(
+                "final state: {} tags are {tags:?}, trace claims {:?}",
+                claim.queue.name(),
+                claim.tags
+            )));
+        }
+    }
+
+    match trace.claim {
+        Claim::Deadlock | Claim::Quiescent => {
+            // Permanence: nothing may fire or retire ever again. A
+            // closed fabric's frozen state stays frozen, so a bounded
+            // extension suffices as concrete evidence.
+            let retired_before: u64 = (0..programs.len())
+                .map(|pe| system.pe(pe).retired_instructions())
+                .sum();
+            for extra in 0..QUIET_EXTENSION {
+                for pe in 0..programs.len() {
+                    if system.pe(pe).replay_triggered_slot().is_some() {
+                        return Ok(ReplayOutcome::Diverged(format!(
+                            "quiet extension cycle {extra}: pe{pe} became eligible \
+                             after the claimed {}",
+                            trace.claim.name()
+                        )));
+                    }
+                }
+                system.step();
+            }
+            let retired_after: u64 = (0..programs.len())
+                .map(|pe| system.pe(pe).retired_instructions())
+                .sum();
+            if retired_after != retired_before {
+                return Ok(ReplayOutcome::Diverged(
+                    "quiet extension retired instructions after the claimed hang".into(),
+                ));
+            }
+        }
+        Claim::Starved { pe } => {
+            if system.pe(pe).replay_triggered_slot().is_some() {
+                return Ok(ReplayOutcome::Diverged(format!(
+                    "final state: starved pe{pe} is eligible to fire"
+                )));
+            }
+        }
+        Claim::Overflow { pe, queue } => {
+            if !system.pe_mut(pe).output_queue_mut(queue).is_full() {
+                return Ok(ReplayOutcome::Diverged(format!(
+                    "final state: pe{pe} %o{queue} is not full despite the overflow claim"
+                )));
+            }
+        }
+    }
+
+    Ok(ReplayOutcome::Confirmed)
+}
+
+fn queue_contents(queue: &mut TaggedQueue) -> (usize, Vec<u32>) {
+    let tags = queue.iter().map(|t| t.tag.value()).collect();
+    (queue.occupancy(), tags)
+}

@@ -1,0 +1,468 @@
+//! Verifier verdicts: findings, counterexample traces, and the
+//! machine-readable report (schema documented in
+//! docs/static-analysis.md).
+
+use serde::Value;
+use tia_lint::{Check, Level};
+
+/// What a counterexample trace claims about its final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Claim {
+    /// No PE can ever fire again and tokens remain buffered.
+    Deadlock,
+    /// No PE can ever fire again and no tokens remain (the quiescent
+    /// hang the runtime watchdog classifies separately).
+    Quiescent,
+    /// From the final state, PE `pe` can never fire again (though the
+    /// rest of the fabric may keep moving).
+    Starved {
+        /// The starved PE.
+        pe: usize,
+    },
+    /// An undrained output queue reached capacity in the final state.
+    Overflow {
+        /// Producing PE.
+        pe: usize,
+        /// Output queue index within the PE.
+        queue: usize,
+    },
+}
+
+impl Claim {
+    /// Stable kebab-case name used in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Claim::Deadlock => "deadlock",
+            Claim::Quiescent => "quiescent",
+            Claim::Starved { .. } => "starved",
+            Claim::Overflow { .. } => "overflow",
+        }
+    }
+}
+
+/// One abstract cycle of a counterexample, with every nondeterministic
+/// choice pinned down so a concrete replay can follow it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The slot each PE fires this cycle (`None` = PE idles).
+    pub fired: Vec<Option<usize>>,
+    /// Datapath predicate forks resolved this cycle: `(pe, bit)`.
+    pub forks: Vec<(usize, bool)>,
+    /// Environment injections this cycle: `(link index, tag)`.
+    pub injections: Vec<(usize, u32)>,
+    /// Read-port retirements this cycle: `(port, count)`.
+    pub retires: Vec<(usize, usize)>,
+}
+
+/// A tracked queue, addressed in concrete fabric terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueRef {
+    /// Input queue `queue` of PE `pe`.
+    PeIn {
+        /// PE index.
+        pe: usize,
+        /// Input queue index.
+        queue: usize,
+    },
+    /// Output queue `queue` of PE `pe`.
+    PeOut {
+        /// PE index.
+        pe: usize,
+        /// Output queue index.
+        queue: usize,
+    },
+    /// A memory-port buffer (`part` is `addr`, `in-flight` or `data`).
+    Port {
+        /// Port index.
+        port: usize,
+        /// Which buffer of the port.
+        part: &'static str,
+    },
+}
+
+impl QueueRef {
+    /// Human name, matching `lint_system`'s endpoint vocabulary.
+    pub fn name(&self) -> String {
+        match self {
+            QueueRef::PeIn { pe, queue } => format!("pe{pe}.%i{queue}"),
+            QueueRef::PeOut { pe, queue } => format!("pe{pe}.%o{queue}"),
+            QueueRef::Port { port, part } => format!("read-port{port}.{part}"),
+        }
+    }
+}
+
+/// One queue's claimed contents in a counterexample's final state.
+/// `tags` is head-first and populated only for tag-sensitive queues
+/// (it then has exactly `occupancy` entries); a replay harness asserts
+/// occupancy always and tags when present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueClaim {
+    /// Which queue.
+    pub queue: QueueRef,
+    /// Claimed occupancy.
+    pub occupancy: usize,
+    /// Claimed head-first tags (empty for tag-insensitive queues).
+    pub tags: Vec<u32>,
+}
+
+/// The final state a counterexample reaches, in concrete terms a
+/// replay harness can assert against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BadState {
+    /// Per-PE predicate-file bits.
+    pub preds: Vec<u32>,
+    /// Per-PE halt latches.
+    pub halted: Vec<bool>,
+    /// Total buffered tokens.
+    pub tokens: usize,
+    /// Per-queue occupancy and tag claims.
+    pub queues: Vec<QueueClaim>,
+}
+
+/// A concrete counterexample: a choice-resolved run from reset to a
+/// claimed bad state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// What the final state violates.
+    pub claim: Claim,
+    /// One entry per abstract cycle.
+    pub steps: Vec<TraceStep>,
+    /// The claimed final state.
+    pub bad: BadState,
+}
+
+/// One verifier finding. `trace` is present exactly when the checker
+/// produced a replayable counterexample (static tag-hazard findings
+/// may carry none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity, aligned with `tia-lint` gating semantics.
+    pub level: Level,
+    /// Which property is violated.
+    pub check: Check,
+    /// PE the finding is anchored to, when one is.
+    pub pe: Option<usize>,
+    /// Fabric channel index the finding is anchored to, when one is.
+    pub link: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Replayable counterexample, when the checker built one.
+    pub trace: Option<Trace>,
+}
+
+/// The complete verdict for one fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Violations found (empty = verified, when `exhaustive`).
+    pub findings: Vec<Finding>,
+    /// The whole reachable abstract space was enumerated; empty
+    /// `findings` is then a proof, not a bounded search.
+    pub exhaustive: bool,
+    /// Distinct abstract states explored.
+    pub states: usize,
+    /// Abstract transitions generated.
+    pub transitions: usize,
+    /// The state bound the exploration ran under.
+    pub max_states: usize,
+    /// FNV-1a fingerprint of the verified input (programs, topology,
+    /// parameters, seeds) for cheap CI re-run caching.
+    pub fingerprint: u64,
+    /// Why the exploration was inconclusive, when it was.
+    pub note: Option<String>,
+}
+
+impl VerifyReport {
+    /// Proved free of global deadlock, quiescent wedging, and channel
+    /// overflow (the safety checks).
+    pub fn deadlock_free(&self) -> bool {
+        self.exhaustive
+            && !self.findings.iter().any(|f| {
+                matches!(
+                    f.check,
+                    Check::FabricDeadlock | Check::FabricQuiescence | Check::ChannelOverflow
+                )
+            })
+    }
+
+    /// Proved per-PE live on top of [`VerifyReport::deadlock_free`].
+    pub fn live(&self) -> bool {
+        self.deadlock_free()
+            && !self
+                .findings
+                .iter()
+                .any(|f| matches!(f.check, Check::PeStarvation | Check::TagProtocolHazard))
+    }
+
+    /// One-line human verdict.
+    pub fn verdict(&self) -> String {
+        if !self.findings.is_empty() {
+            let worst = self
+                .findings
+                .iter()
+                .map(|f| f.check.name())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "violated: {worst} ({} states, {} transitions{})",
+                self.states,
+                self.transitions,
+                if self.exhaustive { "" } else { ", bounded" }
+            )
+        } else if self.exhaustive {
+            format!(
+                "verified: deadlock-free ({} states, {} transitions exhausted)",
+                self.states, self.transitions
+            )
+        } else {
+            format!(
+                "inconclusive: {} ({} states explored)",
+                self.note.as_deref().unwrap_or("state bound reached"),
+                self.states
+            )
+        }
+    }
+
+    /// Renders every finding plus the verdict line for terminal
+    /// output.
+    pub fn render(&self, file: Option<&str>) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            if let Some(file) = file {
+                out.push_str(file);
+                out.push_str(": ");
+            }
+            out.push_str(&format!("{}[{}]: ", finding.level, finding.check));
+            if let Some(pe) = finding.pe {
+                out.push_str(&format!("pe {pe}: "));
+            }
+            out.push_str(&finding.message);
+            if let Some(trace) = &finding.trace {
+                out.push_str(&format!(
+                    " (counterexample: {} cycles to {})",
+                    trace.steps.len(),
+                    trace.claim.name()
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("verify: {}\n", self.verdict()));
+        out
+    }
+
+    /// The machine-readable form.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "verdict".to_string(),
+                Value::String(if !self.findings.is_empty() {
+                    "violated".into()
+                } else if self.exhaustive {
+                    "verified".into()
+                } else {
+                    "inconclusive".into()
+                }),
+            ),
+            ("exhaustive".to_string(), Value::Bool(self.exhaustive)),
+            ("states".to_string(), Value::UInt(self.states as u64)),
+            (
+                "transitions".to_string(),
+                Value::UInt(self.transitions as u64),
+            ),
+            (
+                "max_states".to_string(),
+                Value::UInt(self.max_states as u64),
+            ),
+            (
+                "fingerprint".to_string(),
+                Value::String(format!("{:016x}", self.fingerprint)),
+            ),
+            (
+                "note".to_string(),
+                match &self.note {
+                    Some(note) => Value::String(note.clone()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "findings".to_string(),
+                Value::Array(self.findings.iter().map(Finding::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("report serialization is infallible")
+    }
+}
+
+impl Finding {
+    /// The machine-readable form.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("level".to_string(), Value::String(self.level.name().into())),
+            ("check".to_string(), Value::String(self.check.name().into())),
+        ];
+        if let Some(pe) = self.pe {
+            fields.push(("pe".to_string(), Value::UInt(pe as u64)));
+        }
+        if let Some(link) = self.link {
+            fields.push(("link".to_string(), Value::UInt(link as u64)));
+        }
+        fields.push(("message".to_string(), Value::String(self.message.clone())));
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Trace {
+    /// The machine-readable form.
+    pub fn to_value(&self) -> Value {
+        let steps: Vec<Value> = self
+            .steps
+            .iter()
+            .map(|step| {
+                Value::Object(vec![
+                    (
+                        "fired".to_string(),
+                        Value::Array(
+                            step.fired
+                                .iter()
+                                .map(|slot| match slot {
+                                    Some(s) => Value::UInt(*s as u64),
+                                    None => Value::Null,
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "forks".to_string(),
+                        Value::Array(
+                            step.forks
+                                .iter()
+                                .map(|&(pe, bit)| {
+                                    Value::Object(vec![
+                                        ("pe".to_string(), Value::UInt(pe as u64)),
+                                        ("bit".to_string(), Value::Bool(bit)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "injections".to_string(),
+                        Value::Array(
+                            step.injections
+                                .iter()
+                                .map(|&(link, tag)| {
+                                    Value::Object(vec![
+                                        ("link".to_string(), Value::UInt(link as u64)),
+                                        ("tag".to_string(), Value::UInt(u64::from(tag))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "retires".to_string(),
+                        Value::Array(
+                            step.retires
+                                .iter()
+                                .map(|&(port, n)| {
+                                    Value::Object(vec![
+                                        ("port".to_string(), Value::UInt(port as u64)),
+                                        ("count".to_string(), Value::UInt(n as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("claim".to_string(), Value::String(self.claim.name().into())),
+            ("cycles".to_string(), Value::UInt(self.steps.len() as u64)),
+            ("steps".to_string(), Value::Array(steps)),
+            (
+                "bad_state".to_string(),
+                Value::Object(vec![
+                    (
+                        "preds".to_string(),
+                        Value::Array(
+                            self.bad
+                                .preds
+                                .iter()
+                                .map(|&p| Value::UInt(u64::from(p)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "halted".to_string(),
+                        Value::Array(self.bad.halted.iter().map(|&h| Value::Bool(h)).collect()),
+                    ),
+                    ("tokens".to_string(), Value::UInt(self.bad.tokens as u64)),
+                    (
+                        "queues".to_string(),
+                        Value::Array(
+                            self.bad
+                                .queues
+                                .iter()
+                                .map(|claim| {
+                                    Value::Object(vec![
+                                        ("queue".to_string(), Value::String(claim.queue.name())),
+                                        (
+                                            "occupancy".to_string(),
+                                            Value::UInt(claim.occupancy as u64),
+                                        ),
+                                        (
+                                            "tags".to_string(),
+                                            Value::Array(
+                                                claim
+                                                    .tags
+                                                    .iter()
+                                                    .map(|&t| Value::UInt(u64::from(t)))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// FNV-1a 64-bit, the fingerprint primitive (stable across runs and
+/// platforms, unlike `DefaultHasher`).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -1,0 +1,107 @@
+//! Tier-1 gate: every shipped workload, built exactly as wired, must
+//! be **verified deadlock-free** by `tia-verify`'s exhaustive
+//! fabric-level model check — or carry an explicit, justified
+//! allowlist entry below. This is the static counterpart of the
+//! golden-output run: the dynamic tests show each workload *does*
+//! complete on its seeded input; this gate shows the fabric *cannot*
+//! wedge under any environment timing or data the abstraction admits.
+
+use tia_fabric::ProcessingElement;
+use tia_isa::{Params, Program};
+use tia_lint::Check;
+use tia_verify::{verify_system, SeedToken, VerifyOptions};
+use tia_workloads::{ProbePe, Scale, ALL_WORKLOADS};
+
+/// Findings that are intentional and documented. Each entry is
+/// `(workload, check)`; keep this list short and justified.
+///
+/// The `fabric-deadlock` entries below are all the same known
+/// precision limit (see docs/static-analysis.md "Soundness"): these
+/// workloads bound their loops with register data the control-plane
+/// abstraction cannot see, so each data-dependent predicate write
+/// forks both ways independently. The forks decouple producer and
+/// consumer iteration counts — the model admits runs where one PE
+/// decides "done" after k items while its peer produces k+1 — and the
+/// surplus token wedges. No concrete run with the shipped data
+/// exhibits these traces (their replays report the documented
+/// fork-divergence), but the abstraction is sound to include them.
+const ALLOWLIST: &[(&str, Check)] = &[
+    ("stream", Check::FabricDeadlock),
+    ("udiv", Check::FabricDeadlock),
+    ("filter", Check::FabricDeadlock),
+    ("dot_product", Check::FabricDeadlock),
+];
+
+/// Workloads the checker may return `inconclusive` on (state bound
+/// reached before exhaustion). Same root cause as the allowlist: the
+/// uncorrelated fork interleavings inflate the reachable product
+/// space past the gate's bound.
+const INCONCLUSIVE_ALLOWLIST: &[&str] = &["string_search", "merge", "filter", "dot_product"];
+
+fn allowed(workload: &str, check: Check) -> bool {
+    ALLOWLIST.iter().any(|&(w, c)| w == workload && c == check)
+}
+
+#[test]
+fn all_workloads_verify_deadlock_free() {
+    let params = Params::default();
+    let mut failures = Vec::new();
+    for kind in ALL_WORKLOADS {
+        let mut factory = |p: &Params, prog| ProbePe::new(p, prog);
+        let mut built = kind
+            .build(&params, Scale::Test, &mut factory)
+            .unwrap_or_else(|e| panic!("{kind}: probe build failed: {e}"));
+        let programs: Vec<Program> = (0..built.system.num_pes())
+            .map(|pe| built.system.pe(pe).program().clone())
+            .collect();
+        // Workload builders may pre-seed PE input queues; fold those
+        // tokens into the abstract initial state so the model checks
+        // the fabric exactly as built.
+        let mut options = VerifyOptions::default();
+        // Every provable workload proves well inside this bound; the
+        // allowlisted fork-heavy ones would not converge even at the
+        // default, so the tighter bound just keeps the gate fast.
+        options.max_states = 1 << 16;
+        for pe in 0..programs.len() {
+            for queue in 0..params.num_input_queues {
+                let tags: Vec<_> = built
+                    .system
+                    .pe_mut(pe)
+                    .input_queue_mut(queue)
+                    .iter()
+                    .map(|t| t.tag)
+                    .collect();
+                for tag in tags {
+                    options.seed_tokens.push(SeedToken { pe, queue, tag });
+                }
+            }
+            for queue in 0..params.num_output_queues {
+                assert!(
+                    built.system.pe_mut(pe).output_queue_mut(queue).is_empty(),
+                    "{kind}: pe {pe} %o{queue} is pre-seeded; the gate cannot model that"
+                );
+            }
+        }
+
+        let links = built.system.links().to_vec();
+        let report = verify_system(&programs, &params, &links, &options);
+
+        if !report.exhaustive && !INCONCLUSIVE_ALLOWLIST.contains(&kind.name()) {
+            failures.push(format!("{kind}: {}", report.verdict()));
+            continue;
+        }
+        for finding in &report.findings {
+            if !allowed(kind.name(), finding.check) {
+                failures.push(format!(
+                    "{kind}: {}[{}]: {}",
+                    finding.level, finding.check, finding.message
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "verify gate failed:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,146 @@
+//! Counterexample fidelity: every verdict the model checker returns on
+//! the seeded-defect fixture corpus must either be a proof or come
+//! with a counterexample trace that **replays concretely** on
+//! `FuncPe`/`System` and reaches the claimed bad state. A trace that
+//! fails to reproduce is a checker bug, and this suite fails on it.
+
+use tia::isa::Params;
+use tia::lint::Check;
+use tia::sim::FuncPe;
+use tia::verify::fixtures::{
+    pipeline, relay_deadlock, seeded_ring, tag_mismatch_pair, undrained_output, Fixture,
+};
+use tia::verify::{replay_trace, verify_system, Claim, VerifyReport};
+
+/// Verifies a fixture and replays every counterexample it produced,
+/// panicking on any divergence. Returns the report for further
+/// assertions.
+fn verify_and_replay(fixture: &Fixture, params: &Params) -> VerifyReport {
+    let report = verify_system(&fixture.programs, params, &fixture.links, &fixture.options);
+    for finding in &report.findings {
+        let Some(trace) = &finding.trace else {
+            continue;
+        };
+        let outcome = replay_trace::<FuncPe>(
+            &fixture.programs,
+            params,
+            &fixture.links,
+            &fixture.options.seed_tokens,
+            trace,
+        )
+        .expect("trace is hostable");
+        assert!(
+            outcome.confirmed(),
+            "counterexample for {} did not reproduce: {outcome:?}\ntrace: {trace:?}",
+            finding.check
+        );
+    }
+    report
+}
+
+#[test]
+fn relay_deadlock_counterexample_replays_to_the_quiescent_wedge() {
+    let params = Params::default();
+    let fixture = relay_deadlock(&params);
+    let report = verify_and_replay(&fixture, &params);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.check == Check::FabricQuiescence)
+        .expect("the unseeded ring wedges quiescently");
+    let trace = finding.trace.as_ref().expect("with counterexample");
+    assert_eq!(trace.claim, Claim::Quiescent);
+    assert_eq!(trace.bad.tokens, 0);
+}
+
+#[test]
+fn tag_mismatch_counterexample_replays_to_a_token_deadlock() {
+    let params = Params::default();
+    let fixture = tag_mismatch_pair(&params);
+    let report = verify_and_replay(&fixture, &params);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.check == Check::FabricDeadlock)
+        .expect("wedged tag-1 tokens deadlock the pair");
+    let trace = finding.trace.as_ref().expect("with counterexample");
+    assert_eq!(trace.claim, Claim::Deadlock);
+    // The consumer's input queue holds tokens it can never accept and
+    // the producer's output is backed up behind them.
+    assert!(trace.bad.tokens > 0);
+}
+
+#[test]
+fn undrained_output_counterexample_replays_to_the_full_queue() {
+    let params = Params::default();
+    let fixture = undrained_output(&params);
+    let report = verify_and_replay(&fixture, &params);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.check == Check::ChannelOverflow)
+        .expect("the undrained output overflows");
+    assert_eq!(
+        finding.trace.as_ref().map(|t| t.claim.clone()),
+        Some(Claim::Overflow { pe: 0, queue: 0 })
+    );
+}
+
+#[test]
+fn healthy_fixtures_are_proofs_with_nothing_to_replay() {
+    let params = Params::default();
+    for (name, fixture) in [
+        ("seeded_ring", seeded_ring(&params)),
+        ("pipeline", pipeline(&params)),
+    ] {
+        let report = verify_and_replay(&fixture, &params);
+        assert!(report.exhaustive, "{name}: {report:?}");
+        assert!(report.findings.is_empty(), "{name}: {report:?}");
+        assert!(report.live(), "{name}");
+    }
+}
+
+#[test]
+fn tampered_traces_are_rejected_by_the_replay_harness() {
+    // The inverse property: replay must actually *check* the claim,
+    // not rubber-stamp it. Corrupt a genuine counterexample in two
+    // ways and make sure the harness refuses both.
+    let params = Params::default();
+    let fixture = tag_mismatch_pair(&params);
+    let report = verify_system(&fixture.programs, &params, &fixture.links, &fixture.options);
+    let genuine = report
+        .findings
+        .iter()
+        .find_map(|f| {
+            (f.check == Check::FabricDeadlock)
+                .then(|| f.trace.clone())
+                .flatten()
+        })
+        .expect("deadlock counterexample");
+
+    // Wrong final predicate claim.
+    let mut wrong_preds = genuine.clone();
+    wrong_preds.bad.preds[0] ^= 1;
+    let outcome = replay_trace::<FuncPe>(
+        &fixture.programs,
+        &params,
+        &fixture.links,
+        &fixture.options.seed_tokens,
+        &wrong_preds,
+    )
+    .expect("hostable");
+    assert!(!outcome.confirmed(), "corrupted predicates slipped through");
+
+    // Wrong firing schedule: claim pe1 fires on the first cycle.
+    let mut wrong_fired = genuine.clone();
+    wrong_fired.steps[0].fired[1] = Some(0);
+    let outcome = replay_trace::<FuncPe>(
+        &fixture.programs,
+        &params,
+        &fixture.links,
+        &fixture.options.seed_tokens,
+        &wrong_fired,
+    )
+    .expect("hostable");
+    assert!(!outcome.confirmed(), "corrupted schedule slipped through");
+}

@@ -1,38 +1,33 @@
-//! Watchdog smoke test on the lint suite's seeded two-PE deadlock:
-//! two relay PEs wired head to tail, each waiting for the token only
-//! the other could produce. The fabric never halts, never retires,
-//! and holds no buffered tokens — the quiescent-fixed-point hang the
-//! watchdog exists to catch.
+//! Watchdog smoke test on the shared `tia_verify::fixtures` relay
+//! deadlock: two relay PEs wired head to tail, each waiting for the
+//! token only the other could produce. The fabric never halts, never
+//! retires, and holds no buffered tokens — the quiescent-fixed-point
+//! hang the watchdog exists to catch.
+//!
+//! The fixture lives in `tia-verify` so the *same* fabric is checked
+//! statically by the model checker (see `verify_replay.rs`, which
+//! asserts the checker finds this exact wedge) and dynamically here.
 
-use tia::asm::assemble;
 use tia::ckpt::{hang_report, run_guarded, GuardedOutcome, Hang, Watchdog};
-use tia::fabric::{InputRef, Memory, OutputRef, ProcessingElement, System, Token};
+use tia::fabric::{Memory, ProcessingElement, System, Token};
 use tia::isa::Params;
 use tia::sim::FuncPe;
+use tia::verify::fixtures::{relay_deadlock, Fixture};
 
-/// The `seeded_two_pe_queue_deadlock_cycle_is_found` program from the
-/// lint suite: each PE forwards its input to its output, so neither
-/// can ever produce the first token.
-fn relay_deadlock_system(params: &Params) -> System<FuncPe> {
-    let relay = "when %p == XXXXXXXX with %i0.0: mov %o0.0, %i0; deq %i0;";
+/// Builds the concrete system for the shared relay-deadlock fixture.
+fn fixture_system(fixture: &Fixture, params: &Params) -> System<FuncPe> {
     let mut system = System::new(Memory::new(0));
-    for _ in 0..2 {
-        let program = assemble(relay, params).expect("relay assembles");
-        system.add_pe(FuncPe::new(params, program).expect("relay validates"));
+    for program in &fixture.programs {
+        system.add_pe(FuncPe::new(params, program.clone()).expect("fixture validates"));
+    }
+    for link in &fixture.links {
+        system.connect(link.from, link.to).expect("fixture wires");
     }
     system
-        .connect(
-            OutputRef::Pe { pe: 0, queue: 0 },
-            InputRef::Pe { pe: 1, queue: 0 },
-        )
-        .expect("wire 0 -> 1");
-    system
-        .connect(
-            OutputRef::Pe { pe: 1, queue: 0 },
-            InputRef::Pe { pe: 0, queue: 0 },
-        )
-        .expect("wire 1 -> 0");
-    system
+}
+
+fn relay_deadlock_system(params: &Params) -> System<FuncPe> {
+    fixture_system(&relay_deadlock(params), params)
 }
 
 #[test]
@@ -117,4 +112,35 @@ fn watchdog_stays_quiet_on_a_healthy_run_of_the_same_program() {
     let outcome = run_guarded(&mut system, 1_000, &mut watchdog);
     assert_eq!(outcome, GuardedOutcome::CycleLimit { cycle: 1_000 });
     assert!(system.total_retired() > 0);
+}
+
+#[test]
+fn checker_and_watchdog_agree_on_the_shared_fixture() {
+    // The model checker must find, statically, the same wedge the
+    // runtime watchdog catches dynamically — same classification
+    // (quiescent: frozen with zero buffered tokens).
+    let params = Params::default();
+    let fixture = relay_deadlock(&params);
+    let report =
+        tia::verify::verify_system(&fixture.programs, &params, &fixture.links, &fixture.options);
+    assert!(report.exhaustive, "{report:?}");
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.check == tia::lint::Check::FabricQuiescence)
+        .expect("checker finds the quiescent wedge");
+    let trace = finding.trace.as_ref().expect("with a counterexample");
+    assert_eq!(trace.bad.tokens, 0, "quiescent means zero tokens");
+
+    let mut system = relay_deadlock_system(&params);
+    let mut watchdog = Watchdog::new(64);
+    match run_guarded(&mut system, 100_000, &mut watchdog) {
+        GuardedOutcome::Hung(hang) => {
+            assert!(
+                matches!(hang, Hang::Quiescent { .. }),
+                "watchdog classification must match the checker's: {hang:?}"
+            );
+        }
+        other => panic!("watchdog missed the verified wedge: {other:?}"),
+    }
 }
