@@ -12,10 +12,15 @@
 //! per configuration, and reports per-worker scheduler utilization for
 //! every parallel run.
 //!
+//! Finally, A/B-times the content-addressed measurement store
+//! (`tia-store`) over the same sweep: a cold sweep that simulates and
+//! persists every point versus a warm sweep answered entirely from
+//! the store, with the warm results asserted bit-identical.
+//!
 //! ```text
 //! cargo run --release -p tia-bench --bin dse_bench \
 //!     [--test-scale] [--assert-fast-forward] [--assert-jit-speedup] \
-//!     [-o BENCH_dse.json]
+//!     [--assert-store] [-o BENCH_dse.json]
 //! ```
 //!
 //! `--assert-fast-forward` turns the recorded comparison into a gate:
@@ -26,14 +31,18 @@
 //! way: bit-identical and no more than 5% slower than the interpreter
 //! (at test scale the engine's advantage is noise-bounded; the real
 //! speedup is recorded at paper scale in `BENCH_dse.json`).
+//! `--assert-store` gates the measurement store: the warm sweep must
+//! simulate nothing, return bit-identical points, and not be slower
+//! than the cold sweep.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tia_bench::{activity_of, run_uarch_workload, scale_from_args};
+use tia_bench::{activity_of, run_uarch_workload, scale_from_args, scale_label};
 use tia_core::UarchConfig;
 use tia_energy::dse::{explore, par_explore_stats_with, par_explore_with};
+use tia_energy::{CheckpointedCpi, SweepContext};
 use tia_workloads::WorkloadKind;
 
 #[derive(serde::Serialize)]
@@ -108,6 +117,22 @@ struct JitRun {
     per_config: Vec<ConfigJit>,
 }
 
+/// Cold-vs-warm timing of the content-addressed measurement store
+/// over the same sweep.
+#[derive(serde::Serialize)]
+struct StoreRun {
+    /// Sweep over an empty store: every point simulated and persisted.
+    cold_seconds: f64,
+    /// Sweep over the store the cold sweep filled: every point
+    /// answered by hash lookup, nothing simulated.
+    warm_seconds: f64,
+    speedup: f64,
+    cold_simulated: u64,
+    warm_lookups: u64,
+    warm_simulated: u64,
+    bit_identical: bool,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     host_threads: usize,
@@ -121,6 +146,7 @@ struct Report {
     parallel: Vec<ParallelRun>,
     fast_forward: FastForwardRun,
     jit: JitRun,
+    store: StoreRun,
     bit_identical: bool,
     note: String,
 }
@@ -130,6 +156,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let assert_fast_forward = args.iter().any(|a| a == "--assert-fast-forward");
     let assert_jit_speedup = args.iter().any(|a| a == "--assert-jit-speedup");
+    let assert_store = args.iter().any(|a| a == "--assert-store");
     let output = args
         .iter()
         .position(|a| a == "-o" || a == "--output")
@@ -313,6 +340,42 @@ fn main() {
     );
     bit_identical &= jit.bit_identical;
 
+    // Cold vs warm A/B of the content-addressed measurement store
+    // over the same serial sweep: the cold pass simulates and persists
+    // every point, the warm pass reopens the file and answers every
+    // point by canonical-hash lookup.
+    let store_path =
+        std::env::temp_dir().join(format!("tia-dse-bench-{}.store", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let ctx = SweepContext::new("bst", scale_label(scale));
+    let cold_src =
+        CheckpointedCpi::resume(&source, &store_path, ctx.clone()).expect("open bench store");
+    let start = Instant::now();
+    let cold_points = par_explore_with(1, &cold_src);
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let cold_simulated = cold_src.misses();
+    drop(cold_src);
+    let warm_src = CheckpointedCpi::resume(&source, &store_path, ctx).expect("reopen bench store");
+    let start = Instant::now();
+    let warm_points = par_explore_with(1, &warm_src);
+    let warm_seconds = start.elapsed().as_secs_f64();
+    let store = StoreRun {
+        cold_seconds,
+        warm_seconds,
+        speedup: cold_seconds / warm_seconds.max(f64::EPSILON),
+        cold_simulated,
+        warm_lookups: warm_src.lookups(),
+        warm_simulated: warm_src.misses(),
+        bit_identical: cold_points == serial && warm_points == serial,
+    };
+    let _ = std::fs::remove_file(&store_path);
+    eprintln!(
+        "store cold {cold_seconds:.2}s vs warm {warm_seconds:.4}s \
+         ({:.0}x, warm answered {} from store / simulated {}, bit_identical = {})",
+        store.speedup, store.warm_lookups, store.warm_simulated, store.bit_identical
+    );
+    bit_identical &= store.bit_identical;
+
     let report = Report {
         host_threads,
         scale: format!("{scale:?}"),
@@ -323,6 +386,7 @@ fn main() {
         parallel,
         fast_forward,
         jit,
+        store,
         bit_identical,
         note: "Speedups are bounded by the measuring host's core count \
                (host_threads); on a single-core host all worker counts \
@@ -330,8 +394,10 @@ fn main() {
                engine overhead, not scaling (worker_utilization shows \
                the scheduler's balance independently of core count). \
                The fast_forward block A/B-times the quiescence-aware \
-               fast-forward engine, and the jit block the compiled \
-               trigger engine (tia-jit), over the identical serial \
+               fast-forward engine, the jit block the compiled trigger \
+               engine (tia-jit), and the store block the \
+               content-addressed measurement store (tia-store, cold \
+               fill vs fully warm lookups), over the identical serial \
                sweep."
             .to_string(),
     };
@@ -373,6 +439,23 @@ fn main() {
              interpreter ({:.3}s vs {:.3}s)",
             report.jit.enabled_seconds,
             report.jit.disabled_seconds,
+        );
+    }
+    if assert_store {
+        assert!(
+            report.store.bit_identical,
+            "store-backed sweeps diverged from the uncached serial sweep"
+        );
+        assert_eq!(
+            report.store.warm_simulated, 0,
+            "a warm store still had to simulate points"
+        );
+        assert!(
+            report.store.warm_seconds <= report.store.cold_seconds + GATE_SLACK_SECONDS,
+            "warm store sweep is slower than the cold fill \
+             ({:.3}s vs {:.3}s)",
+            report.store.warm_seconds,
+            report.store.cold_seconds,
         );
     }
 }

@@ -3,20 +3,32 @@
 //!
 //! ```text
 //! cargo run --release -p tia-bench --bin dse_export \
-//!     [--test-scale] [-o points.json] [--partial partial.json]
+//!     [--test-scale] [-o points.json] [--store store.bin] [--expect-warm]
 //! ```
 //!
-//! With `--partial PATH`, every finished per-configuration activity
-//! measurement is checkpointed to `PATH` as it completes; re-running
-//! after an interrupt resumes from the file instead of re-simulating,
-//! and produces byte-identical output (see docs/robustness.md).
+//! With `--store PATH` (or the `TIA_STORE` environment variable),
+//! every per-configuration activity measurement is keyed through the
+//! content-addressed measurement store at `PATH`: finished points are
+//! answered from the store, only points whose canonical input hash is
+//! absent are simulated, and a warm re-run produces byte-identical
+//! output while simulating nothing (see docs/performance.md). An
+//! interrupted run resumes the same way — the store is append-only,
+//! so whatever completed before the interrupt is never re-simulated.
+//!
+//! `--partial PATH` is the historical spelling of `--store PATH` and
+//! still works; a pre-store JSON partial file found at `PATH` is moved
+//! aside and regenerated, never trusted.
+//!
+//! `--expect-warm` turns the run into a cache-integrity gate: the
+//! process exits nonzero if any point had to be simulated (CI runs a
+//! sweep twice against one store and asserts the second run is fully
+//! warm with byte-identical output).
 
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tia_bench::{scale_from_args, suite_activity_source};
-use tia_energy::checkpoint::CheckpointedCpi;
-use tia_energy::dse::par_explore;
+use tia_bench::{scale_from_args, store_path_from_args, sweep_through_store};
 use tia_energy::pareto::pareto_frontier;
 
 fn main() -> ExitCode {
@@ -28,26 +40,33 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let output = flag_value(&["-o", "--output"]);
-    let partial = flag_value(&["--partial"]);
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    // `--partial` predates the store and keeps working as an alias;
+    // `store_path_from_args` handles `--store` and `TIA_STORE`.
+    let store = flag_value(&["--partial"])
+        .map(PathBuf::from)
+        .or_else(store_path_from_args);
 
-    let points = match partial {
+    let points = match &store {
         Some(path) => {
-            let source = match CheckpointedCpi::resume(suite_activity_source(scale), &path) {
-                Ok(source) => source,
-                Err(e) => {
-                    eprintln!("dse_export: cannot resume from {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if source.measured() > 0 {
+            let (points, _lookups, simulated) = sweep_through_store(scale, path);
+            if expect_warm && simulated > 0 {
                 eprintln!(
-                    "resuming: {} configuration(s) already measured in {path}",
-                    source.measured()
+                    "dse_export: --expect-warm, but {simulated} point(s) were \
+                     not in the store at {} and had to be simulated",
+                    path.display()
                 );
+                return ExitCode::FAILURE;
             }
-            par_explore(&source)
+            points
         }
-        None => par_explore(&suite_activity_source(scale)),
+        None => {
+            if expect_warm {
+                eprintln!("dse_export: --expect-warm needs --store PATH (or TIA_STORE)");
+                return ExitCode::FAILURE;
+            }
+            tia_bench::suite_design_points(scale)
+        }
     };
     let frontier = pareto_frontier(&points);
 

@@ -1,13 +1,13 @@
 //! Regenerates **Figure 6**: energy-delay frontiers for each supply
 //! voltage in the design space, with `bst`-derived activity as in §3.
 
-use tia_bench::{scale_from_args, suite_activity_source, Table};
-use tia_energy::dse::{par_explore, DesignPoint};
+use tia_bench::{scale_from_args, suite_design_points, Table};
+use tia_energy::dse::DesignPoint;
 use tia_energy::pareto::{pareto_frontier, span};
 
 fn main() {
     let scale = scale_from_args();
-    let points = par_explore(&suite_activity_source(scale));
+    let points = suite_design_points(scale);
     println!(
         "Figure 6: per-voltage energy-delay frontiers over {} feasible design points.\n",
         points.len()

@@ -2,13 +2,12 @@
 //! Pareto-optimal designs, including the §5.4 power-density
 //! comparison against 65 nm CPUs and GPUs.
 
-use tia_bench::{scale_from_args, suite_activity_source, Table};
-use tia_energy::dse::par_explore;
+use tia_bench::{scale_from_args, suite_design_points, Table};
 use tia_energy::pareto::{density_context, pareto_frontier, span};
 
 fn main() {
     let scale = scale_from_args();
-    let points = par_explore(&suite_activity_source(scale));
+    let points = suite_design_points(scale);
     let frontier = pareto_frontier(&points);
 
     println!(

@@ -2,8 +2,11 @@
 //! model and expose activity to the energy model's design-space
 //! exploration.
 
+use std::path::{Path, PathBuf};
+
 use tia_core::{UarchConfig, UarchCounters, UarchPe};
-use tia_energy::dse::CpiMeasurement;
+use tia_energy::dse::{par_explore, CpiMeasurement, DesignPoint};
+use tia_energy::{CheckpointedCpi, SweepContext};
 use tia_fabric::FastForwardStats;
 use tia_isa::Params;
 use tia_prof::{CycleStack, LeafShares};
@@ -150,6 +153,88 @@ pub fn scale_from_args() -> Scale {
         Scale::Test
     } else {
         Scale::Paper
+    }
+}
+
+/// The store-key label for an input scale. Part of every measurement
+/// key, so test-scale records can never answer a paper-scale sweep.
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Paper => "paper",
+    }
+}
+
+/// The sweep context the suite-averaged figure/table sweeps key their
+/// measurements under (see [`suite_activity_source`]).
+pub fn suite_context(scale: Scale) -> SweepContext {
+    SweepContext::new("suite", scale_label(scale))
+}
+
+/// Reads the measurement-store path from `--store PATH` or the
+/// `TIA_STORE` environment variable (the flag wins). Returns `None`
+/// when neither is set — sweeps then simulate everything, as before
+/// the store existed.
+///
+/// # Panics
+///
+/// Panics on a present-but-useless value — `--store` without a path,
+/// an empty/whitespace path, or non-UTF-8 `TIA_STORE` — rather than
+/// silently running the sweep uncached.
+pub fn store_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--store") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--store needs a PATH argument"));
+        assert!(
+            !path.trim().is_empty(),
+            "--store needs a non-empty PATH argument"
+        );
+        return Some(PathBuf::from(path));
+    }
+    match std::env::var("TIA_STORE") {
+        Ok(path) => {
+            assert!(
+                !path.trim().is_empty(),
+                "invalid TIA_STORE value: empty; set a store file path or unset it"
+            );
+            Some(PathBuf::from(path))
+        }
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("invalid TIA_STORE value: not valid UTF-8")
+        }
+    }
+}
+
+/// Runs the suite-averaged sweep through the measurement store at
+/// `path`, returning the design points plus how many were answered
+/// from the store vs simulated. A stale store file at `path` is
+/// discarded and regenerated (see
+/// [`tia_energy::open_measurement_store`]).
+pub fn sweep_through_store(scale: Scale, path: &Path) -> (Vec<DesignPoint>, u64, u64) {
+    let source = CheckpointedCpi::resume(suite_activity_source(scale), path, suite_context(scale))
+        .unwrap_or_else(|e| panic!("cannot open measurement store {}: {e}", path.display()));
+    let points = par_explore(&source);
+    eprintln!(
+        "measurement store {}: {} point(s) answered from store, {} simulated",
+        path.display(),
+        source.lookups(),
+        source.misses()
+    );
+    (points, source.lookups(), source.misses())
+}
+
+/// The full suite-averaged design-space sweep every figure/table
+/// binary consumes. When a store path is configured (see
+/// [`store_path_from_args`]) the sweep is keyed through the
+/// content-addressed measurement store, so repeated regenerations
+/// re-simulate only points whose inputs changed.
+pub fn suite_design_points(scale: Scale) -> Vec<DesignPoint> {
+    match store_path_from_args() {
+        Some(path) => sweep_through_store(scale, &path).0,
+        None => par_explore(&suite_activity_source(scale)),
     }
 }
 

@@ -1,147 +1,116 @@
-//! Checkpointed CPI measurement for interruptible DSE sweeps.
+//! Checkpointed CPI measurement for interruptible DSE sweeps — the
+//! compatibility shim over the content-addressed measurement store.
 //!
 //! The dominant cost of a real design-space sweep is the 32
 //! cycle-accurate activity simulations, not the analytical grid walk.
-//! [`CheckpointedCpi`] persists each finished measurement to a partial
-//! result file (atomically, via the [`tia_ckpt::Snapshot`] envelope),
-//! so an interrupted `run_all_experiments.sh` resumes by re-reading
-//! the file and re-simulating only the configurations it had not yet
-//! finished. Identical inputs produce identical partial files, and a
+//! [`CheckpointedCpi`] persists each finished measurement so an
+//! interrupted `run_all_experiments.sh` resumes by re-reading the
+//! store and re-simulating only the configurations it had not yet
+//! finished; identical inputs produce identical records, and a
 //! resumed sweep produces byte-identical final results — measurements
 //! are values, not stateful runs.
+//!
+//! Historically this type owned an ad-hoc partial-result JSON file
+//! keyed on `serde_json::to_string(config)` — a non-canonical key
+//! that silently turned hits into misses under field reordering or
+//! float-formatting drift, and trusted files written under older
+//! schemas. It is now a thin wrapper over
+//! [`StoredCpi`](crate::store::StoredCpi): keys are canonical content
+//! hashes ([`crate::store::SweepContext::key_hash`]), persistence is
+//! the append-only [`tia_store::Store`], and any pre-existing file
+//! that is a legacy JSON partial or carries a stale
+//! [`MEASUREMENT_SCHEMA_VERSION`](crate::store::MEASUREMENT_SCHEMA_VERSION)
+//! is moved aside and regenerated rather than trusted.
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
-use tia_ckpt::{CkptError, Snapshot};
+use tia_ckpt::CkptError;
 use tia_core::UarchConfig;
+use tia_store::StoreError;
 
 use crate::dse::{CpiMeasurement, SyncCpiSource};
+use crate::store::{StoreReset, StoredCpi, SweepContext};
 
-/// The snapshot `kind` tag for DSE partial-result files.
+/// The snapshot `kind` tag the legacy JSON partial files carried.
+/// Kept so callers (and tests) can still name the format the shim
+/// migrates away from.
 pub const DSE_PARTIAL_KIND: &str = "tia-dse-partial";
 
-/// One persisted measurement: the configuration (as its canonical JSON
-/// encoding, so the file is self-describing and key comparison never
-/// depends on hash order) and its measured activity.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(default)]
-pub struct DseEntry {
-    /// The configuration's canonical JSON encoding.
-    pub key: String,
-    /// Measured cycles per instruction.
-    pub cpi: f64,
-    /// Measured issue rate.
-    pub issue_rate: f64,
-    /// Cycle-stack shares of the measured run (defaulted when resuming
-    /// a pre-profiler partial file).
-    pub stack: tia_prof::LeafShares,
-    /// Dominant cycle-stack leaf of the measured run.
-    pub bottleneck: tia_prof::Leaf,
-}
-
-fn config_key(config: &UarchConfig) -> String {
-    serde_json::to_string(config).expect("config serialization is infallible")
-}
-
-/// A [`SyncCpiSource`] wrapper that memoizes measurements to a partial
-/// result file, making a sweep resumable after an interrupt.
-///
-/// On construction, any existing partial file at `path` is loaded and
-/// its measurements are reused verbatim; every *new* measurement
-/// rewrites the file (sorted by key, temp-file + rename) as soon as it
-/// finishes. Killing the process at any point therefore loses at most
-/// the measurements still in flight.
+/// A [`SyncCpiSource`] wrapper that memoizes measurements to a
+/// content-addressed store file, making a sweep resumable after an
+/// interrupt and near-free when repeated.
 #[derive(Debug)]
 pub struct CheckpointedCpi<S> {
-    source: S,
+    inner: StoredCpi<S>,
     path: PathBuf,
-    memo: Mutex<HashMap<String, CpiMeasurement>>,
+    reset: Option<StoreReset>,
 }
 
 impl<S: SyncCpiSource> CheckpointedCpi<S> {
-    /// Wraps `source`, resuming from `path` when it already exists.
+    /// Wraps `source`, resuming from the store at `path` when one
+    /// already exists. A stale file at `path` — a legacy JSON partial
+    /// checkpoint, a store of another schema version, or unreadable
+    /// content — is moved to `<path>.stale` with a warning and its
+    /// measurements are regenerated, never trusted.
     ///
     /// # Errors
     ///
-    /// Fails when an existing file at `path` is unreadable, malformed,
-    /// of an unsupported snapshot version, or not a DSE partial file.
-    pub fn resume(source: S, path: impl Into<PathBuf>) -> Result<Self, CkptError> {
+    /// Fails only on file-system errors.
+    pub fn resume(
+        source: S,
+        path: impl Into<PathBuf>,
+        ctx: SweepContext,
+    ) -> Result<Self, CkptError> {
         let path = path.into();
-        let mut memo = HashMap::new();
-        if path.exists() {
-            let snapshot = Snapshot::load(&path)?;
-            snapshot.check_kind(DSE_PARTIAL_KIND)?;
-            let entries =
-                Vec::<DseEntry>::from_value(&snapshot.state).map_err(|e| CkptError::Json {
-                    message: e.to_string(),
-                })?;
-            for entry in entries {
-                memo.insert(
-                    entry.key,
-                    CpiMeasurement {
-                        cpi: entry.cpi,
-                        issue_rate: entry.issue_rate,
-                        stack: entry.stack,
-                        bottleneck: entry.bottleneck,
-                    },
-                );
-            }
+        let (inner, reset) =
+            StoredCpi::open(source, &path, ctx).map_err(|e| store_to_ckpt(&path, e))?;
+        if let Some(reason) = &reset {
+            eprintln!(
+                "warning: discarding stale measurements at {} ({reason}); \
+                 the old file was moved to {}.stale and the sweep re-simulates",
+                path.display(),
+                path.display()
+            );
         }
-        Ok(CheckpointedCpi {
-            source,
-            path,
-            memo: Mutex::new(memo),
-        })
+        Ok(CheckpointedCpi { inner, path, reset })
     }
 
-    /// How many measurements were loaded or taken so far.
+    /// How many measurements the store holds (loaded plus taken).
     pub fn measured(&self) -> usize {
-        self.memo.lock().expect("no poisoned memo").len()
+        self.inner.store().len()
     }
 
-    /// The partial-result file backing this source.
+    /// Measurements answered from the store this run.
+    pub fn lookups(&self) -> u64 {
+        self.inner.lookups()
+    }
+
+    /// Measurements simulated this run.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Whether a stale file was discarded on open.
+    pub fn was_reset(&self) -> bool {
+        self.reset.is_some()
+    }
+
+    /// The store file backing this source.
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
 
-    fn persist(&self, memo: &HashMap<String, CpiMeasurement>) {
-        let mut entries: Vec<DseEntry> = memo
-            .iter()
-            .map(|(key, m)| DseEntry {
-                key: key.clone(),
-                cpi: m.cpi,
-                issue_rate: m.issue_rate,
-                stack: m.stack,
-                bottleneck: m.bottleneck,
-            })
-            .collect();
-        entries.sort_by(|a, b| a.key.cmp(&b.key));
-        let snapshot = Snapshot::new(DSE_PARTIAL_KIND, serde::Serialize::to_value(&entries));
-        if let Err(e) = snapshot.save(&self.path) {
-            // A failed checkpoint write must not kill the sweep — the
-            // run still completes, it just cannot resume from here.
-            eprintln!("warning: could not write DSE checkpoint: {e}");
-        }
+fn store_to_ckpt(path: &Path, e: StoreError) -> CkptError {
+    CkptError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
     }
 }
 
 impl<S: SyncCpiSource> SyncCpiSource for CheckpointedCpi<S> {
     fn measure(&self, config: &UarchConfig) -> CpiMeasurement {
-        let key = config_key(config);
-        if let Some(m) = self.memo.lock().expect("no poisoned memo").get(&key) {
-            return *m;
-        }
-        // Measure outside the lock: each configuration appears once in
-        // a sweep, so duplicated work is not a concern, and holding the
-        // lock would serialize the whole fan-out.
-        let m = self.source.measure(config);
-        let mut memo = self.memo.lock().expect("no poisoned memo");
-        memo.insert(key, m);
-        self.persist(&memo);
-        m
+        self.inner.measure(config)
     }
 }
 
@@ -151,12 +120,23 @@ mod tests {
 
     use super::*;
     use crate::dse::par_explore;
+    use crate::store::MEASUREMENT_SCHEMA_VERSION;
+    use serde::Serialize;
     use tia_core::Pipeline;
 
     fn temp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("tia-energy-ckpt-test");
         std::fs::create_dir_all(&dir).expect("mkdir");
-        dir.join(name)
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let mut stale = path.clone().into_os_string();
+        stale.push(".stale");
+        let _ = std::fs::remove_file(PathBuf::from(stale));
+        path
+    }
+
+    fn ctx() -> SweepContext {
+        SweepContext::new("synthetic", "test")
     }
 
     fn synthetic(config: &UarchConfig) -> CpiMeasurement {
@@ -169,8 +149,7 @@ mod tests {
 
     #[test]
     fn interrupted_sweep_resumes_without_remeasuring() {
-        let path = temp_path("resume.json");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("resume.store");
 
         // First run: measure only a few configurations, then "die".
         let calls = AtomicU64::new(0);
@@ -178,7 +157,7 @@ mod tests {
             calls.fetch_add(1, Ordering::Relaxed);
             synthetic(c)
         };
-        let first = CheckpointedCpi::resume(counting, &path).expect("fresh file");
+        let first = CheckpointedCpi::resume(counting, &path, ctx()).expect("fresh file");
         for pipeline in [Pipeline::TDX, Pipeline::T_DX] {
             let _ = first.measure(&UarchConfig::base(pipeline));
         }
@@ -186,46 +165,143 @@ mod tests {
         drop(first);
 
         // Second run: the two finished measurements come from the file.
-        let resumed = CheckpointedCpi::resume(counting, &path).expect("partial file loads");
+        let resumed = CheckpointedCpi::resume(counting, &path, ctx()).expect("store loads");
         assert_eq!(resumed.measured(), 2);
         let _ = resumed.measure(&UarchConfig::base(Pipeline::TDX));
         assert_eq!(calls.load(Ordering::Relaxed), 2, "no remeasurement");
+        assert_eq!(resumed.lookups(), 1);
         let _ = resumed.measure(&UarchConfig::base(Pipeline::T_D_X));
         assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(resumed.misses(), 1);
 
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn resumed_sweep_is_bit_identical_to_uninterrupted() {
-        let path = temp_path("identical.json");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("identical.store");
 
         let straight = par_explore(&synthetic);
 
         // Interrupted: persist half the configurations, then restart.
-        let partial = CheckpointedCpi::resume(synthetic, &path).expect("fresh file");
+        let partial = CheckpointedCpi::resume(synthetic, &path, ctx()).expect("fresh file");
         for config in UarchConfig::all().into_iter().take(16) {
             let _ = partial.measure(&config);
         }
         drop(partial);
-        let resumed_source = CheckpointedCpi::resume(synthetic, &path).expect("loads");
+        let resumed_source = CheckpointedCpi::resume(synthetic, &path, ctx()).expect("loads");
         let resumed = par_explore(&resumed_source);
 
         assert_eq!(straight, resumed);
         let _ = std::fs::remove_file(&path);
     }
 
+    /// The memo-key regression the store exists to fix: two
+    /// semantically equal encodings of one configuration — object
+    /// fields reordered, a float reformatted (`-0.0` vs `0.0` is the
+    /// bit-level face of formatting drift) — produce *different* JSON
+    /// strings (the old key) but the *same* canonical hash (the new
+    /// key), so they hit the same store entry.
     #[test]
-    fn wrong_kind_files_are_rejected() {
-        let path = temp_path("wrong_kind.json");
-        Snapshot::new("something-else", serde::Value::Null)
+    fn semantically_equal_configs_share_one_entry() {
+        let config = UarchConfig::with_pq(Pipeline::T_DX);
+        let encoded = Serialize::to_value(&config);
+        let serde::Value::Object(mut entries) = encoded.clone() else {
+            panic!("configs serialize to objects");
+        };
+        entries.reverse();
+        let reordered = serde::Value::Object(entries);
+
+        // The old keying (serde_json text) tells them apart...
+        let old_key = serde_json::to_string(&encoded).expect("serializes");
+        let old_key_reordered = serde_json::to_string(&reordered).expect("serializes");
+        assert_ne!(old_key, old_key_reordered, "JSON keying is order-sensitive");
+
+        // ...the canonical hash does not.
+        let schema = MEASUREMENT_SCHEMA_VERSION;
+        assert_eq!(
+            tia_store::canonical_hash(schema, &encoded).expect("hashes"),
+            tia_store::canonical_hash(schema, &reordered).expect("hashes"),
+        );
+
+        // Float-formatting drift: bit-distinct but semantically equal
+        // floats (-0.0 vs 0.0) also collapse to one key, where their
+        // JSON texts differ.
+        let with_float = |f: f64| {
+            serde::Value::Object(vec![
+                ("config".to_string(), encoded.clone()),
+                ("vdd".to_string(), serde::Value::Float(f)),
+            ])
+        };
+        assert_ne!(
+            serde_json::to_string(&with_float(0.0)).expect("serializes"),
+            serde_json::to_string(&with_float(-0.0)).expect("serializes"),
+        );
+        assert_eq!(
+            tia_store::canonical_hash(schema, &with_float(0.0)).expect("hashes"),
+            tia_store::canonical_hash(schema, &with_float(-0.0)).expect("hashes"),
+        );
+    }
+
+    /// A legacy JSON partial file (PR 4's format) is a stale artifact:
+    /// it must be moved aside and its measurements regenerated.
+    #[test]
+    fn legacy_partial_files_are_discarded_and_regenerated() {
+        let path = temp_path("legacy.json");
+        tia_ckpt::Snapshot::new(DSE_PARTIAL_KIND, serde::Value::Array(Vec::new()))
             .save(&path)
-            .expect("save");
-        assert!(matches!(
-            CheckpointedCpi::resume(synthetic, &path),
-            Err(CkptError::Kind { .. })
-        ));
+            .expect("seed legacy file");
+
+        let calls = AtomicU64::new(0);
+        let counting = |c: &UarchConfig| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(c)
+        };
+        let resumed = CheckpointedCpi::resume(counting, &path, ctx()).expect("resets");
+        assert!(resumed.was_reset());
+        assert_eq!(resumed.measured(), 0, "legacy entries are not trusted");
+        let _ = resumed.measure(&UarchConfig::base(Pipeline::TDX));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "regenerated");
+
+        let mut stale = path.clone().into_os_string();
+        stale.push(".stale");
+        let stale = PathBuf::from(stale);
+        assert!(stale.exists(), "legacy file moved aside");
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&stale);
+    }
+
+    /// A store written under an older/newer measurement schema is
+    /// likewise rejected and regenerated (the seeded stale-file test).
+    #[test]
+    fn stale_schema_stores_are_discarded_and_regenerated() {
+        let path = temp_path("stale.store");
+        let seeded =
+            tia_store::Store::open(&path, MEASUREMENT_SCHEMA_VERSION + 7).expect("seed store");
+        seeded
+            .put(tia_store::sha256(b"whatever"), b"poisoned")
+            .expect("seed record");
+        drop(seeded);
+
+        let calls = AtomicU64::new(0);
+        let counting = |c: &UarchConfig| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(c)
+        };
+        let resumed = CheckpointedCpi::resume(counting, &path, ctx()).expect("resets");
+        assert!(resumed.was_reset());
+        assert_eq!(resumed.measured(), 0);
+        let _ = resumed.measure(&UarchConfig::base(Pipeline::TDX));
+        let _ = resumed.measure(&UarchConfig::base(Pipeline::TDX));
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "measured once, then memoized"
+        );
+
+        let _ = std::fs::remove_file(&path);
+        let mut stale = path.clone().into_os_string();
+        stale.push(".stale");
+        let _ = std::fs::remove_file(PathBuf::from(stale));
     }
 }

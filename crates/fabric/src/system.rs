@@ -271,17 +271,37 @@ pub struct FastForwardStats {
     pub suppressed_probes: u64,
 }
 
-/// Reads the `TIA_FAST_FORWARD` environment variable: unset or any
-/// value other than `0`/`false`/`off`/`no` enables fast-forwarding.
-/// This is the default for every new [`System`]; CLI tools use it to
-/// pick their own fast-forward default so one knob controls both.
+/// Parses a `TIA_FAST_FORWARD`-style boolean toggle. Accepts
+/// `1`/`true`/`on`/`yes` and `0`/`false`/`off`/`no` (case-insensitive,
+/// whitespace-trimmed); anything else — including an empty string — is
+/// an error naming the variable and the offending value, never a
+/// silent default.
+pub fn parse_toggle(name: &str, value: &str) -> Result<bool, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" => Ok(false),
+        _ => Err(format!(
+            "invalid {name} value `{value}`: expected one of 1/true/on/yes or 0/false/off/no"
+        )),
+    }
+}
+
+/// Reads the `TIA_FAST_FORWARD` environment variable: unset enables
+/// fast-forwarding (the default), otherwise the value must parse via
+/// [`parse_toggle`] — a malformed value panics with a clear message
+/// rather than being quietly treated as "on". This is the default for
+/// every new [`System`]; CLI tools use it to pick their own
+/// fast-forward default so one knob controls both.
 pub fn fast_forward_from_env() -> bool {
     match std::env::var("TIA_FAST_FORWARD") {
-        Ok(v) => !matches!(
-            v.trim().to_ascii_lowercase().as_str(),
-            "0" | "false" | "off" | "no"
-        ),
-        Err(_) => true,
+        Ok(v) => match parse_toggle("TIA_FAST_FORWARD", &v) {
+            Ok(enabled) => enabled,
+            Err(message) => panic!("{message}"),
+        },
+        Err(std::env::VarError::NotPresent) => true,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("invalid TIA_FAST_FORWARD value: not valid UTF-8")
+        }
     }
 }
 
@@ -997,6 +1017,26 @@ impl fmt::Display for StopReason {
 mod tests {
     use super::*;
     use crate::queue::Token;
+
+    #[test]
+    fn toggle_accepts_the_documented_spellings() {
+        for on in ["1", "true", "on", "yes", "TRUE", " On ", "YES"] {
+            assert_eq!(parse_toggle("TIA_FAST_FORWARD", on), Ok(true), "{on}");
+        }
+        for off in ["0", "false", "off", "no", "FALSE", " Off ", "NO"] {
+            assert_eq!(parse_toggle("TIA_FAST_FORWARD", off), Ok(false), "{off}");
+        }
+    }
+
+    #[test]
+    fn toggle_rejects_empty_and_garbage_loudly() {
+        for bad in ["", " ", "2", "-1", "enabled", "tru", "offf", "０"] {
+            let err = parse_toggle("TIA_FAST_FORWARD", bad)
+                .expect_err("malformed toggles must not default silently");
+            assert!(err.contains("TIA_FAST_FORWARD"), "{bad:?}: {err}");
+            assert!(err.contains("expected one of"), "{bad:?}: {err}");
+        }
+    }
 
     /// A trivial PE that copies input 0 to output 0 each cycle.
     #[derive(Debug)]

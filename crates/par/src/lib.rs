@@ -97,22 +97,48 @@ fn chunk_for(items: usize, workers: usize) -> usize {
 /// The environment variable capping the worker pool size.
 pub const THREADS_ENV: &str = "TIA_THREADS";
 
-/// The worker count [`par_map`] uses: `TIA_THREADS` when set to a
-/// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (1 if even that is unavailable). Malformed or zero values of
-/// `TIA_THREADS` are ignored rather than honored as zero — a pool
-/// must always have at least one worker.
+/// Parses a `TIA_THREADS` value: a positive integer worker count.
+///
+/// # Errors
+///
+/// Returns a human-readable message for zero, empty and garbage
+/// values — a pool must always have at least one worker, and a typo'd
+/// setting silently falling back to the host default is exactly how a
+/// "single-threaded" reproduction run ends up parallel.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "invalid {THREADS_ENV} value `{value}`: a worker pool needs at least 1 thread"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid {THREADS_ENV} value `{value}`: expected a positive integer"
+        )),
+    }
+}
+
+/// The worker count [`par_map`] uses: `TIA_THREADS` when set,
+/// otherwise [`std::thread::available_parallelism`] (1 if even that
+/// is unavailable).
+///
+/// # Panics
+///
+/// A set-but-invalid `TIA_THREADS` (zero, empty, garbage) aborts with
+/// a clear message rather than being silently ignored — see
+/// [`parse_threads`].
 pub fn worker_count() -> usize {
-    if let Ok(value) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    match std::env::var(THREADS_ENV) {
+        Ok(value) => match parse_threads(&value) {
+            Ok(n) => n,
+            Err(message) => panic!("{message}"),
+        },
+        Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("invalid {THREADS_ENV} value: not valid UTF-8")
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// Applies `f` to every item, returning results in input order.
@@ -381,9 +407,31 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_ignores_malformed_env() {
+    fn worker_count_defaults_to_at_least_one() {
         // `worker_count` itself reads the process environment; the
-        // parse rules are what we can test hermetically here.
+        // parse rules are what we can test hermetically below.
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 2 "), Ok(2), "whitespace trims");
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_empty_and_garbage_loudly() {
+        let zero = parse_threads("0").expect_err("0 workers is nonsense");
+        assert!(zero.contains("TIA_THREADS"), "message names the variable");
+        assert!(zero.contains('0'), "message echoes the bad value");
+
+        let empty = parse_threads("").expect_err("empty is not a count");
+        assert!(empty.contains("TIA_THREADS"));
+
+        for garbage in ["abc", "-2", "1.5", "4x", "０"] {
+            let err = parse_threads(garbage).expect_err(garbage);
+            assert!(err.contains("TIA_THREADS"), "{garbage}: {err}");
+        }
     }
 }

@@ -1,0 +1,381 @@
+//! Canonical deterministic encoding of [`serde::Value`] trees.
+//!
+//! Two semantically equal inputs must hash identically no matter how
+//! they were produced: a JSON pretty-printer's float formatting, a
+//! struct definition's field order, or an `Int`-vs-`UInt` choice for
+//! the same non-negative number must never change a store key. The
+//! encoding therefore:
+//!
+//! * writes object entries **sorted by key** (byte order), rejecting
+//!   duplicate keys outright;
+//! * writes floats as their **IEEE-754 bit pattern** (no decimal
+//!   formatting anywhere), normalizing `-0.0` to `+0.0` and every NaN
+//!   to the one canonical quiet-NaN pattern — `±∞` keep their own
+//!   patterns, so all non-finite inputs are *normalized, not
+//!   rejected*, deterministically;
+//! * normalizes non-negative `Int`s to the `UInt` representation, so
+//!   the two stub-`serde` integer arms cannot alias;
+//! * prefixes every hash with a magic string, the encoding's own
+//!   format version and the caller's **schema version**, so either
+//!   kind of schema change invalidates every old key at once.
+
+use serde::Value;
+
+use crate::hash::{Hash, Sha256};
+
+/// The canonical-encoding format version, mixed into every hash.
+/// Bump on *any* change to the byte layout below.
+pub const CANON_VERSION: u32 = 1;
+
+/// Domain-separation prefix so canonical hashes can never collide
+/// with hashes of raw byte strings taken elsewhere.
+const CANON_MAGIC: &[u8; 10] = b"tia-canon\0";
+
+/// A value that cannot be canonically encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonError {
+    /// An object holds the same key twice; sorting cannot order the
+    /// two entries deterministically, so the value is rejected.
+    DuplicateKey(String),
+}
+
+impl std::fmt::Display for CanonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanonError::DuplicateKey(key) => {
+                write!(f, "object key `{key}` appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// One-byte type tags of the canonical byte layout.
+mod tag {
+    pub const NULL: u8 = 0x00;
+    pub const FALSE: u8 = 0x01;
+    pub const TRUE: u8 = 0x02;
+    pub const UINT: u8 = 0x03;
+    pub const NEG_INT: u8 = 0x04;
+    pub const FLOAT: u8 = 0x05;
+    pub const STRING: u8 = 0x06;
+    pub const ARRAY: u8 = 0x07;
+    pub const OBJECT: u8 = 0x08;
+}
+
+/// The one bit pattern every NaN input normalizes to (the standard
+/// quiet NaN, sign cleared).
+const CANONICAL_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+/// Normalizes a float to the bit pattern the encoding commits to:
+/// `-0.0` becomes `+0.0` and every NaN payload collapses to
+/// [`CANONICAL_NAN_BITS`]. Infinities and ordinary numbers keep their
+/// exact bits.
+pub fn canonical_f64_bits(value: f64) -> u64 {
+    if value.is_nan() {
+        CANONICAL_NAN_BITS
+    } else if value == 0.0 {
+        0 // +0.0; the comparison is true for -0.0 too.
+    } else {
+        value.to_bits()
+    }
+}
+
+fn encode_into(value: &Value, out: &mut Vec<u8>) -> Result<(), CanonError> {
+    match value {
+        Value::Null => out.push(tag::NULL),
+        Value::Bool(false) => out.push(tag::FALSE),
+        Value::Bool(true) => out.push(tag::TRUE),
+        Value::UInt(u) => {
+            out.push(tag::UINT);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Value::Int(i) => {
+            // Non-negative integers normalize to the UInt arm so the
+            // producer's choice of integer constructor cannot alias.
+            if *i >= 0 {
+                out.push(tag::UINT);
+                out.extend_from_slice(&(*i as u64).to_le_bytes());
+            } else {
+                out.push(tag::NEG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        Value::Float(f) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&canonical_f64_bits(*f).to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(tag::STRING);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(tag::ARRAY);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_into(item, out)?;
+            }
+        }
+        Value::Object(entries) => {
+            out.push(tag::OBJECT);
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by(|&a, &b| entries[a].0.cmp(&entries[b].0));
+            for pair in order.windows(2) {
+                if entries[pair[0]].0 == entries[pair[1]].0 {
+                    return Err(CanonError::DuplicateKey(entries[pair[0]].0.clone()));
+                }
+            }
+            for i in order {
+                let (key, item) = &entries[i];
+                out.extend_from_slice(&(key.len() as u64).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                encode_into(item, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a value into its canonical byte string.
+///
+/// # Errors
+///
+/// Rejects objects with duplicate keys ([`CanonError::DuplicateKey`]).
+pub fn canonical_bytes(value: &Value) -> Result<Vec<u8>, CanonError> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out)?;
+    Ok(out)
+}
+
+/// Hashes a value under a caller-declared schema version: the digest
+/// covers `CANON_MAGIC ∥ CANON_VERSION ∥ schema ∥ canonical_bytes`, so
+/// bumping either version invalidates every previously derived key.
+///
+/// # Errors
+///
+/// Rejects values [`canonical_bytes`] rejects.
+pub fn canonical_hash(schema: u32, value: &Value) -> Result<Hash, CanonError> {
+    let mut h = Sha256::new();
+    h.update(CANON_MAGIC);
+    h.update(&CANON_VERSION.to_le_bytes());
+    h.update(&schema.to_le_bytes());
+    h.update(&canonical_bytes(value)?);
+    Ok(h.finalize())
+}
+
+/// A malformed canonical byte string (truncated, bad tag, trailing
+/// garbage, or invalid UTF-8 in a string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed canonical encoding: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bad(message: impl Into<String>) -> DecodeError {
+    DecodeError {
+        message: message.into(),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| bad("truncated"))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        // A length can never exceed the bytes that remain; checking
+        // here keeps a corrupt record from requesting a huge
+        // allocation before `take` notices.
+        if n > (self.bytes.len() - self.at) as u64 {
+            return Err(bad("length exceeds remaining input"));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let n = self.len()?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| bad("invalid UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.u8()? {
+            tag::NULL => Ok(Value::Null),
+            tag::FALSE => Ok(Value::Bool(false)),
+            tag::TRUE => Ok(Value::Bool(true)),
+            tag::UINT => Ok(Value::UInt(self.u64()?)),
+            tag::NEG_INT => {
+                let raw = self.take(8)?;
+                Ok(Value::Int(i64::from_le_bytes(
+                    raw.try_into().expect("8 bytes"),
+                )))
+            }
+            tag::FLOAT => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            tag::STRING => Ok(Value::String(self.string()?)),
+            tag::ARRAY => {
+                let n = self.len()?;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            tag::OBJECT => {
+                let n = self.len()?;
+                let mut entries = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let key = self.string()?;
+                    let item = self.value()?;
+                    entries.push((key, item));
+                }
+                Ok(Value::Object(entries))
+            }
+            other => Err(bad(format!("unknown type tag 0x{other:02x}"))),
+        }
+    }
+}
+
+/// Decodes a canonical byte string back into a [`Value`].
+///
+/// Round trip: for any encodable `v`,
+/// `from_canonical_bytes(&canonical_bytes(v)?)` returns `v` up to the
+/// documented normalizations (sorted object keys, `Int`→`UInt`,
+/// `-0.0`/NaN bit patterns) — and is *exactly* the identity on values
+/// already in canonical form, floats included, because floats travel
+/// as raw bit patterns.
+///
+/// # Errors
+///
+/// Rejects truncated input, unknown tags, trailing bytes and invalid
+/// UTF-8.
+pub fn from_canonical_bytes(bytes: &[u8]) -> Result<Value, DecodeError> {
+    let mut reader = Reader { bytes, at: 0 };
+    let value = reader.value()?;
+    if reader.at != bytes.len() {
+        return Err(bad("trailing bytes after value"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(entries: &[(&str, Value)]) -> Value {
+        Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn key_order_does_not_change_the_hash() {
+        let a = obj(&[("x", Value::UInt(1)), ("y", Value::Float(2.5))]);
+        let b = obj(&[("y", Value::Float(2.5)), ("x", Value::UInt(1))]);
+        assert_eq!(
+            canonical_hash(0, &a).unwrap(),
+            canonical_hash(0, &b).unwrap()
+        );
+        assert_ne!(
+            canonical_hash(0, &a).unwrap(),
+            canonical_hash(1, &a).unwrap(),
+            "schema version is part of the key"
+        );
+    }
+
+    #[test]
+    fn int_uint_and_float_normalization() {
+        assert_eq!(
+            canonical_bytes(&Value::Int(7)).unwrap(),
+            canonical_bytes(&Value::UInt(7)).unwrap()
+        );
+        assert_ne!(
+            canonical_bytes(&Value::UInt(7)).unwrap(),
+            canonical_bytes(&Value::Float(7.0)).unwrap(),
+            "floats stay a distinct type"
+        );
+        assert_eq!(
+            canonical_bytes(&Value::Float(-0.0)).unwrap(),
+            canonical_bytes(&Value::Float(0.0)).unwrap()
+        );
+        let quiet = f64::NAN;
+        let weird = f64::from_bits(0xfff8_dead_beef_0001);
+        assert!(weird.is_nan());
+        assert_eq!(
+            canonical_bytes(&Value::Float(quiet)).unwrap(),
+            canonical_bytes(&Value::Float(weird)).unwrap()
+        );
+        assert_ne!(
+            canonical_bytes(&Value::Float(f64::INFINITY)).unwrap(),
+            canonical_bytes(&Value::Float(f64::NEG_INFINITY)).unwrap()
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let dup = obj(&[("k", Value::Null), ("k", Value::Bool(true))]);
+        assert_eq!(
+            canonical_bytes(&dup),
+            Err(CanonError::DuplicateKey("k".to_string()))
+        );
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let value = obj(&[
+            ("a", Value::Array(vec![Value::Null, Value::Int(-3)])),
+            ("b", Value::String("häße".to_string())),
+            ("c", Value::Float(1.0 / 3.0)),
+        ]);
+        let bytes = canonical_bytes(&value).unwrap();
+        let back = from_canonical_bytes(&bytes).unwrap();
+        // Canonical form: keys already sorted, Int(-3) stays Int.
+        assert_eq!(back, value);
+        assert_eq!(canonical_bytes(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(from_canonical_bytes(&[]).is_err());
+        assert!(from_canonical_bytes(&[0xff]).is_err());
+        assert!(from_canonical_bytes(&[tag::STRING, 5, 0, 0, 0, 0, 0, 0, 0, b'h']).is_err());
+        let mut ok = canonical_bytes(&Value::Bool(true)).unwrap();
+        ok.push(0);
+        assert!(from_canonical_bytes(&ok).is_err(), "trailing bytes");
+    }
+}

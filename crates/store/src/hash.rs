@@ -1,0 +1,248 @@
+//! Content hashing: a dependency-free SHA-256 and the 256-bit
+//! [`Hash`] used as the store key.
+//!
+//! A content-addressed store lives or dies by its hash function being
+//! *stable across builds*: `std::hash::DefaultHasher` is explicitly
+//! unstable between releases, so the store carries its own FIPS 180-4
+//! SHA-256 (checked against the NIST test vectors below). Collisions
+//! are cryptographically negligible, so a key equality check never
+//! needs to compare the encoded inputs themselves.
+
+use std::fmt;
+
+/// A 256-bit content hash — the identity of one canonical encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hash(pub [u8; 32]);
+
+impl Hash {
+    /// Renders the hash as 64 lowercase hex digits.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+        }
+        s
+    }
+
+    /// Parses 64 hex digits back into a hash.
+    pub fn from_hex(text: &str) -> Option<Hash> {
+        let bytes = text.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Hash(out))
+    }
+}
+
+impl fmt::Display for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash({})", self.to_hex())
+    }
+}
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// An incremental SHA-256 computation.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes fed so far (the padded length field needs it in bits).
+    length: u64,
+    /// Partially filled message block.
+    block: [u8; 64],
+    block_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hash computation.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            length: 0,
+            block: [0u8; 64],
+            block_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.block_len > 0 {
+            let take = rest.len().min(64 - self.block_len);
+            self.block[self.block_len..self.block_len + take].copy_from_slice(&rest[..take]);
+            self.block_len += take;
+            rest = &rest[take..];
+            if self.block_len < 64 {
+                // `rest` is empty (the take was everything); returning
+                // here keeps the partial block intact — falling through
+                // would clobber `block_len` with the empty remainder.
+                return;
+            }
+            let block = self.block;
+            self.compress(&block);
+            self.block_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let tail = chunks.remainder();
+        self.block[..tail.len()].copy_from_slice(tail);
+        self.block_len = tail.len();
+    }
+
+    /// Completes the computation and returns the digest.
+    pub fn finalize(mut self) -> Hash {
+        let bit_length = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.block_len != 56 {
+            self.update(&[0]);
+        }
+        // The length update above must not count the padding we just
+        // fed, but `length` is only read once here, so it is moot.
+        let mut block = self.block;
+        block[56..64].copy_from_slice(&bit_length.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Hash(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        let prior = self.state;
+        self.state = [
+            prior[0].wrapping_add(a),
+            prior[1].wrapping_add(b),
+            prior[2].wrapping_add(c),
+            prior[3].wrapping_add(d),
+            prior[4].wrapping_add(e),
+            prior[5].wrapping_add(f),
+            prior[6].wrapping_add(g),
+            prior[7].wrapping_add(h),
+        ];
+    }
+}
+
+/// Hashes one contiguous buffer.
+pub fn sha256(data: &[u8]) -> Hash {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nist_test_vectors() {
+        // FIPS 180-4 / NIST CAVP reference digests.
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        let million_a = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&million_a).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_update_matches_one_shot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let one_shot = sha256(&data);
+        for split in [0, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), one_shot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = sha256(b"roundtrip");
+        assert_eq!(Hash::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(Hash::from_hex("zz"), None);
+        assert_eq!(Hash::from_hex(&"0".repeat(63)), None);
+    }
+}

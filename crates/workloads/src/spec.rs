@@ -275,6 +275,30 @@ mod tests {
     }
 
     #[test]
+    fn workload_names_are_pinned() {
+        // Measurement-store keys embed workload names (see
+        // tia_energy::SweepContext), so renaming one silently orphans
+        // every stored measurement for it. Rename only together with a
+        // MEASUREMENT_SCHEMA_VERSION bump.
+        let names: Vec<&str> = ALL_WORKLOADS.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "gcd",
+                "mean",
+                "stream",
+                "arg_max",
+                "string_search",
+                "udiv",
+                "bst",
+                "filter",
+                "merge",
+                "dot_product",
+            ]
+        );
+    }
+
+    #[test]
     fn single_pe_taxonomy_matches_table_3() {
         let single: Vec<&str> = ALL_WORKLOADS
             .iter()

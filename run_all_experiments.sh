@@ -36,10 +36,20 @@ case "$JOBS" in
         ;;
 esac
 
-mkdir -p results results/logs results/ckpt
+mkdir -p results results/logs results/store
 timing_dir="$(mktemp -d)"
 trap 'rm -rf "$timing_dir"' EXIT
 cargo build --release -p tia-bench -p tia-asm
+
+# One content-addressed measurement store shared by every sweep in the
+# suite (fig6/7/8 and dse_export all key their per-configuration
+# activity measurements through it). Keys embed workload, scale, ISA
+# parameters and microarchitecture, so test- and paper-scale runs
+# coexist in one file; concurrent experiments serialize appends
+# through the store's lock file. A warm store turns every repeated
+# sweep into pure lookups; an interrupted suite resumes the same way.
+STORE="results/store/measurements.store"
+export TIA_STORE="$STORE"
 
 BINS=(
     sec1_tradeoff_modes
@@ -100,16 +110,10 @@ for bin in "${BINS[@]}"; do
 done
 
 names+=(dse_export dump_workload_asm)
-# The DSE sweep checkpoints each finished activity measurement to
-# results/ckpt/; an interrupted suite resumes from it (and a completed
-# sweep leaves the file behind, which is harmless — measurements are
-# reused, not re-simulated). The file is per scale: measurements taken
-# at test scale must never seed a full-scale sweep.
-DSE_PARTIAL="results/ckpt/dse_partial_$([[ -n $SCALE ]] && echo test || echo full).json"
 # shellcheck disable=SC2086
 launch dse_export results/dse_export.txt \
     ./target/release/dse_export $SCALE \
-    --partial "$DSE_PARTIAL" -o results/design_space.json
+    --store "$STORE" -o results/design_space.json
 launch dump_workload_asm results/dump_workload_asm.txt \
     ./target/release/dump_workload_asm results/asm
 
